@@ -1,0 +1,851 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's §5 and Appendix A.2. See DESIGN.md §3 for the experiment index
+   and EXPERIMENTS.md for recorded paper-vs-measured results.
+
+     dune exec bench/main.exe                 -- everything, scaled-down sizes
+     dune exec bench/main.exe -- fig4         -- one experiment
+     dune exec bench/main.exe -- all --scale 2 --paper-params
+
+   Experiments: micro bechamel model fig4 fig5 fig6 fig7 fig8 fig9
+   soundness ablation.
+
+   Ginger's costs are *estimated from its cost model* (Figure 3's left
+   column, parameterized by our measured microbenchmarks), exactly as the
+   paper does: "we use estimates, rather than empirics, because the
+   computations would be too expensive under Ginger" (§5.1). Zaatar numbers
+   are measured end to end. *)
+
+open Fieldlib
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cfg = {
+  field : Nat.t;
+  scale : int;
+  rho : int;
+  rho_lin : int;
+  p_bits : int;
+  batch : int;
+  quick : bool;
+}
+
+let default_cfg =
+  { field = Primes.p127; scale = 1; rho = 3; rho_lin = 10; p_bits = 512; batch = 2; quick = false }
+
+let ctx_of cfg = Fp.create cfg.field
+
+let protocol cfg = { Pcp.Pcp_zaatar.rho = cfg.rho; rho_lin = cfg.rho_lin }
+let model_protocol cfg = { Costmodel.Model.rho = cfg.rho; rho_lin = cfg.rho_lin }
+
+let banner title =
+  Printf.printf "\n=======================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "=======================================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Shared measurement helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let time_thunk f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Local (native) per-instance execution time: the baseline of Figures 5
+   and 7. *)
+let measure_local (app : Apps.App_def.t) prg =
+  let inputs = Array.init 8 (fun _ -> app.Apps.App_def.gen_inputs prg) in
+  (* warm up + calibrate iteration count *)
+  let _, once = time_thunk (fun () -> ignore (app.Apps.App_def.native inputs.(0))) in
+  let iters = max 20 (min 50_000 (int_of_float (0.2 /. (once +. 1e-9)))) in
+  let _, total =
+    time_thunk (fun () ->
+        for i = 1 to iters do
+          ignore (app.Apps.App_def.native inputs.(i land 7))
+        done)
+  in
+  total /. float_of_int iters
+
+let microbench_cache : (string, Costmodel.Params.t) Hashtbl.t = Hashtbl.create 4
+
+let measured_params cfg =
+  let key = Printf.sprintf "%s/%d" (Nat.to_hex cfg.field) cfg.p_bits in
+  match Hashtbl.find_opt microbench_cache key with
+  | Some p -> p
+  | None ->
+    let ctx = ctx_of cfg in
+    let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+    let p = Costmodel.Params.measure ~iters:(if cfg.quick then 200 else 1000) ctx grp in
+    Hashtbl.add microbench_cache key p;
+    p
+
+(* One full measured Zaatar run per benchmark, cached and reused across
+   figures. *)
+type bench_run = {
+  app : Apps.App_def.t;
+  compiled : Zlang.Compile.compiled;
+  stats : Zlang.Compile.stats;
+  t_local : float;
+  result : Argsys.Argument.batch_result;
+  prover_per_instance : float;
+  batch : int;
+}
+
+let run_cache : (string, bench_run) Hashtbl.t = Hashtbl.create 8
+
+let bench_run cfg (app : Apps.App_def.t) : bench_run =
+  let key = app.Apps.App_def.name ^ "/" ^ app.Apps.App_def.params_desc in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    let ctx = ctx_of cfg in
+    let prg = Chacha.Prg.create ~seed:("bench " ^ key) () in
+    let compiled = Apps.Glue.compile ctx app in
+    let stats = Zlang.Compile.stats compiled in
+    let t_local = measure_local app prg in
+    let comp = Apps.Glue.computation_of compiled in
+    let inputs =
+      Array.init cfg.batch (fun _ ->
+          Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
+    in
+    let config =
+      { Argsys.Argument.params = protocol cfg; p_bits = cfg.p_bits; strategy = Argsys.Argument.Honest }
+    in
+    let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+    if not (Argsys.Argument.all_accepted result) then
+      failwith (key ^ ": verification unexpectedly failed");
+    let prover_per_instance = Argsys.Metrics.total result.Argsys.Argument.prover /. float_of_int cfg.batch in
+    let r = { app; compiled; stats; t_local; result; prover_per_instance; batch = cfg.batch } in
+    Hashtbl.add run_cache key r;
+    r
+
+(* Compile-only cache: Figure 9 needs encoding statistics, not measured
+   runs. *)
+let stats_cache : (string, Zlang.Compile.stats) Hashtbl.t = Hashtbl.create 8
+
+let compiled_stats cfg (app : Apps.App_def.t) : Zlang.Compile.stats =
+  let key = app.Apps.App_def.name ^ "/" ^ app.Apps.App_def.params_desc in
+  match Hashtbl.find_opt stats_cache key with
+  | Some s -> s
+  | None ->
+    let s =
+      match Hashtbl.find_opt run_cache key with
+      | Some r -> r.stats
+      | None -> Zlang.Compile.stats (Apps.Glue.compile (ctx_of cfg) app)
+    in
+    Hashtbl.add stats_cache key s;
+    s
+
+let sizes_of_run (r : bench_run) : Costmodel.Model.sizes =
+  Costmodel.Model.sizes_of_stats r.stats ~n_x:r.compiled.Zlang.Compile.num_inputs
+    ~n_y:r.compiled.Zlang.Compile.num_outputs ~t_local:r.t_local
+
+let ginger_prover_estimate cfg (r : bench_run) =
+  let p = measured_params cfg in
+  (Costmodel.Model.ginger_prover p (model_protocol cfg) (sizes_of_run r)).Costmodel.Model.total_p
+
+let orders_of_magnitude a b = log10 (a /. b)
+
+let fmt_s v =
+  if v >= 3600.0 then Printf.sprintf "%.1f h" (v /. 3600.0)
+  else if v >= 60.0 then Printf.sprintf "%.1f min" (v /. 60.0)
+  else if v >= 1.0 then Printf.sprintf "%.2f s" v
+  else if v >= 1e-3 then Printf.sprintf "%.2f ms" (v *. 1e3)
+  else Printf.sprintf "%.1f us" (v *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* T-micro: §5.1 microbenchmark table                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro cfg =
+  banner "Microbenchmarks (section 5.1 table): per-operation CPU costs";
+  Printf.printf
+    "(paper, GMP + 1024-bit ElGamal on a 2.53GHz Xeon: 128-bit row was\n\
+    \ e=65us d=170us h=91us f_lazy=68ns f=210ns f_div=2us c=160ns)\n\n";
+  let fields = [ ("128-bit (2^127-1)", Primes.p127); ("220-bit", Primes.p220 ()) ] in
+  List.iter
+    (fun (label, field) ->
+      let c = { cfg with field } in
+      let p = measured_params c in
+      Printf.printf "%-18s %s\n%!" label (Format.asprintf "%a" Costmodel.Params.pp_row p))
+    fields
+
+(* Bechamel-based version of the same table: one Test.make per operation,
+   grouped per field size. *)
+let run_bechamel cfg =
+  banner "Microbenchmarks via bechamel (OLS estimates, ns/op)";
+  let open Bechamel in
+  let make_group label field =
+    let ctx = Fp.create field in
+    let grp = Zcrypto.Group.cached ~field_order:field ~p_bits:cfg.p_bits () in
+    let prg = Chacha.Prg.create ~seed:"bechamel" () in
+    let sk, pk = Zcrypto.Elgamal.keygen grp prg in
+    let a = Chacha.Prg.field_nonzero ctx prg and b = Chacha.Prg.field_nonzero ctx prg in
+    let ct = Zcrypto.Elgamal.encrypt pk prg a in
+    ignore sk;
+    Test.make_grouped ~name:label ~fmt:"%s %s"
+      [
+        Test.make ~name:"f (field mul)" (Staged.stage (fun () -> ignore (Fp.mul ctx a b)));
+        Test.make ~name:"f_lazy" (Staged.stage (fun () -> ignore (Fp.mul_lazy ctx a b)));
+        Test.make ~name:"f_div" (Staged.stage (fun () -> ignore (Fp.div ctx a b)));
+        Test.make ~name:"c (prg field)" (Staged.stage (fun () -> ignore (Chacha.Prg.field ctx prg)));
+        Test.make ~name:"h (hom add+mul)"
+          (Staged.stage (fun () -> ignore (Zcrypto.Elgamal.hom_add pk ct (Zcrypto.Elgamal.hom_scale pk ct a))));
+      ]
+  in
+  let test =
+    Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+      [ make_group "128bit" Primes.p127 ]
+  in
+  let benchmark () =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg' = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false () in
+    let raw = Benchmark.all cfg' instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* F3: cost-model validation (Figure 3)                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_model cfg =
+  banner "Figure 3: cost model vs. measured Zaatar prover";
+  Printf.printf "(paper: empirical CPU costs are 5-15%% larger than the model's predictions)\n\n";
+  let p = measured_params cfg in
+  Printf.printf "%-28s %12s %12s %8s\n" "computation" "model" "measured" "ratio";
+  List.iter
+    (fun app ->
+      let r = bench_run cfg app in
+      let zp = Costmodel.Model.zaatar_prover p (model_protocol cfg) (sizes_of_run r) in
+      let predicted = zp.Costmodel.Model.total_p in
+      let measured = r.prover_per_instance in
+      Printf.printf "%-28s %12s %12s %7.2fx\n%!" app.Apps.App_def.display (fmt_s predicted)
+        (fmt_s measured) (measured /. predicted))
+    (Apps.Registry.suite ~scale:cfg.scale ())
+
+(* ------------------------------------------------------------------ *)
+(* F4: prover per-instance running time, Zaatar vs Ginger              *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig4 cfg =
+  banner "Figure 4: per-instance prover running time (Zaatar measured, Ginger modeled)";
+  Printf.printf "(paper: improvements of 1-6 orders of magnitude; root finding the smallest)\n\n";
+  Printf.printf "%-28s %12s %14s %22s\n" "computation" "Zaatar" "Ginger (est.)" "improvement";
+  List.iter
+    (fun app ->
+      let r = bench_run cfg app in
+      let ginger = ginger_prover_estimate cfg r in
+      Printf.printf "%-28s %12s %14s %18.1f orders\n%!" app.Apps.App_def.display
+        (fmt_s r.prover_per_instance) (fmt_s ginger)
+        (orders_of_magnitude ginger r.prover_per_instance))
+    (Apps.Registry.suite ~scale:cfg.scale ())
+
+(* ------------------------------------------------------------------ *)
+(* F5: prover cost decomposition                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig5 cfg =
+  banner "Figure 5: per-instance cost of the Zaatar prover vs local execution";
+  Printf.printf "%-28s %10s | %10s %12s %10s %10s %12s\n" "computation (Psi)" "local"
+    "solve" "construct u" "crypto" "answer" "e2e CPU";
+  List.iter
+    (fun app ->
+      let r = bench_run cfg app in
+      let m = r.result.Argsys.Argument.prover in
+      let per name = Argsys.Metrics.get m name /. float_of_int r.batch in
+      Printf.printf "%-28s %10s | %10s %12s %10s %10s %12s\n%!" app.Apps.App_def.display
+        (fmt_s r.t_local)
+        (fmt_s (per "solve_constraints"))
+        (fmt_s (per "construct_u"))
+        (fmt_s (per "crypto_ops"))
+        (fmt_s (per "answer_queries"))
+        (fmt_s r.prover_per_instance))
+    (Apps.Registry.suite ~scale:cfg.scale ());
+  Printf.printf
+    "\n(paper at full scale: ~40%% constructing u, ~35%% crypto, remainder answering;\n\
+    \ e2e minutes against milliseconds of local time)\n"
+
+(* ------------------------------------------------------------------ *)
+(* F6: parallelizing and distributing the prover                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Prover-only batch with separate compute and crypto parallelism; the
+   "GPU" configurations give the crypto phase extra domains (see DESIGN.md
+   substitutions). *)
+let prover_batch_wall cfg ~compute_domains ~crypto_domains (comp : Argsys.Argument.computation)
+    (qap : Qap.t) queries req_z req_h inputs =
+  (* Force lazy QAP structures before entering domains. *)
+  ignore (Lazy.force qap.Qap.divisor);
+  ignore (Lazy.force qap.Qap.interp);
+  ignore cfg;
+  let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
+  let ctx = comp.Argsys.Argument.r1cs.Constr.R1cs.field in
+  let parts, t_compute =
+    Dompool.Pool.timed_map ~domains:compute_domains
+      (fun x ->
+        let w = comp.Argsys.Argument.solve x in
+        let h = Qap.prover_h qap w in
+        (Array.sub w 1 num_z, h))
+      inputs
+  in
+  let _, t_crypto =
+    Dompool.Pool.timed_map ~domains:crypto_domains
+      (fun (z, h) ->
+        (Commitment.Commit.prover_commit req_z z, Commitment.Commit.prover_commit req_h h))
+      parts
+  in
+  let _, t_answer =
+    Dompool.Pool.timed_map ~domains:compute_domains
+      (fun (z, h) -> Pcp.Pcp_zaatar.answer (Pcp.Oracle.honest ctx z h) queries)
+      parts
+  in
+  t_compute +. t_crypto +. t_answer
+
+(* Single-domain prover batch, returning the three phase times. *)
+let prover_batch_phases cfg (comp : Argsys.Argument.computation) (qap : Qap.t) queries req_z req_h
+    inputs =
+  ignore cfg;
+  ignore (Lazy.force qap.Qap.divisor);
+  ignore (Lazy.force qap.Qap.interp);
+  let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
+  let ctx = comp.Argsys.Argument.r1cs.Constr.R1cs.field in
+  let parts, t_compute =
+    Dompool.Pool.timed_map ~domains:1
+      (fun x ->
+        let w = comp.Argsys.Argument.solve x in
+        let h = Qap.prover_h qap w in
+        (Array.sub w 1 num_z, h))
+      inputs
+  in
+  let _, t_crypto =
+    Dompool.Pool.timed_map ~domains:1
+      (fun (z, h) ->
+        (Commitment.Commit.prover_commit req_z z, Commitment.Commit.prover_commit req_h h))
+      parts
+  in
+  let _, t_answer =
+    Dompool.Pool.timed_map ~domains:1
+      (fun (z, h) -> Pcp.Pcp_zaatar.answer (Pcp.Oracle.honest ctx z h) queries)
+      parts
+  in
+  (t_compute, t_crypto, t_answer)
+
+let run_fig6 cfg =
+  banner "Figure 6: speedups from parallelizing and distributing the prover";
+  Printf.printf
+    "(paper: near-linear speedup with more hardware; GPU crypto offload ~20%%.\n\
+    \ Substitution: cores = domains, GPUs = extra domains for the crypto phase.)\n\n";
+  let cores = Dompool.Pool.num_cores () in
+  Printf.printf "host has %d available cores\n\n" cores;
+  let beta = if cfg.quick then 4 else 8 in
+  let apps = [ Apps.Registry.pam ~scale:cfg.scale; Apps.Registry.apsp ~scale:cfg.scale ] in
+  List.iter
+    (fun (app : Apps.App_def.t) ->
+      let ctx = ctx_of cfg in
+      let prg = Chacha.Prg.create ~seed:("fig6 " ^ app.Apps.App_def.name) () in
+      let compiled = Apps.Glue.compile ctx app in
+      let comp = Apps.Glue.computation_of compiled in
+      let qap = Qap.of_r1cs comp.Argsys.Argument.r1cs in
+      let queries = Pcp.Pcp_zaatar.gen_queries ~params:(protocol cfg) qap prg in
+      let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+      let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
+      let req_z, _ = Commitment.Commit.commit_request ctx grp prg ~len:num_z in
+      let req_h, _ = Commitment.Commit.commit_request ctx grp prg ~len:(qap.Qap.nc + 1) in
+      let inputs =
+        Array.init beta (fun _ -> Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
+      in
+      let wall ~c ~g =
+        prover_batch_wall cfg ~compute_domains:c ~crypto_domains:(c + g) comp qap queries req_z
+          req_h inputs
+      in
+      (* Single-domain run with per-phase times, for the ideal projections
+         (the paper's own "(ideal)" bars). *)
+      let t_compute, t_crypto, t_answer = prover_batch_phases cfg comp qap queries req_z req_h inputs in
+      let base = t_compute +. t_crypto +. t_answer in
+      Printf.printf "%s (batch = %d, 1C latency %s: compute %s, crypto %s, answer %s):\n"
+        app.Apps.App_def.display beta (fmt_s base) (fmt_s t_compute) (fmt_s t_crypto) (fmt_s t_answer);
+      Printf.printf "  %-12s %12s %9s\n" "config" "latency" "speedup";
+      List.iter
+        (fun (label, c, g) ->
+          if c = 1 || (cores > 1 && c + g <= cores) then begin
+            let t = if c = 1 && g = 0 then base else wall ~c ~g in
+            Printf.printf "  %-12s %12s %8.2fx\n%!" label (fmt_s t) (base /. t)
+          end
+          else begin
+            (* Ideal projection: each phase parallelizes over min(domains,
+               batch) independent instances. *)
+            let ideal =
+              (t_compute /. float_of_int (min c beta))
+              +. (t_crypto /. float_of_int (min (c + g) beta))
+              +. (t_answer /. float_of_int (min c beta))
+            in
+            Printf.printf "  %-12s %12s %8.2fx\n%!" (label ^ " (ideal)") (fmt_s ideal) (base /. ideal)
+          end)
+        [ ("1C", 1, 0); ("2C", 2, 0); ("4C", 4, 0); ("2C+2G", 2, 2); ("4C+4G", 4, 4); ("8C+8G", 8, 8) ];
+      if cores = 1 then
+        Printf.printf
+          "  (single-core host: multi-domain rows are ideal projections from the\n\
+          \   measured phase times; the domain pool itself is exercised by the tests)\n")
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* F7: break-even batch sizes                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig7 cfg =
+  banner "Figure 7: break-even batch sizes (Zaatar measured+model, Ginger modeled)";
+  Printf.printf
+    "(paper: Zaatar's break-even batch sizes are several orders of magnitude\n\
+    \ smaller than Ginger's)\n\n";
+  let p = measured_params cfg in
+  Printf.printf "%-28s %16s %16s %14s\n" "computation" "Zaatar (model)" "Ginger (model)" "improvement";
+  List.iter
+    (fun app ->
+      let r = bench_run cfg app in
+      let s = sizes_of_run r in
+      let pz = Costmodel.Model.zaatar_breakeven p (model_protocol cfg) s in
+      let pg = Costmodel.Model.ginger_breakeven p (model_protocol cfg) s in
+      let show = function None -> "never" | Some b -> Printf.sprintf "%d" b in
+      let improvement =
+        match (pz, pg) with
+        | Some bz, Some bg -> Printf.sprintf "%8.1f orders" (log10 (float_of_int bg /. float_of_int bz))
+        | _ -> "-"
+      in
+      Printf.printf "%-28s %16s %16s %14s\n%!" app.Apps.App_def.display (show pz) (show pg) improvement)
+    (Apps.Registry.suite ~scale:cfg.scale ());
+  Printf.printf
+    "\nNote: with native-int local execution and toy input sizes, verification\n\
+     rarely breaks even at all (the paper's baseline executes multiprecision\n\
+     GMP programs at m=20..300). The table below therefore re-evaluates the\n\
+     model at the PAPER'S input sizes, deriving |Z|, |C|, K2 from Figure 9's\n\
+     closed forms and taking the paper's measured local times — with OUR\n\
+     measured operation costs. This is the shape Figure 7 reports.\n\n";
+  let paper_cases =
+    (* name, |Z|g, |C|g, |Z|z, |C|z, |x|, |y|, local seconds (paper Fig. 5/9) *)
+    let pam =
+      let m = 20 and d = 128 in
+      ( "PAM clustering (m=20 d=128)", 20 * m * m * d, 20 * m * m * d, 60 * m * m * d,
+        60 * m * m * d, m * d, m + 2, 51.6e-3 )
+    in
+    let bisect =
+      let m = 256 and l = 8 in
+      ( "root finding (m=256 L=8)", 2 * m * l, 2 * m * l, m * m * l, m * m * l,
+        (m * m) + (2 * m) + 1, 1, 0.8 )
+    in
+    let apsp =
+      let m = 25 in
+      ( "all-pairs s.p. (m=25)", 84 * m * m * m, 89 * m * m * m, 84 * m * m * m, 89 * m * m * m,
+        m * m, m * m, 8.1e-3 )
+    in
+    let fk =
+      let m = 100 and n = 13 in
+      ("Fannkuch (m=100)", 2200 * m, 2200 * m, 2200 * m, 2200 * m, m * n, m + 1, 0.8e-3)
+    in
+    let lcs =
+      let m = 300 in
+      ("LCS (m=300)", 43 * m * m, 43 * m * m, 43 * m * m, 43 * m * m, 2 * m, 1, 1.4e-3)
+    in
+    [ pam; bisect; apsp; fk; lcs ]
+  in
+  let print_paper_table params protocol_p label =
+    Printf.printf "\n-- %s --\n" label;
+    Printf.printf "%-28s %16s %16s %14s\n" "computation (paper size)" "Zaatar" "Ginger" "improvement";
+    List.iter
+      (fun (name, zg, cg, zz, cz, n_x, n_y, t_local) ->
+        let s =
+          {
+            Costmodel.Model.z_ginger = zg;
+            c_ginger = cg;
+            z_zaatar = zz;
+            c_zaatar = cz;
+            k = 3 * cg;
+            k2 = zz - zg;
+            n_x;
+            n_y;
+            t_local;
+          }
+        in
+        let pz = Costmodel.Model.zaatar_breakeven params protocol_p s in
+        let pg = Costmodel.Model.ginger_breakeven params protocol_p s in
+        let show = function None -> "never" | Some b -> Printf.sprintf "%.1e" (float_of_int b) in
+        let improvement =
+          match (pz, pg) with
+          | Some bz, Some bg ->
+            Printf.sprintf "%8.1f orders" (log10 (float_of_int bg /. float_of_int bz))
+          | _ -> "-"
+        in
+        Printf.printf "%-28s %16s %16s %14s\n%!" name (show pz) (show pg) improvement)
+      paper_cases
+  in
+  print_paper_table p (model_protocol cfg) "with OUR measured operation costs";
+  (* The paper's own §5.1 microbenchmark constants, at its rho = 8,
+     rho_lin = 20. *)
+  let paper_constants =
+    {
+      Costmodel.Params.e = 65e-6;
+      d = 170e-6;
+      h = 91e-6;
+      f_lazy = 68e-9;
+      f = 210e-9;
+      f_div = 2e-6;
+      c = 160e-9;
+      field_bits = 128;
+      group_bits = 1024;
+    }
+  in
+  print_paper_table paper_constants { Costmodel.Model.rho = 8; rho_lin = 20 }
+    "with the PAPER'S published operation costs (GMP + 1024-bit ElGamal)"
+
+(* ------------------------------------------------------------------ *)
+(* F8: scalability sweep                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig8 cfg =
+  banner "Figure 8: prover running time, three input sizes per computation";
+  Printf.printf "(paper: Zaatar's prover scales linearly; Ginger's quadratically)\n\n";
+  List.iter
+    (fun (label, sized_apps) ->
+      Printf.printf "%s:\n" label;
+      Printf.printf "  %-16s %10s %12s %14s %12s\n" "size" "|C|zaatar" "Zaatar" "Ginger (est.)" "|u|ginger";
+      List.iter
+        (fun app ->
+          let r = bench_run cfg app in
+          let ginger = ginger_prover_estimate cfg r in
+          Printf.printf "  %-16s %10d %12s %14s %12d\n%!" app.Apps.App_def.params_desc
+            r.stats.Zlang.Compile.c_zaatar (fmt_s r.prover_per_instance) (fmt_s ginger)
+            r.stats.Zlang.Compile.u_ginger)
+        sized_apps;
+      print_newline ())
+    (Apps.Registry.sweep ~scale:cfg.scale ())
+
+(* ------------------------------------------------------------------ *)
+(* F9: computation encodings                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig9 cfg =
+  banner "Figure 9: computation encodings and proof-vector sizes";
+  Printf.printf "%-28s %-12s %9s %9s %9s %9s %12s %12s %8s\n" "computation" "O(.)" "|Z|ging"
+    "|Z|zaat" "|C|ging" "|C|zaat" "|u|ginger" "|u|zaatar" "K2";
+  List.iter
+    (fun (_, sized_apps) ->
+      List.iter
+        (fun (app : Apps.App_def.t) ->
+          let s = compiled_stats cfg app in
+          Printf.printf "%-16s %-11s %-12s %9d %9d %9d %9d %12d %12d %8d\n%!"
+            app.Apps.App_def.display app.Apps.App_def.params_desc app.Apps.App_def.big_o
+            s.Zlang.Compile.z_ginger s.Zlang.Compile.z_zaatar s.Zlang.Compile.c_ginger
+            s.Zlang.Compile.c_zaatar s.Zlang.Compile.u_ginger s.Zlang.Compile.u_zaatar
+            s.Zlang.Compile.k2)
+        sized_apps)
+    (Apps.Registry.sweep ~scale:cfg.scale ());
+  Printf.printf "\n(for all computations, Zaatar's proof vector is far shorter than Ginger's;\n\
+                 bisection has the densest K2, its Ginger encoding being unusually concise)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Baseline validation: Ginger measured end-to-end at tiny scale        *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper can only *estimate* Ginger at evaluation sizes. At tiny sizes
+   we can actually run it (quadratic proof vector and all), giving a
+   measured-vs-measured Zaatar/Ginger point and an empirical check of the
+   Ginger column of Figure 3. *)
+let run_baseline cfg =
+  banner "Baseline validation: Ginger argument measured end-to-end (tiny sizes)";
+  let ctx = ctx_of cfg in
+  (* Chosen so that the witness holds near-full-width field values (the
+     homomorphic-op cost is exponent-size dependent) and so that Ginger
+     really has unbound variables: iterated squaring forces
+     materialization. *)
+  let sources =
+    [
+      ("iterated squaring (8 lanes)",
+       "computation qmap(input int24 x[8], output int64 y) {\n\
+        \  var int64 s = 0;\n\
+        \  for i in 0..8 {\n\
+        \    var int64 t = x[i] + 1;\n\
+        \    t = t * t;\n\
+        \    t = t * t;\n\
+        \    s = s + t;\n\
+        \  }\n\
+        \  y = s;\n\
+        }",
+       Array.init 8 (fun i -> (1 lsl 19) + (7919 * (i + 1))));
+      ("polynomial eval (deg 8, Horner)",
+       "computation horner(input int12 c[9], input int12 x, output int64 y) {\n\
+        \  var int64 acc = 0;\n\
+        \  for i in 0..9 { acc = acc * x + c[i]; }\n\
+        \  y = acc;\n\
+        }",
+       Array.append (Array.init 9 (fun i -> 1000 + (17 * i))) [| 2019 |]);
+    ]
+  in
+  let p = measured_params cfg in
+  Printf.printf "%-32s %12s %14s %14s %12s\n" "computation" "|u|ginger" "Ginger meas."
+    "Ginger model" "Zaatar meas.";
+  List.iter
+    (fun (label, src, raw_inputs) ->
+      let compiled = Zlang.Compile.compile ~ctx src in
+      let stats = Zlang.Compile.stats compiled in
+      let prg = Chacha.Prg.create ~seed:("baseline " ^ label) () in
+      let x = Array.map (Fp.of_int ctx) raw_inputs in
+      (* Ginger, measured. *)
+      let gcomp =
+        {
+          Argsys.Argument_ginger.ginger = compiled.Zlang.Compile.ginger;
+          num_inputs = compiled.Zlang.Compile.num_inputs;
+          num_outputs = compiled.Zlang.Compile.num_outputs;
+          solve = compiled.Zlang.Compile.solve_ginger;
+        }
+      in
+      let gconfig =
+        {
+          Argsys.Argument_ginger.params = { Pcp.Pcp_ginger.rho = cfg.rho; rho_lin = cfg.rho_lin };
+          p_bits = cfg.p_bits;
+          cheat = false;
+        }
+      in
+      let gres = Argsys.Argument_ginger.run_instance ~config:gconfig gcomp ~prg ~x in
+      if not gres.Argsys.Argument_ginger.accepted then failwith (label ^ ": ginger run rejected");
+      let ginger_measured = Argsys.Metrics.total gres.Argsys.Argument_ginger.prover in
+      (* Ginger, modeled at the same sizes. *)
+      let sizes =
+        Costmodel.Model.sizes_of_stats stats ~n_x:compiled.Zlang.Compile.num_inputs
+          ~n_y:compiled.Zlang.Compile.num_outputs ~t_local:1e-6
+      in
+      let ginger_model = (Costmodel.Model.ginger_prover p (model_protocol cfg) sizes).Costmodel.Model.total_p in
+      (* Zaatar, measured on the same computation. *)
+      let zcomp = Apps.Glue.computation_of compiled in
+      let zconfig =
+        { Argsys.Argument.params = protocol cfg; p_bits = cfg.p_bits; strategy = Argsys.Argument.Honest }
+      in
+      let zres = Argsys.Argument.run_batch ~config:zconfig zcomp ~prg ~inputs:[| x |] in
+      if not (Argsys.Argument.all_accepted zres) then failwith (label ^ ": zaatar run rejected");
+      let zaatar_measured = Argsys.Metrics.total zres.Argsys.Argument.prover in
+      Printf.printf "%-32s %12d %14s %14s %12s\n%!" label stats.Zlang.Compile.u_ginger
+        (fmt_s ginger_measured) (fmt_s ginger_model) (fmt_s zaatar_measured))
+    sources;
+  Printf.printf
+    "\n(the measured Ginger cost lands within a small factor of the Figure 3\n\
+     Ginger model at identical sizes — the empirical anchor for every\n\
+     estimated comparison; even at |Z| of a few dozen the quadratic proof\n\
+     vector already puts Ginger a few-fold behind Zaatar, a gap that grows\n\
+     linearly in |Z| from here)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Soundness (Appendix A.2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_soundness cfg =
+  banner "Appendix A.2: soundness parameters and empirical rejection rates";
+  Printf.printf "paper parameters: delta = 0.0294, rho_lin = 20, kappa = 0.177, rho = 8\n";
+  Printf.printf "soundness error bound: kappa^rho = 0.177^8 = %.2e  (< 9.6e-7)\n\n" (0.177 ** 8.0);
+  let trials = if cfg.quick then 50 else 200 in
+  let ctx = ctx_of cfg in
+  (* A deliberately small computation: the per-repetition rejection
+     probability of the algebraic tests is 1 - O(|C|/|F|) regardless of
+     circuit size, and a tiny circuit lets us afford many independent
+     protocol runs. Single-repetition PCP so that the *per-repetition*
+     rate is what is measured. *)
+  let compiled =
+    Zlang.Compile.compile ~ctx
+      "computation sq3(input int32 x, input int32 w, output int32 y) { y = x*x + w*w + 3; }"
+  in
+  let comp = Apps.Glue.computation_of compiled in
+  let app_inputs prg = [| Chacha.Prg.int_below prg 10000; Chacha.Prg.int_below prg 10000 |] in
+  let strategies =
+    [
+      (Argsys.Argument.Wrong_output, "wrong output");
+      (Argsys.Argument.Corrupt_witness, "corrupt witness");
+      (Argsys.Argument.Corrupt_h, "corrupt H");
+      (Argsys.Argument.Equivocate, "equivocation");
+      (Argsys.Argument.Nonlinear, "non-linear oracle");
+    ]
+  in
+  Printf.printf "empirical rejection at rho = 1, rho_lin = 2 (%d trials each):\n" trials;
+  List.iter
+    (fun (strategy, label) ->
+      let rejected = ref 0 in
+      for i = 1 to trials do
+        let prg = Chacha.Prg.create ~seed:(Printf.sprintf "sound %s %d" label i) () in
+        let inputs = [| Apps.Glue.field_inputs ctx (app_inputs prg) |] in
+        let config =
+          { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy }
+        in
+        let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+        if Argsys.Argument.none_accepted r then incr rejected
+      done;
+      Printf.printf "  %-22s %4d/%d rejected (%.1f%%)\n%!" label !rejected trials
+        (100.0 *. float_of_int !rejected /. float_of_int trials))
+    strategies;
+  (* Honest completeness at the same parameters. *)
+  let accepted = ref 0 in
+  let honest_trials = max 10 (trials / 10) in
+  for i = 1 to honest_trials do
+    let prg = Chacha.Prg.create ~seed:(Printf.sprintf "sound honest %d" i) () in
+    let inputs = [| Apps.Glue.field_inputs ctx (app_inputs prg) |] in
+    let config =
+      { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Argsys.Argument.Honest }
+    in
+    let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+    if Argsys.Argument.all_accepted r then incr accepted
+  done;
+  Printf.printf "  %-22s %4d/%d accepted (completeness must be 100%%)\n" "honest prover" !accepted honest_trials
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (design choices called out in DESIGN.md)                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_ablation cfg =
+  banner "Ablations: substrate algorithm choices";
+  let ctx = ctx_of cfg in
+  let prg = Chacha.Prg.create ~seed:"ablation" () in
+  let reps = if cfg.quick then 3 else 10 in
+  let bench label f =
+    let _, t = time_thunk (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    Printf.printf "  %-46s %10s\n%!" label (fmt_s (t /. float_of_int reps))
+  in
+  Printf.printf "polynomial multiplication (degree 1023, 127-bit field):\n";
+  let a = Polylib.Poly.random ctx prg 1023 and b = Polylib.Poly.random ctx prg 1023 in
+  bench "schoolbook" (fun () -> Polylib.Poly.mul_schoolbook ctx a b);
+  bench "karatsuba (production path)" (fun () -> Polylib.Poly.mul ctx a b);
+  let fr = Fp.create Primes.bls12_381_fr in
+  let ntt = Polylib.Ntt.create fr in
+  let a' = Polylib.Poly.random fr prg 1023 and b' = Polylib.Poly.random fr prg 1023 in
+  bench "karatsuba (255-bit NTT-friendly field)" (fun () -> Polylib.Poly.mul fr a' b');
+  bench "NTT (roots of unity, modern sigma choice)" (fun () -> Polylib.Ntt.mul ntt a' b');
+  Printf.printf "\npolynomial division (degree 2046 by degree 1023):\n";
+  let big = Polylib.Poly.mul ctx a b in
+  bench "schoolbook long division" (fun () -> Polylib.Poly.div_rem ctx big a);
+  bench "Newton iteration (production path)" (fun () -> Polylib.Poly.div_rem_fast ctx big a);
+  Printf.printf "\nfield inversion (127-bit field):\n";
+  let xs = Array.init 256 (fun _ -> Chacha.Prg.field_nonzero ctx prg) in
+  bench "extended Euclid x256 (production path)" (fun () -> Array.map (Fp.inv ctx) xs);
+  bench "Fermat exponentiation x256" (fun () -> Array.map (Fp.inv_fermat ctx) xs);
+  bench "batch inversion x256 (query weights path)" (fun () -> Fp.batch_inv ctx xs);
+  Printf.printf "\ngroup exponentiation (%d-bit modulus, 127-bit exponents):\n" cfg.p_bits;
+  let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+  let exps = Array.init 16 (fun _ -> Fp.to_nat (Chacha.Prg.field ctx prg)) in
+  bench "Montgomery ladder (production path)" (fun () ->
+      Array.map (Zcrypto.Group.pow grp grp.Zcrypto.Group.g) exps);
+  bench "Barrett ladder" (fun () ->
+      Array.map (Zcrypto.Group.pow_barrett grp grp.Zcrypto.Group.g) exps);
+  Printf.printf "\nprover H(t) pipeline at |C| = 511 (interpolate, multiply, divide):\n";
+  (* Over the NTT-friendly field so the two sigma_j choices are compared
+     like for like: the paper's arithmetic progression + subproduct trees
+     vs. roots of unity + NTT. *)
+  let sys, w = random_r1cs_for_h fr 511 in
+  let qap = Qap.of_r1cs sys in
+  ignore (Lazy.force qap.Qap.divisor);
+  ignore (Lazy.force qap.Qap.interp);
+  bench "sigma_j = j, subproduct trees (paper, §A.3)" (fun () -> Qap.prover_h qap w);
+  let qntt = Qap_ntt.of_r1cs sys in
+  bench "sigma_j = roots of unity, NTT (modern)" (fun () -> Qap_ntt.prover_h qntt w)
+
+and random_r1cs_for_h ctx nc =
+  let prg = Chacha.Prg.create ~seed:"hbench" () in
+  let n = nc in
+  let w = Array.init (n + 1) (fun i -> if i = 0 then Fp.one else Chacha.Prg.field ctx prg) in
+  let constraints =
+    Array.init nc (fun _ ->
+        let rand_row () =
+          let t = ref Constr.Lincomb.zero in
+          for _ = 0 to 2 do
+            t :=
+              Constr.Lincomb.add_term ctx !t
+                (Chacha.Prg.int_below prg (n + 1))
+                (Chacha.Prg.field ctx prg)
+          done;
+          !t
+        in
+        let a = rand_row () and b = rand_row () and c0 = rand_row () in
+        let target = Fp.mul ctx (Constr.Lincomb.eval ctx a w) (Constr.Lincomb.eval ctx b w) in
+        let fix = Fp.sub ctx target (Constr.Lincomb.eval ctx c0 w) in
+        { Constr.R1cs.a; b; c = Constr.Lincomb.add_term ctx c0 0 fix })
+  in
+  ({ Constr.R1cs.field = ctx; num_vars = n; num_z = n / 2; constraints }, w)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation]\n\
+    \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick]";
+  exit 2
+
+let () =
+  let cfg = ref default_cfg in
+  let targets = ref [] in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      cfg := { !cfg with scale = int_of_string v };
+      parse rest
+    | "--batch" :: v :: rest ->
+      cfg := { !cfg with batch = int_of_string v };
+      parse rest
+    | "--pbits" :: v :: rest ->
+      cfg := { !cfg with p_bits = int_of_string v };
+      parse rest
+    | "--paper-params" :: rest ->
+      cfg := { !cfg with rho = 8; rho_lin = 20; p_bits = 1024 };
+      parse rest
+    | "--quick" :: rest ->
+      cfg := { !cfg with quick = true };
+      parse rest
+    | t :: rest when String.length t > 0 && t.[0] <> '-' ->
+      targets := t :: !targets;
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let targets = if !targets = [] then [ "all" ] else List.rev !targets in
+  let cfg = !cfg in
+  Printf.printf
+    "zaatar bench: field = %d bits, rho = %d, rho_lin = %d, group = %d bits, batch = %d, scale = %d\n"
+    (Nat.num_bits cfg.field) cfg.rho cfg.rho_lin cfg.p_bits cfg.batch cfg.scale;
+  let run = function
+    | "micro" -> run_micro cfg
+    | "bechamel" -> run_bechamel cfg
+    | "model" -> run_model cfg
+    | "fig4" -> run_fig4 cfg
+    | "fig5" -> run_fig5 cfg
+    | "fig6" -> run_fig6 cfg
+    | "fig7" -> run_fig7 cfg
+    | "fig8" -> run_fig8 cfg
+    | "fig9" -> run_fig9 cfg
+    | "baseline" -> run_baseline cfg
+    | "soundness" -> run_soundness cfg
+    | "ablation" -> run_ablation cfg
+    | "all" ->
+      run_micro cfg;
+      run_bechamel cfg;
+      run_fig9 cfg;
+      run_model cfg;
+      run_fig4 cfg;
+      run_fig5 cfg;
+      run_fig7 cfg;
+      run_fig8 cfg;
+      run_fig6 cfg;
+      run_baseline cfg;
+      run_soundness cfg;
+      run_ablation cfg
+    | t ->
+      Printf.eprintf "unknown experiment %S\n" t;
+      usage ()
+  in
+  List.iter run targets;
+  print_newline ()

@@ -1,0 +1,202 @@
+(* The zaatar command-line interface.
+
+     zaatar compile FILE.zl              constraint/proof encoding statistics
+     zaatar run FILE.zl -i 1,2,3 ...     compile, prove and verify a batch
+     zaatar bench NAME [--scale N]       one built-in benchmark, end to end
+     zaatar selftest                     differential checks of all benchmarks
+     zaatar check SYS.r1cs WITNESS       check a serialized witness
+     zaatar micro [--field-bits N]       the section-5.1 microbenchmark row *)
+
+open Fieldlib
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let field_of_bits = function
+  | 61 -> Primes.p61
+  | 89 -> Primes.p89
+  | 127 -> Primes.p127
+  | 128 -> Primes.p128 ()
+  | 192 -> Primes.p192 ()
+  | 220 -> Primes.p220 ()
+  | bits -> Primes.first_prime_with_bits bits
+
+let field_bits_arg =
+  let doc = "Field modulus size in bits (61, 127, 128, 192, 220, ...)." in
+  Arg.(value & opt int 127 & info [ "field-bits" ] ~doc)
+
+let print_stats (c : Zlang.Compile.compiled) =
+  let s = Zlang.Compile.stats c in
+  Printf.printf "computation %S: %d input(s), %d output(s)\n" c.Zlang.Compile.name
+    c.Zlang.Compile.num_inputs c.Zlang.Compile.num_outputs;
+  Printf.printf "  %-28s %10s %10s\n" "" "Ginger" "Zaatar";
+  Printf.printf "  %-28s %10d %10d\n" "variables |Z|" s.Zlang.Compile.z_ginger s.Zlang.Compile.z_zaatar;
+  Printf.printf "  %-28s %10d %10d\n" "constraints |C|" s.Zlang.Compile.c_ginger s.Zlang.Compile.c_zaatar;
+  Printf.printf "  %-28s %10d %10d\n" "proof vector |u|" s.Zlang.Compile.u_ginger s.Zlang.Compile.u_zaatar;
+  Printf.printf "  %-28s %10d %10d\n" "additive terms K / K2" s.Zlang.Compile.k s.Zlang.Compile.k2
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.zl") in
+  let emit =
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"OUT.r1cs" ~doc:"Write the quadratic-form constraint system to a file.")
+  in
+  let run file bits emit =
+    let ctx = Fp.create (field_of_bits bits) in
+    let compiled = Zlang.Compile.compile ~ctx (read_file file) in
+    print_stats compiled;
+    match emit with
+    | None -> ()
+    | Some out ->
+      let oc = open_out out in
+      output_string oc (Constr.Serialize.system_to_string (Zlang.Compile.zaatar_r1cs compiled));
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a ZL program and print encoding statistics")
+    Term.(const run $ file $ field_bits_arg $ emit)
+
+let parse_inputs s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun x -> int_of_string (String.trim x))
+  |> Array.of_list
+
+let protocol_args =
+  let rho = Arg.(value & opt int 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
+  let rho_lin = Arg.(value & opt int 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
+  let pbits = Arg.(value & opt int 256 & info [ "pbits" ] ~doc:"ElGamal group size in bits (paper: 1024).") in
+  Term.(
+    const (fun rho rho_lin pbits ->
+        { Argsys.Argument.params = { Pcp.Pcp_zaatar.rho; rho_lin }; p_bits = pbits; strategy = Argsys.Argument.Honest })
+    $ rho $ rho_lin $ pbits)
+
+let report_batch ctx (result : Argsys.Argument.batch_result) =
+  Array.iteri
+    (fun i (inst : Argsys.Argument.instance_result) ->
+      let outs =
+        Array.to_list inst.Argsys.Argument.claimed_output
+        |> List.map (fun e ->
+               match Fp.to_signed_int ctx e with Some n -> string_of_int n | None -> Fp.to_string e)
+        |> String.concat ","
+      in
+      Printf.printf "instance %d: outputs [%s]  %s\n" i outs
+        (if inst.Argsys.Argument.accepted then "verified" else "REJECTED"))
+    result.Argsys.Argument.instances;
+  Printf.printf "\nprover phases:\n%s" (Format.asprintf "%a" Argsys.Metrics.pp result.Argsys.Argument.prover);
+  Printf.printf "verifier setup: %.3fs, per-instance total: %.3fs\n"
+    result.Argsys.Argument.verifier_setup_s result.Argsys.Argument.verifier_per_instance_s;
+  if Argsys.Argument.all_accepted result then 0 else 1
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.zl") in
+  let inputs =
+    Arg.(non_empty & opt_all string [] & info [ "i"; "input" ] ~doc:"Comma-separated input vector (one per batch instance).")
+  in
+  let emit_witness =
+    Arg.(value & opt (some string) None
+         & info [ "emit-witness" ] ~docv:"PREFIX"
+             ~doc:"Also write each instance's satisfying assignment to PREFIX.<i> (checkable with `zaatar check`).")
+  in
+  let run file bits inputs emit_witness config =
+    let ctx = Fp.create (field_of_bits bits) in
+    let compiled = Zlang.Compile.compile ~ctx (read_file file) in
+    print_stats compiled;
+    print_newline ();
+    let comp = Apps.Glue.computation_of compiled in
+    let batch =
+      Array.of_list (List.map (fun s -> Apps.Glue.field_inputs ctx (parse_inputs s)) inputs)
+    in
+    (match emit_witness with
+    | None -> ()
+    | Some prefix ->
+      Array.iteri
+        (fun i x ->
+          let w = compiled.Zlang.Compile.solve_zaatar x in
+          let path = Printf.sprintf "%s.%d" prefix i in
+          let oc = open_out path in
+          output_string oc (Constr.Serialize.assignment_to_string ctx w);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        batch);
+    let prg = Chacha.Prg.create ~seed:"zaatar cli" () in
+    exit (report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile a ZL program, prove and verify a batch of instances")
+    Term.(const run $ file $ field_bits_arg $ inputs $ emit_witness $ protocol_args)
+
+let bench_cmd =
+  let bname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"pam | bisection | apsp | fannkuch | lcs") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Input-size multiplier.") in
+  let batch = Arg.(value & opt int 2 & info [ "batch" ] ~doc:"Batch size.") in
+  let run name scale batch bits config =
+    let ctx = Fp.create (field_of_bits bits) in
+    let app = Apps.Registry.by_name name ~scale in
+    Printf.printf "benchmark %s (%s)\n" app.Apps.App_def.display app.Apps.App_def.params_desc;
+    let compiled = Apps.Glue.compile ctx app in
+    print_stats compiled;
+    print_newline ();
+    let comp = Apps.Glue.computation_of compiled in
+    let prg = Chacha.Prg.create ~seed:("cli bench " ^ name) () in
+    let inputs =
+      Array.init batch (fun _ -> Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
+    in
+    exit (report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs))
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
+    Term.(const run $ bname $ scale $ batch $ field_bits_arg $ protocol_args)
+
+let selftest_cmd =
+  let run bits =
+    let ctx = Fp.create (field_of_bits bits) in
+    let prg = Chacha.Prg.create ~seed:"selftest" () in
+    List.iter
+      (fun (app : Apps.App_def.t) ->
+        Printf.printf "%-28s (%s) ... %!" app.Apps.App_def.display app.Apps.App_def.params_desc;
+        ignore (Apps.Glue.differential_check ~trials:3 ctx app prg);
+        print_endline "ok")
+      (Apps.Registry.suite ());
+    print_endline "all benchmarks match their native references"
+  in
+  Cmd.v (Cmd.info "selftest" ~doc:"Differential-check every benchmark against its native reference")
+    Term.(const run $ field_bits_arg)
+
+let check_cmd =
+  let sys_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"SYSTEM.r1cs") in
+  let wit_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"WITNESS") in
+  let run sys_file wit_file =
+    let sys = Constr.Serialize.system_of_string (read_file sys_file) in
+    let _wctx, w = Constr.Serialize.assignment_of_string (read_file wit_file) in
+    let ctx = sys.Constr.R1cs.field in
+    match Constr.R1cs.first_violation ctx sys w with
+    | None ->
+      Printf.printf "OK: %d constraints over %d variables satisfied\n"
+        (Constr.R1cs.num_constraints sys) sys.Constr.R1cs.num_vars
+    | Some j ->
+      Printf.printf "FAIL: constraint %d violated\n" j;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a serialized assignment against a serialized constraint system")
+    Term.(const run $ sys_file $ wit_file)
+
+let micro_cmd =
+  let pbits = Arg.(value & opt int 512 & info [ "pbits" ] ~doc:"ElGamal group size in bits.") in
+  let iters = Arg.(value & opt int 1000 & info [ "iters" ] ~doc:"Iterations per operation.") in
+  let run bits pbits iters =
+    let field = field_of_bits bits in
+    let ctx = Fp.create field in
+    let grp = Zcrypto.Group.cached ~field_order:field ~p_bits:pbits () in
+    let m = Costmodel.Params.measure ~iters ctx grp in
+    Format.printf "%a@." Costmodel.Params.pp_row m
+  in
+  Cmd.v (Cmd.info "micro" ~doc:"Measure the section-5.1 microbenchmark parameters")
+    Term.(const run $ field_bits_arg $ pbits $ iters)
+
+let () =
+  let info = Cmd.info "zaatar" ~doc:"Verified computation with QAP-based linear PCPs (EuroSys'13)" in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd ]))

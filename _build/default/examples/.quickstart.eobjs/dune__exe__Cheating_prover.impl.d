@@ -1,0 +1,1 @@
+examples/cheating_prover.ml: Apps Argsys Array Chacha Fieldlib Fp List Pcp Primes Printf Zlang

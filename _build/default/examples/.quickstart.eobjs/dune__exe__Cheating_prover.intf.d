@@ -1,0 +1,1 @@
+examples/cheating_prover.mli:

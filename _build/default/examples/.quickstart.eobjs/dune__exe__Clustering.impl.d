@@ -1,0 +1,1 @@
+examples/clustering.ml: Apps Argsys Array Chacha Fieldlib Fp Pcp Primes Printf Zlang

@@ -1,0 +1,1 @@
+examples/fixed_point.ml: Apps Argsys Array Chacha Fieldlib Fp Pcp Primes Printf Zlang

@@ -1,0 +1,1 @@
+examples/fixed_point.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Argsys Array Chacha Fieldlib Format Fp Pcp Primes Printf Zlang

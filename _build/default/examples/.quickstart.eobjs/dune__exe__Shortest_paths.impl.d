@@ -1,0 +1,1 @@
+examples/shortest_paths.ml: Apps Argsys Array Chacha Fieldlib Fp Pcp Primes Printf Unix

@@ -1,0 +1,1 @@
+examples/shortest_paths.mli:

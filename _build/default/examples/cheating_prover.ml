@@ -1,0 +1,72 @@
+(* What the verifier's tests actually catch: run the same batch against the
+   gallery of cheating provers from the adversarial suite and show which
+   test fires (linearity, divisibility correction, or the commitment's
+   consistency check).
+
+     dune exec examples/cheating_prover.exe *)
+
+open Fieldlib
+
+let source =
+  {|
+computation payroll(input int32 hours[4], input int32 rate, output int32 total) {
+  var int32 acc = 0;
+  for i in 0..4 {
+    var int32 h = hours[i];
+    if (h > 40) { h = 40 + (h - 40) * 2; }   // overtime at double pay
+    acc = acc + h * rate;
+  }
+  total = acc;
+}
+|}
+
+let describe (inst : Argsys.Argument.instance_result) =
+  if inst.Argsys.Argument.accepted then "ACCEPTED"
+  else if not inst.Argsys.Argument.commit_ok then "rejected: commitment consistency check"
+  else
+    match inst.Argsys.Argument.pcp_verdict with
+    | Pcp.Pcp_zaatar.Accept -> "rejected: (commitment only)"
+    | Pcp.Pcp_zaatar.Reject_linearity k -> Printf.sprintf "rejected: linearity test (repetition %d)" k
+    | Pcp.Pcp_zaatar.Reject_divisibility k ->
+      Printf.sprintf "rejected: divisibility correction test (repetition %d)" k
+
+let () =
+  let ctx = Fp.create Primes.p127 in
+  let compiled = Zlang.Compile.compile ~ctx source in
+  let comp = Apps.Glue.computation_of compiled in
+  Printf.printf "== A gallery of cheating provers ==\n\n";
+  Printf.printf "computation: weekly payroll with overtime (4 employees)\n\n";
+  let strategies =
+    [
+      (Argsys.Argument.Honest, "honest prover");
+      (Argsys.Argument.Wrong_output, "claims a wrong total");
+      (Argsys.Argument.Corrupt_witness, "corrupts the satisfying assignment");
+      (Argsys.Argument.Corrupt_h, "corrupts the quotient polynomial H");
+      (Argsys.Argument.Equivocate, "answers queries from a different proof than committed");
+      (Argsys.Argument.Nonlinear, "simulates a non-linear proof oracle");
+    ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (strategy, label) ->
+      let prg = Chacha.Prg.create ~seed:("cheat " ^ label) () in
+      let inputs = [| Apps.Glue.field_inputs ctx [| 38; 45; 40; 52; 31 |] |] in
+      let config =
+        {
+          Argsys.Argument.test_config with
+          Argsys.Argument.strategy;
+          params = { Pcp.Pcp_zaatar.rho = 2; rho_lin = 5 };
+        }
+      in
+      let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+      let inst = result.Argsys.Argument.instances.(0) in
+      Printf.printf "%-55s %s\n" label (describe inst);
+      let should_accept = strategy = Argsys.Argument.Honest in
+      if inst.Argsys.Argument.accepted <> should_accept then ok := false)
+    strategies;
+  print_newline ();
+  if !ok then print_endline "Every cheat was caught; the honest prover was accepted."
+  else begin
+    print_endline "UNEXPECTED verdict above!";
+    exit 1
+  end

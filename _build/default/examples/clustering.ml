@@ -1,0 +1,46 @@
+(* Verified PAM clustering (the paper's benchmark (a)): a client outsources
+   medoid selection over a small point set and checks the result.
+
+     dune exec examples/clustering.exe *)
+
+open Fieldlib
+
+let m = 5 (* points *)
+let d = 2 (* dimensions *)
+
+let () =
+  let ctx = Fp.create Primes.p127 in
+  let app = Apps.Pam.app ~m ~d in
+  Printf.printf "== Verified PAM clustering (m = %d points, d = %d) ==\n\n" m d;
+  let compiled = Apps.Glue.compile ctx app in
+  let stats = Zlang.Compile.stats compiled in
+  Printf.printf "constraint encoding: Ginger |C| = %d, Zaatar |C| = %d, K2 = %d\n"
+    stats.Zlang.Compile.c_ginger stats.Zlang.Compile.c_zaatar stats.Zlang.Compile.k2;
+  Printf.printf "proof vectors: Ginger %d vs Zaatar %d entries\n\n" stats.Zlang.Compile.u_ginger
+    stats.Zlang.Compile.u_zaatar;
+  let comp = Apps.Glue.computation_of compiled in
+  let prg = Chacha.Prg.create ~seed:"clustering example" () in
+  let raw = app.Apps.App_def.gen_inputs prg in
+  Printf.printf "points:\n";
+  for i = 0 to m - 1 do
+    Printf.printf "  p%d = (%d, %d)\n" i raw.((i * d)) raw.((i * d) + 1)
+  done;
+  let config =
+    { Argsys.Argument.test_config with Argsys.Argument.params = { Pcp.Pcp_zaatar.rho = 2; rho_lin = 5 } }
+  in
+  let result =
+    Argsys.Argument.run_batch ~config comp ~prg ~inputs:[| Apps.Glue.field_inputs ctx raw |]
+  in
+  let inst = result.Argsys.Argument.instances.(0) in
+  if not inst.Argsys.Argument.accepted then begin
+    print_endline "verification failed!";
+    exit 1
+  end;
+  let out = Apps.Glue.int_outputs ctx inst.Argsys.Argument.claimed_output in
+  Printf.printf "\nverified result: medoids p%d and p%d\n" out.(0) out.(1);
+  for i = 0 to m - 1 do
+    Printf.printf "  p%d -> cluster %d\n" i out.(2 + i)
+  done;
+  let expected = app.Apps.App_def.native raw in
+  assert (expected = out);
+  print_endline "\n(the server's answer matches local recomputation, and the proof verified)"

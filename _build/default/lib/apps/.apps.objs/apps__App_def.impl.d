@@ -1,0 +1,1 @@
+lib/apps/app_def.ml: Chacha

@@ -1,0 +1,1 @@
+lib/apps/apsp.ml: App_def Array Buffer Chacha Printf

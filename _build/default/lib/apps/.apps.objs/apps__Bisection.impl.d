@@ -1,0 +1,1 @@
+lib/apps/bisection.ml: App_def Array Buffer Chacha Printf

@@ -1,0 +1,1 @@
+lib/apps/fannkuch.ml: App_def Array Buffer Chacha List Printf

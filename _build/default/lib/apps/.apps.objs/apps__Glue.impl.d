@@ -1,0 +1,1 @@
+lib/apps/glue.ml: App_def Argsys Array Constr Fieldlib Fp Printf String Zlang

@@ -1,0 +1,1 @@
+lib/apps/lcs.ml: App_def Array Buffer Chacha Printf

@@ -1,0 +1,1 @@
+lib/apps/pam.ml: App_def Array Buffer Chacha Printf

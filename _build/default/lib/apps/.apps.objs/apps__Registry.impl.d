@@ -1,0 +1,1 @@
+lib/apps/registry.ml: App_def Apsp Bisection Fannkuch Lcs Pam Printf

@@ -1,0 +1,19 @@
+(* A benchmark computation (§5.1): a size-parameterized ZL source, an input
+   generator, and a native OCaml reference implementation. The native code
+   is both the differential-testing oracle and the "local execution"
+   baseline the evaluation compares against (Figures 5 and 7). *)
+
+type t = {
+  name : string; (* e.g. "pam" *)
+  display : string; (* e.g. "PAM clustering" *)
+  params_desc : string; (* e.g. "m=6 d=4" *)
+  source : string; (* ZL program *)
+  num_inputs : int;
+  gen_inputs : Chacha.Prg.t -> int array;
+  native : int array -> int array;
+  big_o : string; (* the O(.) column of Figure 9 *)
+}
+
+let run_native app prg =
+  let inputs = app.gen_inputs prg in
+  (inputs, app.native inputs)

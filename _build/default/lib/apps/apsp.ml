@@ -1,0 +1,49 @@
+(* Floyd-Warshall all-pairs shortest paths (§5.1(c)): the classic O(m^3)
+   triple loop; every relaxation is a comparison gadget plus a mux. *)
+
+let inf = 1 lsl 14 (* "no edge" marker; path sums stay below 2^20 *)
+
+let source ~m =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "computation apsp(input int16 adj[%d], output int32 dst[%d]) {\n" (m * m) (m * m);
+  pf "  var int32 d[%d];\n" (m * m);
+  pf "  for i in 0..%d { d[i] = adj[i]; }\n" (m * m);
+  pf "  for k in 0..%d { for i in 0..%d { for j in 0..%d {\n" m m m;
+  pf "    var int32 alt = d[i*%d+k] + d[k*%d+j];\n" m m;
+  pf "    if (alt < d[i*%d+j]) { d[i*%d+j] = alt; }\n" m m;
+  pf "  } } }\n";
+  pf "  for i in 0..%d { dst[i] = d[i]; }\n" (m * m);
+  pf "}\n";
+  Buffer.contents b
+
+let native ~m inputs =
+  let d = Array.copy inputs in
+  for k = 0 to m - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        let alt = d.((i * m) + k) + d.((k * m) + j) in
+        if alt < d.((i * m) + j) then d.((i * m) + j) <- alt
+      done
+    done
+  done;
+  d
+
+let gen_inputs ~m prg =
+  Array.init (m * m) (fun idx ->
+      let i = idx / m and j = idx mod m in
+      if i = j then 0
+      else if Chacha.Prg.int_below prg 100 < 40 then 1 + Chacha.Prg.int_below prg 100
+      else inf)
+
+let app ~m : App_def.t =
+  {
+    App_def.name = "apsp";
+    display = "all-pairs shortest path";
+    params_desc = Printf.sprintf "m=%d" m;
+    source = source ~m;
+    num_inputs = m * m;
+    gen_inputs = gen_inputs ~m;
+    native = native ~m;
+    big_o = "O(m^3)";
+  }

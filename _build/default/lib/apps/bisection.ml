@@ -1,0 +1,78 @@
+(* Root finding via bisection (§5.1(b)): L bisection iterations, each
+   evaluating a dense degree-2 polynomial in m variables at the current
+   point of a line x = a + t*b.
+
+   F(t) = sum_ij Q_ij x_i x_j + M*t, with M large enough to make F strictly
+   increasing in t over [0, 2^L); the circuit binary-searches the largest t
+   with F(t) <= target. Inputs are generated so that target = F(r) for a
+   random r, whose recovery is the correctness check.
+
+   This is the paper's near-degenerate case for Zaatar: every iteration
+   contributes ~m^2 distinct degree-2 terms but only ~2m fresh variables, so
+   K2 is large relative to |Z_ginger| and the Ginger encoding is unusually
+   concise (Figure 9's m^2 L vs 2mL; discussed in §4 and §5.2). *)
+
+(* Monotonicity slack: |quad part| <= m^2 * 127 * (127 + 2^L*127)^2; for the
+   sizes we run (m <= 16, L <= 10) 2^52 is a safe dominating slope. *)
+let m_const = 1 lsl 52
+
+let source ~m ~l =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "computation bisect(input int8 q[%d], input int8 a[%d], input int8 bb[%d], input int64 target, output int64 root) {\n" (m * m) m m;
+  pf "  var int64 t = 0;\n";
+  for k = l - 1 downto 0 do
+    (* Names are suffixed per unrolled iteration (ZL has no bare blocks). *)
+    pf "  var int64 tc%d = t + %d;\n" k (1 lsl k);
+    pf "  var int64 f%d = %d * tc%d;\n" k m_const k;
+    pf "  var int64 xx%d[%d];\n" k m;
+    pf "  for i in 0..%d { xx%d[i] = a[i] + tc%d * bb[i]; }\n" m k k;
+    pf "  for i in 0..%d { for j in 0..%d { f%d = f%d + q[i*%d+j] * xx%d[i] * xx%d[j]; } }\n" m m k k m k k;
+    pf "  if (f%d <= target) { t = tc%d; }\n" k k
+  done;
+  pf "  root = t;\n";
+  pf "}\n";
+  Buffer.contents b
+
+let eval_f ~m q a bb t =
+  let f = ref (m_const * t) in
+  let x = Array.init m (fun i -> a.(i) + (t * bb.(i))) in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      f := !f + (q.((i * m) + j) * x.(i) * x.(j))
+    done
+  done;
+  !f
+
+let native ~m ~l inputs =
+  let q = Array.sub inputs 0 (m * m) in
+  let a = Array.sub inputs (m * m) m in
+  let bb = Array.sub inputs ((m * m) + m) m in
+  let target = inputs.((m * m) + (2 * m)) in
+  let t = ref 0 in
+  for k = l - 1 downto 0 do
+    let tc = !t + (1 lsl k) in
+    if eval_f ~m q a bb tc <= target then t := tc
+  done;
+  [| !t |]
+
+let gen_inputs ~m ~l prg =
+  let signed range = Chacha.Prg.int_below prg (2 * range) - range in
+  let q = Array.init (m * m) (fun _ -> signed 100) in
+  let a = Array.init m (fun _ -> signed 100) in
+  let bb = Array.init m (fun _ -> signed 100) in
+  let r = Chacha.Prg.int_below prg (1 lsl l) in
+  let target = eval_f ~m q a bb r in
+  Array.concat [ q; a; bb; [| target |] ]
+
+let app ~m ~l : App_def.t =
+  {
+    App_def.name = "bisection";
+    display = "root finding by bisection";
+    params_desc = Printf.sprintf "m=%d L=%d" m l;
+    source = source ~m ~l;
+    num_inputs = (m * m) + (2 * m) + 1;
+    gen_inputs = gen_inputs ~m ~l;
+    native = native ~m ~l;
+    big_o = "O(m^2 L)";
+  }

@@ -1,0 +1,90 @@
+(* The Fannkuch benchmark (§5.1(d), citing [3]): for each of m input
+   permutations of {1..n}, repeatedly reverse the prefix of length p[0]
+   until p[0] = 1, counting flips; output the per-permutation counts and
+   their maximum.
+
+   The prefix length is data-dependent, so every flip costs n dynamic array
+   reads — the "indirect memory accesses produce an excessive number of
+   constraints" case of §5.4, on purpose. The flip loop is bounded by
+   [bound] in both the circuit and the native reference (identical
+   semantics; inputs are generated to terminate within the bound). *)
+
+let source ~m ~n ~bound =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "computation fannkuch(input int8 p[%d], output int32 counts[%d], output int32 maxflips) {\n" (m * n) m;
+  pf "  var int32 mx = 0;\n";
+  pf "  for qq in 0..%d {\n" m;
+  pf "    var int8 t[%d];\n" n;
+  pf "    for i in 0..%d { t[i] = p[qq*%d+i]; }\n" n n;
+  pf "    var int32 cnt = 0;\n";
+  pf "    for s in 0..%d {\n" bound;
+  pf "      if (t[0] != 1) {\n";
+  pf "        cnt = cnt + 1;\n";
+  pf "        var int32 k = t[0];\n";
+  pf "        var int8 r[%d];\n" n;
+  pf "        for i in 0..%d {\n" n;
+  pf "          var int32 idx = k - 1 - i;\n";
+  pf "          if (idx < 0) { idx = 0; }\n";
+  pf "          if (i < k) { r[i] = t[idx]; } else { r[i] = t[i]; }\n";
+  pf "        }\n";
+  pf "        for i in 0..%d { t[i] = r[i]; }\n" n;
+  pf "      }\n";
+  pf "    }\n";
+  pf "    counts[qq] = cnt;\n";
+  pf "    if (cnt > mx) { mx = cnt; }\n";
+  pf "  }\n";
+  pf "  maxflips = mx;\n";
+  pf "}\n";
+  Buffer.contents b
+
+(* Flip count for a single permutation, bounded; mirrors the circuit
+   exactly. *)
+let flips_bounded ~n ~bound (perm : int array) =
+  let t = Array.copy perm in
+  let cnt = ref 0 in
+  for _ = 1 to bound do
+    if t.(0) <> 1 then begin
+      incr cnt;
+      let k = t.(0) in
+      let r =
+        Array.init n (fun i ->
+            let idx = max 0 (k - 1 - i) in
+            if i < k then t.(idx) else t.(i))
+      in
+      Array.blit r 0 t 0 n
+    end
+  done;
+  !cnt
+
+let native ~m ~n ~bound inputs =
+  let counts =
+    Array.init m (fun q -> flips_bounded ~n ~bound (Array.sub inputs (q * n) n))
+  in
+  let mx = Array.fold_left max 0 counts in
+  Array.append counts [| mx |]
+
+let gen_inputs ~m ~n prg =
+  let perm () =
+    let a = Array.init n (fun i -> i + 1) in
+    for i = n - 1 downto 1 do
+      let j = Chacha.Prg.int_below prg (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    a
+  in
+  Array.concat (List.init m (fun _ -> perm ()))
+
+let app ~m ~n ~bound : App_def.t =
+  {
+    App_def.name = "fannkuch";
+    display = "Fannkuch benchmark";
+    params_desc = Printf.sprintf "m=%d n=%d B=%d" m n bound;
+    source = source ~m ~n ~bound;
+    num_inputs = m * n;
+    gen_inputs = gen_inputs ~m ~n;
+    native = native ~m ~n ~bound;
+    big_o = "O(m)";
+  }

@@ -1,0 +1,47 @@
+(* Glue between the compiler, the benchmark apps and the argument system:
+   compile a ZL source, wrap the Zaatar system as an Argument.computation,
+   and convert integer IO to and from field elements. *)
+
+open Fieldlib
+
+let compile ctx (app : App_def.t) : Zlang.Compile.compiled =
+  Zlang.Compile.compile ~ctx app.App_def.source
+
+let computation_of (c : Zlang.Compile.compiled) : Argsys.Argument.computation =
+  {
+    Argsys.Argument.r1cs = Zlang.Compile.zaatar_r1cs c;
+    num_inputs = c.Zlang.Compile.num_inputs;
+    num_outputs = c.Zlang.Compile.num_outputs;
+    solve = c.Zlang.Compile.solve_zaatar;
+  }
+
+let field_inputs ctx (ints : int array) = Array.map (Fp.of_int ctx) ints
+
+let int_outputs ctx (els : Fp.el array) =
+  Array.map
+    (fun e ->
+      match Fp.to_signed_int ctx e with
+      | Some n -> n
+      | None -> failwith "output does not fit a native integer")
+    els
+
+(* Compile once and check the compiled circuit against the native reference
+   on [trials] random inputs — the differential-testing harness used by the
+   test-suite and by `zaatar selftest`. *)
+let differential_check ?(trials = 5) ctx (app : App_def.t) prg =
+  let c = compile ctx app in
+  for _ = 1 to trials do
+    let ints = app.App_def.gen_inputs prg in
+    let expected = app.App_def.native ints in
+    let w = c.Zlang.Compile.solve_zaatar (field_inputs ctx ints) in
+    let r1cs = Zlang.Compile.zaatar_r1cs c in
+    if not (Constr.R1cs.satisfied ctx r1cs w) then
+      failwith (Printf.sprintf "%s: compiled constraints unsatisfied" app.App_def.name);
+    let got = int_outputs ctx (Zlang.Compile.outputs_zaatar c w) in
+    if got <> expected then
+      failwith
+        (Printf.sprintf "%s: output mismatch (native %s, circuit %s)" app.App_def.name
+           (String.concat "," (Array.to_list (Array.map string_of_int expected)))
+           (String.concat "," (Array.to_list (Array.map string_of_int got))))
+  done;
+  c

@@ -1,0 +1,51 @@
+(* Longest common subsequence (§5.1(e)): the O(m^2) dynamic program over
+   two length-m strings, with an equality gadget and a max per cell. *)
+
+let alphabet = 4 (* small alphabet so matches actually occur *)
+
+let source ~m =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "computation lcs(input int8 a[%d], input int8 bb[%d], output int32 len) {\n" m m;
+  pf "  var int32 prev[%d];\n" (m + 1);
+  pf "  var int32 row[%d];\n" (m + 1);
+  pf "  for j in 0..%d { prev[j] = 0; }\n" (m + 1);
+  pf "  for i in 0..%d {\n" m;
+  pf "    row[0] = 0;\n";
+  pf "    for j in 0..%d {\n" m;
+  pf "      if (a[i] == bb[j]) { row[j+1] = prev[j] + 1; }\n";
+  pf "      else { if (prev[j+1] < row[j]) { row[j+1] = row[j]; } else { row[j+1] = prev[j+1]; } }\n";
+  pf "    }\n";
+  pf "    for j in 0..%d { prev[j] = row[j]; }\n" (m + 1);
+  pf "  }\n";
+  pf "  len = prev[%d];\n" m;
+  pf "}\n";
+  Buffer.contents b
+
+let native ~m inputs =
+  let a = Array.sub inputs 0 m and b = Array.sub inputs m m in
+  let prev = Array.make (m + 1) 0 in
+  let row = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    row.(0) <- 0;
+    for j = 0 to m - 1 do
+      if a.(i) = b.(j) then row.(j + 1) <- prev.(j) + 1
+      else row.(j + 1) <- max prev.(j + 1) row.(j)
+    done;
+    Array.blit row 0 prev 0 (m + 1)
+  done;
+  [| prev.(m) |]
+
+let gen_inputs ~m prg = Array.init (2 * m) (fun _ -> 1 + Chacha.Prg.int_below prg alphabet)
+
+let app ~m : App_def.t =
+  {
+    App_def.name = "lcs";
+    display = "longest common subsequence";
+    params_desc = Printf.sprintf "m=%d" m;
+    source = source ~m;
+    num_inputs = 2 * m;
+    gen_inputs = gen_inputs ~m;
+    native = native ~m;
+    big_o = "O(m^2)";
+  }

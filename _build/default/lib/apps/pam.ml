@@ -1,0 +1,121 @@
+(* Partitioning Around Medoids (PAM) clustering into two groups (§5.1(a)):
+   the BUILD phase for k = 2 over m points in d dimensions, O(m^2 d).
+
+   - all-pairs squared Euclidean distances (the m^2 d hot loop);
+   - first medoid: the point with minimum total distance;
+   - second medoid: the point minimizing the summed min-distance, excluding
+     the first medoid (a large constant penalty knocks it out);
+   - outputs: both medoid indices and the 0/1 assignment vector.
+
+   Argmin rows are tracked through conditional array updates, so the
+   compiled code exercises comparison gadgets and wide mux merges. *)
+
+let penalty = 1 lsl 26
+
+let source ~m ~d =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "computation pam(input int8 x[%d], output int32 med1, output int32 med2, output int32 assign[%d]) {\n" (m * d) m;
+  pf "  var int32 dist[%d];\n" (m * m);
+  pf "  for i in 0..%d { for j in 0..%d {\n" m m;
+  pf "    var int32 acc = 0;\n";
+  pf "    for k in 0..%d { acc = acc + (x[i*%d+k] - x[j*%d+k]) * (x[i*%d+k] - x[j*%d+k]); }\n" d d d d d;
+  pf "    dist[i*%d+j] = acc;\n" m;
+  pf "  } }\n";
+  (* first medoid *)
+  pf "  var int32 best = 0;\n";
+  pf "  var int32 bestcost = 0;\n";
+  pf "  var int32 row1[%d];\n" m;
+  pf "  for j in 0..%d { bestcost = bestcost + dist[j]; row1[j] = dist[j]; }\n" m;
+  pf "  for i in 1..%d {\n" m;
+  pf "    var int32 c = 0;\n";
+  pf "    for j in 0..%d { c = c + dist[i*%d+j]; }\n" m m;
+  pf "    if (c < bestcost) {\n";
+  pf "      bestcost = c; best = i;\n";
+  pf "      for j in 0..%d { row1[j] = dist[i*%d+j]; }\n" m m;
+  pf "    }\n";
+  pf "  }\n";
+  pf "  med1 = best;\n";
+  (* second medoid: min over i of sum_j min(dist[i][j], row1[j]), i != med1 *)
+  pf "  var int32 best2 = 0;\n";
+  pf "  var int32 bestcost2 = %d;\n" penalty;
+  pf "  var int32 row2[%d];\n" m;
+  pf "  for j in 0..%d { row2[j] = row1[j]; }\n" m;
+  pf "  for i in 0..%d {\n" m;
+  pf "    var int32 c = 0;\n";
+  pf "    for j in 0..%d {\n" m;
+  pf "      if (dist[i*%d+j] < row1[j]) { c = c + dist[i*%d+j]; } else { c = c + row1[j]; }\n" m m;
+  pf "    }\n";
+  pf "    if (i == best) { c = c + %d; }\n" penalty;
+  pf "    if (c < bestcost2) {\n";
+  pf "      bestcost2 = c; best2 = i;\n";
+  pf "      for j in 0..%d { row2[j] = dist[i*%d+j]; }\n" m m;
+  pf "    }\n";
+  pf "  }\n";
+  pf "  med2 = best2;\n";
+  pf "  for j in 0..%d { if (row2[j] < row1[j]) { assign[j] = 1; } else { assign[j] = 0; } }\n" m;
+  pf "}\n";
+  Buffer.contents b
+
+let native ~m ~d inputs =
+  let x i k = inputs.((i * d) + k) in
+  let dist = Array.make (m * m) 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      let acc = ref 0 in
+      for k = 0 to d - 1 do
+        let dd = x i k - x j k in
+        acc := !acc + (dd * dd)
+      done;
+      dist.((i * m) + j) <- !acc
+    done
+  done;
+  let best = ref 0 and bestcost = ref 0 in
+  let row1 = Array.make m 0 in
+  for j = 0 to m - 1 do
+    bestcost := !bestcost + dist.(j);
+    row1.(j) <- dist.(j)
+  done;
+  for i = 1 to m - 1 do
+    let c = ref 0 in
+    for j = 0 to m - 1 do
+      c := !c + dist.((i * m) + j)
+    done;
+    if !c < !bestcost then begin
+      bestcost := !c;
+      best := i;
+      for j = 0 to m - 1 do
+        row1.(j) <- dist.((i * m) + j)
+      done
+    end
+  done;
+  let best2 = ref 0 and bestcost2 = ref penalty in
+  let row2 = Array.copy row1 in
+  for i = 0 to m - 1 do
+    let c = ref 0 in
+    for j = 0 to m - 1 do
+      c := !c + min dist.((i * m) + j) row1.(j)
+    done;
+    if i = !best then c := !c + penalty;
+    if !c < !bestcost2 then begin
+      bestcost2 := !c;
+      best2 := i;
+      for j = 0 to m - 1 do
+        row2.(j) <- dist.((i * m) + j)
+      done
+    end
+  done;
+  let assign = Array.init m (fun j -> if row2.(j) < row1.(j) then 1 else 0) in
+  Array.append [| !best; !best2 |] assign
+
+let app ~m ~d : App_def.t =
+  {
+    App_def.name = "pam";
+    display = "PAM clustering";
+    params_desc = Printf.sprintf "m=%d d=%d" m d;
+    source = source ~m ~d;
+    num_inputs = m * d;
+    gen_inputs = (fun prg -> Array.init (m * d) (fun _ -> Chacha.Prg.int_below prg 100));
+    native = native ~m ~d;
+    big_o = "O(m^2 d)";
+  }

@@ -1,0 +1,36 @@
+(* The benchmark suite of §5.1-§5.2, with size ladders for the scalability
+   experiment (Figure 8: "we double the input size twice"). Default sizes
+   are scaled down from the paper's (see DESIGN.md §2 "Scale"); [scale]
+   multiplies them back up towards paper scale. *)
+
+let pam ~scale = Pam.app ~m:(3 * scale) ~d:4
+let bisection ~scale = Bisection.app ~m:(3 * scale) ~l:4
+let apsp ~scale = Apsp.app ~m:(3 * scale)
+let fannkuch ~scale = Fannkuch.app ~m:scale ~n:4 ~bound:6
+let lcs ~scale = Lcs.app ~m:(4 * scale)
+
+(* One representative size per benchmark (Figures 4, 5, 7, 9). *)
+let suite ?(scale = 1) () : App_def.t list =
+  [ pam ~scale; bisection ~scale; apsp ~scale; fannkuch ~scale; lcs ~scale ]
+
+(* Three sizes per benchmark, roughly doubling the running time each step
+   (Figure 8). *)
+let sweep ?(scale = 1) () : (string * App_def.t list) list =
+  [
+    ("PAM clustering", [ Pam.app ~m:(3 * scale) ~d:4; Pam.app ~m:(4 * scale) ~d:4; Pam.app ~m:(6 * scale) ~d:4 ]);
+    ( "root finding by bisection",
+      [ Bisection.app ~m:(3 * scale) ~l:4; Bisection.app ~m:(4 * scale) ~l:4; Bisection.app ~m:(6 * scale) ~l:4 ] );
+    ("all-pairs shortest path", [ Apsp.app ~m:(3 * scale); Apsp.app ~m:(4 * scale); Apsp.app ~m:(5 * scale) ]);
+    ( "Fannkuch benchmark",
+      [ Fannkuch.app ~m:scale ~n:4 ~bound:6; Fannkuch.app ~m:(2 * scale) ~n:4 ~bound:6; Fannkuch.app ~m:(4 * scale) ~n:4 ~bound:6 ] );
+    ("longest common subsequence", [ Lcs.app ~m:(4 * scale); Lcs.app ~m:(6 * scale); Lcs.app ~m:(8 * scale) ]);
+  ]
+
+let by_name name ~scale =
+  match name with
+  | "pam" -> pam ~scale
+  | "bisection" -> bisection ~scale
+  | "apsp" -> apsp ~scale
+  | "fannkuch" -> fannkuch ~scale
+  | "lcs" -> lcs ~scale
+  | _ -> invalid_arg (Printf.sprintf "unknown benchmark %S (pam|bisection|apsp|fannkuch|lcs)" name)

@@ -1,0 +1,1 @@
+lib/argument/argument.ml: Array Chacha Commitment Constr Fieldlib Fp Group Metrics Pcp Qap R1cs Unix Zcrypto

@@ -1,0 +1,1 @@
+lib/argument/argument.mli: Chacha Constr Fieldlib Fp Metrics Pcp R1cs

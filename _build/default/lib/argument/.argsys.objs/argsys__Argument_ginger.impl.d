@@ -1,0 +1,1 @@
+lib/argument/argument_ginger.ml: Array Chacha Commitment Constr Fieldlib Fp Group Metrics Pcp Quad Unix Zcrypto

@@ -1,0 +1,1 @@
+lib/argument/argument_ginger.mli: Chacha Constr Fieldlib Fp Metrics Pcp Quad

@@ -1,0 +1,1 @@
+lib/argument/metrics.ml: Format List Unix

@@ -1,0 +1,1 @@
+lib/argument/metrics.mli: Format

@@ -1,0 +1,214 @@
+(* The end-to-end batched argument system of Figure 2: the QAP-based linear
+   PCP (lib/pcp) composed with the linear commitment (lib/commit), verifying
+   beta instances of one computation Psi against a (possibly cheating)
+   prover.
+
+   Batch amortization (§2.2): PCP queries, the Enc(r) commitment requests
+   and the decommit challenges are generated once per batch; each instance
+   contributes its own witness, proof vector, commitments and responses. *)
+
+open Fieldlib
+open Constr
+open Zcrypto
+
+(* A computation, as handed over by the compiler (or built by hand): the
+   quadratic-form constraints plus a witness solver. Variables num_z+1 ..
+   num_z+num_inputs are X, the following num_outputs are Y. [solve] maps an
+   input vector to the full satisfying assignment (slot 0 = 1). *)
+type computation = {
+  r1cs : R1cs.system;
+  num_inputs : int;
+  num_outputs : int;
+  solve : Fp.el array -> Fp.el array;
+}
+
+let io_of_w comp (w : Fp.el array) =
+  Array.sub w (comp.r1cs.R1cs.num_z + 1) (comp.num_inputs + comp.num_outputs)
+
+let outputs_of_w comp (w : Fp.el array) =
+  Array.sub w (comp.r1cs.R1cs.num_z + 1 + comp.num_inputs) comp.num_outputs
+
+(* Prover strategies for the adversarial test-suite and the soundness
+   bench. All cheats are caught with the PCP/commitment's stated
+   probability. *)
+type strategy =
+  | Honest
+  | Wrong_output (* report a wrong y, prove with the stale witness *)
+  | Corrupt_witness (* perturb one z entry, divide-and-drop-remainder h *)
+  | Corrupt_h (* honest z, perturbed h *)
+  | Equivocate (* commit to u, answer queries from a different u' *)
+  | Nonlinear (* answer z-queries through a non-linear function *)
+
+type instance_result = {
+  claimed_output : Fp.el array;
+  accepted : bool;
+  commit_ok : bool;
+  pcp_verdict : Pcp.Pcp_zaatar.verdict;
+}
+
+type batch_result = {
+  instances : instance_result array;
+  verifier_setup_s : float; (* amortized-over-batch costs *)
+  verifier_per_instance_s : float; (* total across the batch *)
+  prover : Metrics.t;
+}
+
+type config = {
+  params : Pcp.Pcp_zaatar.params;
+  p_bits : int; (* ElGamal group size *)
+  strategy : strategy;
+}
+
+let default_config = { params = Pcp.Pcp_zaatar.paper_params; p_bits = 1024; strategy = Honest }
+
+let test_config = { params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Honest }
+
+(* The prover's per-instance proof material. *)
+type proof_parts = {
+  u_z : Fp.el array; (* what is committed and answered for pi_z *)
+  u_h : Fp.el array;
+  answer_u_z : Fp.el array; (* what queries are answered with (equivocation) *)
+  answer_u_h : Fp.el array;
+  nonlinear : bool;
+  claimed_io : Fp.el array;
+  claimed_output : Fp.el array;
+}
+
+let build_proof_parts ctx comp (qap : Qap.t) strategy prg (x : Fp.el array) (pm : Metrics.t) :
+    proof_parts =
+  let w = Metrics.time pm "solve_constraints" (fun () -> comp.solve x) in
+  assert (R1cs.satisfied ctx comp.r1cs w);
+  let num_z = comp.r1cs.R1cs.num_z in
+  match strategy with
+  | Honest ->
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let z = Array.sub w 1 num_z in
+    {
+      u_z = z;
+      u_h = h;
+      answer_u_z = z;
+      answer_u_h = h;
+      nonlinear = false;
+      claimed_io = io_of_w comp w;
+      claimed_output = outputs_of_w comp w;
+    }
+  | Wrong_output ->
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let z = Array.sub w 1 num_z in
+    let io = io_of_w comp w in
+    let out = outputs_of_w comp w in
+    let io' = Array.copy io and out' = Array.copy out in
+    let last_io = Array.length io' - 1 and last_out = Array.length out' - 1 in
+    io'.(last_io) <- Fp.add ctx io'.(last_io) Fp.one;
+    out'.(last_out) <- Fp.add ctx out'.(last_out) Fp.one;
+    { u_z = z; u_h = h; answer_u_z = z; answer_u_h = h; nonlinear = false;
+      claimed_io = io'; claimed_output = out' }
+  | Corrupt_witness ->
+    let w' = Array.copy w in
+    w'.(1) <- Fp.add ctx w'.(1) (Chacha.Prg.field_nonzero ctx prg);
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h_forced qap w') in
+    let z = Array.sub w' 1 num_z in
+    { u_z = z; u_h = h; answer_u_z = z; answer_u_h = h; nonlinear = false;
+      claimed_io = io_of_w comp w'; claimed_output = outputs_of_w comp w' }
+  | Corrupt_h ->
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h' = Array.copy h in
+    h'.(0) <- Fp.add ctx h'.(0) Fp.one;
+    let z = Array.sub w 1 num_z in
+    { u_z = z; u_h = h'; answer_u_z = z; answer_u_h = h'; nonlinear = false;
+      claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
+  | Equivocate ->
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let z = Array.sub w 1 num_z in
+    let z' = Array.copy z in
+    if Array.length z' > 0 then z'.(0) <- Fp.add ctx z'.(0) Fp.one;
+    { u_z = z; u_h = h; answer_u_z = z'; answer_u_h = h; nonlinear = false;
+      claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
+  | Nonlinear ->
+    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let z = Array.sub w 1 num_z in
+    { u_z = z; u_h = h; answer_u_z = z; answer_u_h = h; nonlinear = true;
+      claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
+
+let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg.t)
+    ~(inputs : Fp.el array array) : batch_result =
+  let ctx = comp.r1cs.R1cs.field in
+  let qap = Qap.of_r1cs comp.r1cs in
+  let num_z = comp.r1cs.R1cs.num_z in
+  let h_len = qap.Qap.nc + 1 in
+  let pm = Metrics.create () in
+  let v_setup = ref 0.0 and v_per = ref 0.0 in
+  let timed acc f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    acc := !acc +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  (* ---- Verifier batch setup ---- *)
+  let grp =
+    timed v_setup (fun () -> Group.cached ~field_order:(Fp.modulus ctx) ~p_bits:config.p_bits ())
+  in
+  let queries = timed v_setup (fun () -> Pcp.Pcp_zaatar.gen_queries ~params:config.params qap prg) in
+  let req_z, vs_z = timed v_setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:num_z) in
+  let req_h, vs_h = timed v_setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:h_len) in
+  let ch_z =
+    timed v_setup (fun () ->
+        Commitment.Commit.decommit_challenge ctx vs_z prg queries.Pcp.Pcp_zaatar.z_queries)
+  in
+  let ch_h =
+    timed v_setup (fun () ->
+        Commitment.Commit.decommit_challenge ctx vs_h prg queries.Pcp.Pcp_zaatar.h_queries)
+  in
+  (* ---- Per instance ---- *)
+  let run_instance x =
+    let parts = build_proof_parts ctx comp qap config.strategy prg x pm in
+    (* Prover: commit. *)
+    let com_z =
+      Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req_z parts.u_z)
+    in
+    let com_h =
+      Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req_h parts.u_h)
+    in
+    (* Prover: answer the PCP queries and the consistency vectors. *)
+    let oracle =
+      let base = Pcp.Oracle.honest ctx parts.answer_u_z parts.answer_u_h in
+      if parts.nonlinear then Pcp.Oracle.nonlinear ctx base else base
+    in
+    let responses =
+      Metrics.time pm "answer_queries" (fun () -> Pcp.Pcp_zaatar.answer oracle queries)
+    in
+    let ans_z =
+      Metrics.time pm "answer_queries" (fun () ->
+          {
+            Commitment.Commit.a = responses.Pcp.Pcp_zaatar.z_resp;
+            a_t = Fp.dot ctx ch_z.Commitment.Commit.t parts.answer_u_z;
+          })
+    in
+    let ans_h =
+      Metrics.time pm "answer_queries" (fun () ->
+          {
+            Commitment.Commit.a = responses.Pcp.Pcp_zaatar.h_resp;
+            a_t = Fp.dot ctx ch_h.Commitment.Commit.t parts.answer_u_h;
+          })
+    in
+    (* Verifier: consistency then PCP tests. *)
+    let commit_ok =
+      timed v_per (fun () ->
+          Commitment.Commit.consistency_check vs_z ch_z ~commitment:com_z ans_z
+          && Commitment.Commit.consistency_check vs_h ch_h ~commitment:com_h ans_h)
+    in
+    let pcp_verdict =
+      timed v_per (fun () -> Pcp.Pcp_zaatar.decide qap queries responses ~io:parts.claimed_io)
+    in
+    {
+      claimed_output = parts.claimed_output;
+      accepted = commit_ok && Pcp.Pcp_zaatar.accepts pcp_verdict;
+      commit_ok;
+      pcp_verdict;
+    }
+  in
+  let instances = Array.map run_instance inputs in
+  { instances; verifier_setup_s = !v_setup; verifier_per_instance_s = !v_per; prover = pm }
+
+let all_accepted r = Array.for_all (fun i -> i.accepted) r.instances
+let none_accepted r = Array.for_all (fun i -> not i.accepted) r.instances

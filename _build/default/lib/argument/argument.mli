@@ -1,0 +1,63 @@
+(** The end-to-end batched argument system of Figure 2: the QAP-based
+    linear PCP composed with the linear commitment, verifying beta
+    instances of one computation against a (possibly cheating) prover.
+
+    Batch amortization (§2.2): PCP queries, the Enc(r) commitment requests
+    and the decommit challenges are generated once per batch; witnesses,
+    proof vectors, commitments and responses are per instance. *)
+
+open Fieldlib
+open Constr
+
+type computation = {
+  r1cs : R1cs.system;
+  num_inputs : int; (** X = variables num_z+1 .. num_z+num_inputs *)
+  num_outputs : int; (** Y = the following variables *)
+  solve : Fp.el array -> Fp.el array;
+      (** input vector -> full satisfying assignment, slot 0 = 1 (the
+          prover's "solve the constraints" step, Figure 1) *)
+}
+
+val io_of_w : computation -> Fp.el array -> Fp.el array
+val outputs_of_w : computation -> Fp.el array -> Fp.el array
+
+(** Prover strategies for the adversarial suite and the soundness bench. *)
+type strategy =
+  | Honest
+  | Wrong_output (** report a wrong y, prove with the stale witness *)
+  | Corrupt_witness (** perturb one z entry, divide-and-drop-remainder h *)
+  | Corrupt_h (** honest z, perturbed h *)
+  | Equivocate (** commit to u, answer queries from a different u' *)
+  | Nonlinear (** answer z-queries through a non-linear function *)
+
+type instance_result = {
+  claimed_output : Fp.el array;
+  accepted : bool;
+  commit_ok : bool;
+  pcp_verdict : Pcp.Pcp_zaatar.verdict;
+}
+
+type batch_result = {
+  instances : instance_result array;
+  verifier_setup_s : float; (** once per batch (amortized) *)
+  verifier_per_instance_s : float; (** total across the batch *)
+  prover : Metrics.t; (** Figure 5's phase decomposition, batch totals *)
+}
+
+type config = {
+  params : Pcp.Pcp_zaatar.params;
+  p_bits : int; (** ElGamal group size *)
+  strategy : strategy;
+}
+
+val default_config : config
+(** Paper parameters: rho = 8, rho_lin = 20, 1024-bit group. *)
+
+val test_config : config
+(** rho = 1, rho_lin = 2, 192-bit group: for unit tests. *)
+
+val run_batch :
+  ?config:config -> computation -> prg:Chacha.Prg.t -> inputs:Fp.el array array -> batch_result
+
+val all_accepted : batch_result -> bool
+val none_accepted : batch_result -> bool

@@ -1,0 +1,38 @@
+(** The Ginger baseline (§2.2 PCP, u = (z, z (x) z)) as a *runnable*
+    argument under the same linear commitment. The paper only estimates
+    Ginger at evaluation sizes; this driver lets the `baseline` bench
+    measure it end-to-end at tiny sizes and validate the Figure 3 Ginger
+    column empirically.
+
+    Instances are verified independently (no batch amortization): Ginger's
+    circuit-query coefficients depend on the bound inputs/outputs, and for
+    model validation the per-instance cost is the quantity of interest. *)
+
+open Fieldlib
+open Constr
+
+type computation = {
+  ginger : Quad.system;
+  num_inputs : int;
+  num_outputs : int;
+  solve : Fp.el array -> Fp.el array; (** inputs -> full canonical assignment *)
+}
+
+type config = {
+  params : Pcp.Pcp_ginger.params;
+  p_bits : int;
+  cheat : bool; (** perturb the witness before building the proof vector *)
+}
+
+val test_config : config
+
+type instance_result = {
+  claimed_output : Fp.el array;
+  accepted : bool;
+  commit_ok : bool;
+  pcp_verdict : Pcp.Pcp_ginger.verdict;
+  prover : Metrics.t;
+  verifier_s : float;
+}
+
+val run_instance : ?config:config -> computation -> prg:Chacha.Prg.t -> x:Fp.el array -> instance_result

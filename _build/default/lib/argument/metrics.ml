@@ -1,0 +1,32 @@
+(* Phase-level CPU accounting. Figure 5 decomposes the prover's end-to-end
+   time into: solve constraints, construct proof vector, crypto operations,
+   answer queries; the verifier splits setup (amortized over the batch) from
+   per-instance work. Timers accumulate across instances. *)
+
+type t = { mutable entries : (string * float) list }
+
+let create () = { entries = [] }
+
+let add t name dt =
+  let rec go = function
+    | [] -> [ (name, dt) ]
+    | (n, v) :: rest -> if n = name then (n, v +. dt) :: rest else (n, v) :: go rest
+  in
+  t.entries <- go t.entries
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  add t name (Unix.gettimeofday () -. t0);
+  result
+
+let get t name = match List.assoc_opt name t.entries with Some v -> v | None -> 0.0
+
+let total t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.entries
+
+let to_list t = List.rev t.entries
+
+let reset t = t.entries <- []
+
+let pp fmt t =
+  List.iter (fun (n, v) -> Format.fprintf fmt "  %-24s %10.4f s@." n v) (to_list t)

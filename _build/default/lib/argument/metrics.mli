@@ -1,0 +1,14 @@
+(** Phase-level CPU accounting for the Figure 5 decomposition (prover:
+    solve constraints / construct u / crypto ops / answer queries; verifier:
+    setup vs per-instance). Timers accumulate across instances. *)
+
+type t
+
+val create : unit -> t
+val add : t -> string -> float -> unit
+val time : t -> string -> (unit -> 'a) -> 'a
+val get : t -> string -> float
+val total : t -> float
+val to_list : t -> (string * float) list
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

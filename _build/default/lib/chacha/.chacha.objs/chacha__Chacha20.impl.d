@@ -1,0 +1,1 @@
+lib/chacha/chacha20.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/chacha/chacha20.mli:

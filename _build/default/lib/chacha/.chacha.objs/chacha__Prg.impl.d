@@ -1,0 +1,1 @@
+lib/chacha/prg.ml: Array Bytes Chacha20 Char Fieldlib String

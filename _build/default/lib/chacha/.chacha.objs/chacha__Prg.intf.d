@@ -1,0 +1,1 @@
+lib/chacha/prg.mli: Chacha20 Fieldlib

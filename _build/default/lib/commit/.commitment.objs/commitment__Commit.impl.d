@@ -1,0 +1,1 @@
+lib/commit/commit.ml: Array Chacha Elgamal Fieldlib Fp Group List Zcrypto

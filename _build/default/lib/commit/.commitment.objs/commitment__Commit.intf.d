@@ -1,0 +1,1 @@
+lib/commit/commit.mli: Chacha Elgamal Fieldlib Fp Group Zcrypto

@@ -1,0 +1,91 @@
+(* The linear commitment protocol (Commit + MultiDecommit) of
+   Pepper/Ginger [52, 53], strengthening Ishai et al. [33] — the machinery
+   that turns a linear PCP oracle into an interactive argument (§2.2 and
+   Figure 2).
+
+   Commit phase:   V sends Enc(r) for a secret random vector r; P replies
+                   with Enc(pi(r)), computable homomorphically, which pins P
+                   to a fixed linear function pi.
+   Decommit phase: V sends the PCP queries q_1..q_mu *and* the blinded
+                   combination t = r + sum_i alpha_i q_i (alpha_i secret);
+                   P answers pi(q_1)..pi(q_mu), pi(t) in the clear; V checks
+
+                     g^{pi(t)}  =  Dec(Enc(pi(r))) * prod_i (g^{pi(q_i)})^{alpha_i}
+
+                   in the group — possible because decryption recovers
+                   g^{pi(r)} and exponent arithmetic is field arithmetic
+                   (the field is Z_q; see lib/crypto/group.ml).
+
+   Batching (§2.2): the commitment request Enc(r) and the queries are
+   generated once per batch; each instance contributes its own Enc(pi(r))
+   and response vector, so the verifier pays e-costs once and d-costs per
+   instance — exactly the amortization in Figure 3. *)
+
+open Fieldlib
+open Zcrypto
+
+type request = {
+  pk : Elgamal.public_key;
+  enc_r : Elgamal.ciphertext array; (* sent to the prover *)
+}
+
+type verifier_secret = {
+  sk : Elgamal.secret_key;
+  r : Fp.el array; (* never leaves the verifier *)
+}
+
+(* One per batch. [len] is the proof-vector length. *)
+let commit_request ctx grp prg ~len =
+  let sk, pk = Elgamal.keygen grp prg in
+  let r = Array.init len (fun _ -> Chacha.Prg.field ctx prg) in
+  let enc_r = Array.map (Elgamal.encrypt pk prg) r in
+  ({ pk; enc_r }, { sk; r })
+
+(* Prover side, one per instance: commit to the linear function <., u>. *)
+let prover_commit (req : request) (u : Fp.el array) : Elgamal.ciphertext =
+  Elgamal.hom_dot req.pk req.enc_r u
+
+(* Decommit challenge, one per batch: the consistency-test vector t and its
+   secret coefficients. *)
+type challenge = {
+  t : Fp.el array; (* sent to the prover *)
+  alpha : Fp.el array; (* secret *)
+}
+
+let decommit_challenge ctx (vs : verifier_secret) prg (queries : Fp.el array array) : challenge =
+  let len = Array.length vs.r in
+  let alpha = Array.init (Array.length queries) (fun _ -> Chacha.Prg.field ctx prg) in
+  let t = Array.copy vs.r in
+  Array.iteri
+    (fun i q ->
+      if Array.length q <> len then invalid_arg "Commit.decommit_challenge: query length mismatch";
+      for j = 0 to len - 1 do
+        t.(j) <- Fp.add ctx t.(j) (Fp.mul ctx alpha.(i) q.(j))
+      done)
+    queries;
+  { t; alpha }
+
+(* Prover side, per instance: answer the queries and the test vector. *)
+type answers = {
+  a : Fp.el array; (* pi(q_i), in query order *)
+  a_t : Fp.el; (* pi(t) *)
+}
+
+let prover_answer ctx (u : Fp.el array) (queries : Fp.el array array) (ch_t : Fp.el array) : answers =
+  { a = Array.map (fun q -> Fp.dot ctx q u) queries; a_t = Fp.dot ctx ch_t u }
+
+(* Verifier side, per instance: the consistency check. *)
+let consistency_check (vs : verifier_secret) (ch : challenge) ~(commitment : Elgamal.ciphertext)
+    (ans : answers) : bool =
+  let pk = vs.sk.Elgamal.pk in
+  let grp = pk.Elgamal.grp in
+  let lhs = Elgamal.encode pk ans.a_t in
+  let g_pi_r = Elgamal.decrypt_to_group vs.sk commitment in
+  let rhs =
+    Array.to_list (Array.mapi (fun i ai -> (ch.alpha.(i), ai)) ans.a)
+    |> List.fold_left
+         (fun acc (alpha_i, ai) ->
+           Group.mul grp acc (Group.pow grp (Elgamal.encode pk ai) (Fp.to_nat alpha_i)))
+         g_pi_r
+  in
+  Group.equal lhs rhs

@@ -1,0 +1,1 @@
+lib/compiler/ast.ml: Printf

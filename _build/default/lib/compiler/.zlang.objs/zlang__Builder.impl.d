@@ -1,0 +1,1 @@
+lib/compiler/builder.ml: Array Ast Constr Fieldlib Fp Lincomb List Nat Quad

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Ast Builder Constr Fieldlib Fp List Map Parser Quad R1cs String Transform

@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Constr Fieldlib Fp Quad R1cs Transform

@@ -1,0 +1,1 @@
+lib/compiler/lexer.ml: Ast List String

@@ -1,0 +1,1 @@
+lib/compiler/parser.ml: Ast Lexer List Printf String

@@ -1,0 +1,36 @@
+(* Abstract syntax of ZL, the high-level input language (standing in for
+   the SFDL front-end of Ginger's compiler, §5.1). Feature set per §2.2:
+   field ops [+ - x], if/then/else, logical tests and connectives, order
+   comparisons, equality/inequality, bounded loops, fixed-size arrays with
+   arbitrary (data-dependent) index expressions. *)
+
+type typ = { bits : int } (* intN: signed values in (-2^(N-1), 2^(N-1)) *)
+
+type unop = Neg | Not
+
+type binop = Add | Sub | Mul | Shr | Shl | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Decl of typ * string * int option * expr option (* var t name[len] = init *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list (* bounds must be compile-time constants *)
+
+type dir = Input | Output
+
+type param = { pname : string; ptyp : typ; plen : int option; pdir : dir }
+
+type program = { name : string; params : param list; body : stmt list }
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt

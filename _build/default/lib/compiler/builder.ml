@@ -1,0 +1,421 @@
+(* The constraint builder: the back half of the compiler.
+
+   Values are symbolic degree-<=2 polynomials over constraint variables
+   (Quad.qpoly), carried together with an integer magnitude bound
+   (|v| < 2^width) and a kind (number or boolean). Purely linear arithmetic
+   stays symbolic and free; a multiplication of two non-constant values
+   forces its operands down to linear combinations (materializing a fresh
+   variable and one defining constraint when an operand is already
+   quadratic). This reproduces Ginger's encoding behaviour: a dot product
+   compiles to a single constraint with many degree-2 terms (large K2),
+   which is precisely what the §4 transform then pulls apart.
+
+   Pseudoconstraint gadgets (§2.2, §5.4):
+   - order comparisons: O(width) constraints by bit decomposition;
+   - == / !=: the inverse trick {qc*m = 1-t, t*qc = 0};
+   - data-dependent array access: one-hot indicator muxing, "an excessive
+     number of constraints" as the paper warns.
+
+   Every fresh variable carries a witness-generation step, so the prover
+   can solve the constraints by a single forward pass (Figure 1, step 2). *)
+
+open Fieldlib
+open Constr
+
+type kind = Knum | Kbool
+
+type value = { qp : Quad.qpoly; width : int; kind : kind }
+
+type wstep =
+  | W_input of int * int (* var <- inputs.(i) *)
+  | W_qpoly of int * Quad.qpoly
+  | W_bits of int array * Quad.qpoly (* little-endian bits of a non-negative value *)
+  | W_inv_or_zero of int * Quad.qpoly
+  | W_is_zero of int * Quad.qpoly
+
+type t = {
+  ctx : Fp.ctx;
+  mutable next_var : int;
+  mutable constraints : Quad.qpoly list; (* reversed *)
+  mutable num_constraints : int;
+  mutable wsteps : wstep list; (* reversed *)
+  mutable input_vars : int list; (* reversed *)
+  mutable output_vars : int list; (* reversed *)
+  max_width : int;
+}
+
+let create ctx =
+  {
+    ctx;
+    next_var = 1;
+    constraints = [];
+    num_constraints = 0;
+    wsteps = [];
+    input_vars = [];
+    output_vars = [];
+    max_width = Fp.bits ctx - 3;
+  }
+
+let fresh b =
+  let v = b.next_var in
+  b.next_var <- v + 1;
+  v
+
+let add_constraint b q =
+  b.constraints <- q :: b.constraints;
+  b.num_constraints <- b.num_constraints + 1
+
+let push_wstep b s = b.wsteps <- s :: b.wsteps
+
+(* ---- value constructors ---- *)
+
+let width_of_int n =
+  let n = abs n in
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let const b n =
+  {
+    qp = Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.of_int b.ctx n));
+    width = width_of_int n;
+    kind = (if n = 0 || n = 1 then Kbool else Knum);
+  }
+
+let of_var _b v ~width ~kind = { qp = Quad.qpoly_of_lincomb (Lincomb.of_var v); width; kind }
+
+let input b ~index ~width =
+  let v = fresh b in
+  b.input_vars <- v :: b.input_vars;
+  push_wstep b (W_input (v, index));
+  of_var b v ~width ~kind:Knum
+
+let as_const (v : value) : Fp.el option =
+  if Quad.qpoly_is_linear v.qp then Lincomb.as_const v.qp.Quad.lin else None
+
+let as_const_int b (v : value) : int option =
+  match as_const v with Some e -> Fp.to_signed_int b.ctx e | None -> None
+
+(* A fresh variable equal to the given polynomial. *)
+let materialize_qp b qp ~width ~kind =
+  let v = fresh b in
+  push_wstep b (W_qpoly (v, qp));
+  (* constraint: qp - v = 0 *)
+  add_constraint b
+    (Quad.qpoly_add b.ctx qp
+       (Quad.qpoly_of_lincomb (Lincomb.scale b.ctx (Fp.of_int b.ctx (-1)) (Lincomb.of_var v))));
+  of_var b v ~width ~kind
+
+(* Reduce a value to a linear combination, materializing if quadratic. *)
+let linearize b (v : value) : Lincomb.t * value =
+  if Quad.qpoly_is_linear v.qp then (v.qp.Quad.lin, v)
+  else begin
+    let v' = materialize_qp b v.qp ~width:v.width ~kind:v.kind in
+    (v'.qp.Quad.lin, v')
+  end
+
+(* ---- arithmetic ---- *)
+
+let add b x y =
+  { qp = Quad.qpoly_add b.ctx x.qp y.qp; width = 1 + max x.width y.width; kind = Knum }
+
+let neg b x =
+  { qp = Quad.qpoly_scale b.ctx (Fp.of_int b.ctx (-1)) x.qp; width = x.width; kind = Knum }
+
+let sub b x y = add b x (neg b y)
+
+let check_width b w what =
+  if w > b.max_width then
+    Ast.error "%s exceeds the field capacity (width %d > max %d); use a larger field" what w b.max_width
+
+let mul b x y =
+  match (as_const x, as_const y) with
+  | Some c, _ ->
+    { qp = Quad.qpoly_scale b.ctx c y.qp; width = x.width + y.width; kind = Knum }
+  | _, Some c ->
+    { qp = Quad.qpoly_scale b.ctx c x.qp; width = x.width + y.width; kind = Knum }
+  | None, None ->
+    let lx, _ = linearize b x in
+    let ly, _ = linearize b y in
+    let w = x.width + y.width in
+    check_width b w "product";
+    { qp = Quad.qpoly_mul_lin b.ctx lx ly; width = w; kind = Knum }
+
+let assert_zero b (v : value) = add_constraint b v.qp
+
+(* ---- gadgets ---- *)
+
+(* Bit-decompose a non-negative polynomial value < 2^nbits. Returns the bit
+   variables, little-endian. Cost: nbits+1 constraints, nbits variables —
+   the O(log |F|) expansion of §2.2. *)
+let decompose b qp nbits =
+  let ctx = b.ctx in
+  let bits = Array.init nbits (fun _ -> fresh b) in
+  push_wstep b (W_bits (bits, qp));
+  Array.iter
+    (fun v ->
+      (* v^2 - v = 0 *)
+      let q =
+        Quad.qpoly_add ctx
+          (Quad.qpoly_mul_lin ctx (Lincomb.of_var v) (Lincomb.of_var v))
+          (Quad.qpoly_of_lincomb (Lincomb.scale ctx (Fp.of_int ctx (-1)) (Lincomb.of_var v)))
+      in
+      add_constraint b q)
+    bits;
+  (* sum_i 2^i b_i - value = 0 *)
+  let sum =
+    Array.to_list bits
+    |> List.mapi (fun i v -> (i, v))
+    |> List.fold_left
+         (fun acc (i, v) -> Lincomb.add_term ctx acc v (Fp.pow_int ctx (Fp.of_int ctx 2) i))
+         Lincomb.zero
+  in
+  let q = Quad.qpoly_add ctx (Quad.qpoly_of_lincomb sum) (Quad.qpoly_scale ctx (Fp.of_int ctx (-1)) qp) in
+  add_constraint b q;
+  bits
+
+(* ge x y: boolean, 1 iff x >= y (as signed bounded integers). *)
+let ge b x y =
+  match (as_const_int b x, as_const_int b y) with
+  | Some cx, Some cy -> const b (if cx >= cy then 1 else 0)
+  | _ ->
+    let w = max x.width y.width in
+    check_width b (w + 2) "comparison operand";
+    (* s = x - y + 2^(w+1) is in (0, 2^(w+2)); its top bit is 1 iff x >= y. *)
+    let shift = const b 0 in
+    let shift =
+      { shift with qp = Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.pow_int b.ctx (Fp.of_int b.ctx 2) (w + 1))) }
+    in
+    let s = Quad.qpoly_add b.ctx (sub b x y).qp shift.qp in
+    let bits = decompose b s (w + 2) in
+    of_var b bits.(w + 1) ~width:1 ~kind:Kbool
+
+let bool_not b x =
+  match as_const_int b x with
+  | Some c -> const b (if c = 0 then 1 else 0)
+  | None ->
+    {
+      qp =
+        Quad.qpoly_add b.ctx
+          (Quad.qpoly_of_lincomb (Lincomb.of_const Fp.one))
+          (Quad.qpoly_scale b.ctx (Fp.of_int b.ctx (-1)) x.qp);
+      width = 1;
+      kind = Kbool;
+    }
+
+let lt b x y = bool_not b (ge b x y)
+let le b x y = ge b y x
+let gt b x y = bool_not b (ge b y x)
+
+(* is_zero v: the inverse trick. t = 1 iff v = 0, via auxiliary m:
+     v * m = 1 - t       t * v = 0
+   The prover sets m = v^-1 (or 0) and t = [v = 0]. *)
+let is_zero b (x : value) =
+  match as_const x with
+  | Some c -> const b (if Fp.is_zero c then 1 else 0)
+  | None ->
+    let ctx = b.ctx in
+    let lx, _ = linearize b x in
+    let m = fresh b in
+    push_wstep b (W_inv_or_zero (m, Quad.qpoly_of_lincomb lx));
+    let t = fresh b in
+    push_wstep b (W_is_zero (t, Quad.qpoly_of_lincomb lx));
+    (* v*m - (1 - t) = 0 *)
+    add_constraint b
+      (Quad.qpoly_add ctx
+         (Quad.qpoly_mul_lin ctx lx (Lincomb.of_var m))
+         (Quad.qpoly_of_lincomb
+            (Lincomb.add_term ctx (Lincomb.of_const (Fp.of_int ctx (-1))) t Fp.one)));
+    (* t*v = 0 *)
+    add_constraint b (Quad.qpoly_mul_lin ctx (Lincomb.of_var t) lx);
+    of_var b t ~width:1 ~kind:Kbool
+
+let eq b x y = is_zero b (sub b x y)
+let ne b x y = bool_not b (eq b x y)
+
+(* Arithmetic right shift by a constant: y = floor(x / 2^k) with floor
+   semantics on signed values. This is the truncation gadget that makes
+   fixed-point arithmetic expressible (the paper handles rationals by a
+   field embedding [54]; we expose explicit binary scaling instead — see
+   DESIGN.md substitutions). With s = x + 2^w decomposed into w+1 bits,
+   floor(x / 2^k) = sum_{i>=k} 2^{i-k} b_i - 2^{w-k}; for k > w the result
+   collapses to the sign: b_w - 1. Costs one bit decomposition. *)
+let shr b x k =
+  if k < 0 then Ast.error ">> requires a non-negative constant shift";
+  if k = 0 then x
+  else begin
+    let ctx = b.ctx in
+    match as_const_int b x with
+    | Some c ->
+      (* floor division for constants, consistent with the gadget *)
+      let q = if c >= 0 then c lsr k else -(((-c) + (1 lsl k) - 1) lsr k) in
+      const b q
+    | None ->
+      let w = x.width in
+      check_width b (w + 2) "shift operand";
+      let shift_qp =
+        Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.pow_int ctx (Fp.of_int ctx 2) w))
+      in
+      let s = Quad.qpoly_add ctx x.qp shift_qp in
+      let bits = decompose b s (w + 1) in
+      if k > w then begin
+        (* y = b_w - 1 *)
+        let lc = Lincomb.add_term ctx (Lincomb.of_const (Fp.of_int ctx (-1))) bits.(w) Fp.one in
+        { qp = Quad.qpoly_of_lincomb lc; width = 1; kind = Knum }
+      end
+      else begin
+        let lc = ref (Lincomb.of_const (Fp.neg ctx (Fp.pow_int ctx (Fp.of_int ctx 2) (w - k)))) in
+        for i = k to w do
+          lc := Lincomb.add_term ctx !lc bits.(i) (Fp.pow_int ctx (Fp.of_int ctx 2) (i - k))
+        done;
+        { qp = Quad.qpoly_of_lincomb !lc; width = w - k + 1; kind = Knum }
+      end
+  end
+
+(* Left shift by a constant: exact multiplication by 2^k. *)
+let shl b x k =
+  if k < 0 then Ast.error "<< requires a non-negative constant shift";
+  let c = { (const b 0) with qp = Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.pow_int b.ctx (Fp.of_int b.ctx 2) k)) } in
+  let r = mul b x { c with width = k } in
+  { r with width = x.width + k }
+
+let require_bool what (v : value) =
+  match v.kind with Kbool -> () | Knum -> Ast.error "%s requires a boolean operand" what
+
+let band b x y =
+  require_bool "&&" x;
+  require_bool "&&" y;
+  { (mul b x y) with width = 1; kind = Kbool }
+
+let bor b x y =
+  require_bool "||" x;
+  require_bool "||" y;
+  (* x + y - xy *)
+  let xy = mul b x y in
+  { (sub b (add b x y) xy) with width = 1; kind = Kbool }
+
+(* mux c a b = c*(a - b) + b; c boolean. Width is the max of the branches
+   (the multiplication by a 0/1 value does not grow magnitudes). *)
+let mux b c x y =
+  require_bool "conditional" c;
+  match as_const_int b c with
+  | Some 1 -> x
+  | Some 0 -> y
+  | Some _ -> Ast.error "conditional: non-boolean constant"
+  | None ->
+    let diff = sub b x y in
+    let prod = mul b c diff in
+    let r = add b prod y in
+    { r with width = max x.width y.width; kind = (if x.kind = Kbool && y.kind = Kbool then Kbool else Knum) }
+
+(* Data-dependent array read: one-hot indicators t_i = [idx = i], the range
+   check sum t_i = 1, and the selection sum t_i * elem_i (a single
+   constraint with |arr| degree-2 terms — a K2 hot spot, deliberately). *)
+let dyn_read b (idx : value) (elems : value array) =
+  let ctx = b.ctx in
+  let n = Array.length elems in
+  if n = 0 then Ast.error "read from empty array";
+  let indicators = Array.init n (fun i -> is_zero b (sub b idx (const b i))) in
+  (* range check: sum of indicators = 1 *)
+  let sum =
+    Array.fold_left (fun acc t -> Quad.qpoly_add ctx acc t.qp) Quad.qpoly_zero indicators
+  in
+  add_constraint b
+    (Quad.qpoly_add ctx sum (Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.of_int ctx (-1)))));
+  let result = ref (const b 0) in
+  let width = Array.fold_left (fun acc e -> max acc e.width) 0 elems in
+  Array.iteri
+    (fun i t ->
+      let term = mul b t elems.(i) in
+      result := add b !result term)
+    indicators;
+  ({ !result with width; kind = Knum }, indicators)
+
+(* Data-dependent array write: arr'_i = mux(t_i, v, arr_i). Shares the
+   indicators with a paired read when available. *)
+let dyn_write b ?indicators (idx : value) (elems : value array) (v : value) =
+  let n = Array.length elems in
+  if n = 0 then Ast.error "write to empty array";
+  let indicators =
+    match indicators with
+    | Some ts -> ts
+    | None ->
+      let ts = Array.init n (fun i -> is_zero b (sub b idx (const b i))) in
+      let ctx = b.ctx in
+      let sum = Array.fold_left (fun acc t -> Quad.qpoly_add ctx acc t.qp) Quad.qpoly_zero ts in
+      add_constraint b
+        (Quad.qpoly_add ctx sum (Quad.qpoly_of_lincomb (Lincomb.of_const (Fp.of_int ctx (-1)))));
+      ts
+  in
+  Array.mapi (fun i e -> mux b indicators.(i) v e) elems
+
+(* ---- outputs and finalization ---- *)
+
+let bind_output b (v : value) =
+  let ctx = b.ctx in
+  let y = fresh b in
+  b.output_vars <- y :: b.output_vars;
+  push_wstep b (W_qpoly (y, v.qp));
+  add_constraint b
+    (Quad.qpoly_add ctx v.qp
+       (Quad.qpoly_of_lincomb (Lincomb.scale ctx (Fp.of_int ctx (-1)) (Lincomb.of_var y))))
+
+(* Canonicalize variable order to the system convention: Z first (original
+   creation order), then inputs, then outputs. Returns the Ginger system
+   and the original->canonical permutation. *)
+let finalize b : Quad.system * int array =
+  let n = b.next_var - 1 in
+  let inputs = List.rev b.input_vars and outputs = List.rev b.output_vars in
+  let is_io = Array.make (n + 1) false in
+  List.iter (fun v -> is_io.(v) <- true) inputs;
+  List.iter (fun v -> is_io.(v) <- true) outputs;
+  let perm = Array.make (n + 1) 0 in
+  let next = ref 1 in
+  for v = 1 to n do
+    if not is_io.(v) then begin
+      perm.(v) <- !next;
+      incr next
+    end
+  done;
+  let num_z = !next - 1 in
+  List.iter
+    (fun v ->
+      perm.(v) <- !next;
+      incr next)
+    (inputs @ outputs);
+  let constraints =
+    Array.of_list (List.rev_map (Quad.qpoly_map_vars (fun v -> perm.(v))) b.constraints)
+  in
+  ({ Quad.field = b.ctx; num_vars = n; num_z; constraints }, perm)
+
+(* ---- witness generation ---- *)
+
+exception Unsatisfiable of string
+
+(* Execute the recorded steps over concrete inputs, producing the
+   original-order assignment (slot 0 = 1). *)
+let solve_original b (inputs : Fp.el array) : Fp.el array =
+  let ctx = b.ctx in
+  let w = Array.make b.next_var Fp.zero in
+  w.(0) <- Fp.one;
+  let steps = List.rev b.wsteps in
+  List.iter
+    (fun step ->
+      match step with
+      | W_input (v, i) ->
+        if i >= Array.length inputs then raise (Unsatisfiable "missing input");
+        w.(v) <- inputs.(i)
+      | W_qpoly (v, qp) -> w.(v) <- Quad.qpoly_eval ctx qp w
+      | W_bits (vars, qp) ->
+        let s = Quad.qpoly_eval ctx qp w in
+        let nat = Fp.to_nat s in
+        if Nat.num_bits nat > Array.length vars then
+          raise (Unsatisfiable "bit decomposition out of range (input exceeds declared width?)");
+        Array.iteri (fun k v -> w.(v) <- (if Nat.testbit nat k then Fp.one else Fp.zero)) vars
+      | W_inv_or_zero (v, qp) ->
+        let e = Quad.qpoly_eval ctx qp w in
+        w.(v) <- (if Fp.is_zero e then Fp.zero else Fp.inv ctx e)
+      | W_is_zero (v, qp) ->
+        let e = Quad.qpoly_eval ctx qp w in
+        w.(v) <- (if Fp.is_zero e then Fp.one else Fp.zero))
+    steps;
+  w

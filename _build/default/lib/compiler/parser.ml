@@ -1,0 +1,290 @@
+(* Recursive-descent parser for ZL.
+
+   computation NAME ( (input|output) intN name [ "[" INT "]" ] , ... ) {
+     var intN x = e;  x = e;  a[e] = e;
+     if (e) { ... } else { ... }
+     for i in e0 .. e1 { ... }      // bounds constant-foldable
+   }
+
+   Operator precedence, loosest first: || , && , comparisons , + - , * ,
+   unary (- !). *)
+
+open Ast
+
+type st = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect_punct st s =
+  match peek st with
+  | Lexer.PUNCT p when p = s -> advance st
+  | t -> error "expected %S, found %s" s (match t with
+      | Lexer.IDENT i -> "identifier " ^ i
+      | Lexer.INT n -> string_of_int n
+      | Lexer.KW k -> "keyword " ^ k
+      | Lexer.PUNCT p -> Printf.sprintf "%S" p
+      | Lexer.EOF -> "end of input")
+
+let expect_kw st s =
+  match peek st with
+  | Lexer.KW k when k = s -> advance st
+  | _ -> error "expected keyword %S" s
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT i ->
+    advance st;
+    i
+  | _ -> error "expected identifier"
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | _ -> error "expected integer literal"
+
+let parse_type st =
+  let name = expect_ident st in
+  if String.length name > 3 && String.sub name 0 3 = "int" then begin
+    match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
+    | Some bits when bits >= 2 && bits <= 64 -> { bits }
+    | _ -> error "bad integer type %S (use int2..int64)" name
+  end
+  else if name = "bool" then { bits = 2 }
+  else error "unknown type %S" name
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.PUNCT "||" ->
+    advance st;
+    Binop (Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Lexer.PUNCT "&&" ->
+    advance st;
+    Binop (And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_shift st in
+  match peek st with
+  | Lexer.PUNCT (("<" | "<=" | ">" | ">=" | "==" | "!=") as op) ->
+    advance st;
+    let rhs = parse_shift st in
+    let b =
+      match op with
+      | "<" -> Lt
+      | "<=" -> Le
+      | ">" -> Gt
+      | ">=" -> Ge
+      | "==" -> Eq
+      | _ -> Ne
+    in
+    Binop (b, lhs, rhs)
+  | _ -> lhs
+
+and parse_shift st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PUNCT ">>" ->
+      advance st;
+      go (Binop (Shr, lhs, parse_add st))
+    | Lexer.PUNCT "<<" ->
+      advance st;
+      go (Binop (Shl, lhs, parse_add st))
+    | _ -> lhs
+  in
+  go (parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PUNCT "+" ->
+      advance st;
+      go (Binop (Add, lhs, parse_mul st))
+    | Lexer.PUNCT "-" ->
+      advance st;
+      go (Binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PUNCT "*" ->
+      advance st;
+      go (Binop (Mul, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Unop (Neg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Unop (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Int n
+  | Lexer.KW "true" ->
+    advance st;
+    Int 1
+  | Lexer.KW "false" ->
+    advance st;
+    Int 0
+  | Lexer.IDENT name ->
+    advance st;
+    (match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      Index (name, idx)
+    | _ -> Var name)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | _ -> error "expected expression"
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lexer.KW "var" ->
+    advance st;
+    let t = parse_type st in
+    let name = expect_ident st in
+    let len =
+      match peek st with
+      | Lexer.PUNCT "[" ->
+        advance st;
+        let n = expect_int st in
+        expect_punct st "]";
+        Some n
+      | _ -> None
+    in
+    let init =
+      match peek st with
+      | Lexer.PUNCT "=" ->
+        advance st;
+        Some (parse_expr st)
+      | _ -> None
+    in
+    expect_punct st ";";
+    Decl (t, name, len, init)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_b = parse_block st in
+    let else_b =
+      match peek st with
+      | Lexer.KW "else" ->
+        advance st;
+        (match peek st with
+        | Lexer.KW "if" -> [ parse_stmt st ]
+        | _ -> parse_block st)
+      | _ -> []
+    in
+    If (cond, then_b, else_b)
+  | Lexer.KW "for" ->
+    advance st;
+    let v = expect_ident st in
+    expect_kw st "in";
+    let lo = parse_expr st in
+    expect_punct st "..";
+    let hi = parse_expr st in
+    let body = parse_block st in
+    For (v, lo, hi, body)
+  | Lexer.IDENT name ->
+    advance st;
+    (match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      Assign (Lindex (name, idx), e)
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ";";
+      Assign (Lvar name, e)
+    | _ -> error "expected assignment to %S" name)
+  | _ -> error "expected statement"
+
+and parse_block st : stmt list =
+  expect_punct st "{";
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "}" ->
+      advance st;
+      List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_param st =
+  let pdir =
+    match peek st with
+    | Lexer.KW "input" ->
+      advance st;
+      Input
+    | Lexer.KW "output" ->
+      advance st;
+      Output
+    | _ -> error "expected input or output parameter"
+  in
+  let ptyp = parse_type st in
+  let pname = expect_ident st in
+  let plen =
+    match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let n = expect_int st in
+      expect_punct st "]";
+      Some n
+    | _ -> None
+  in
+  { pname; ptyp; plen; pdir }
+
+let parse_program src : program =
+  let st = { toks = Lexer.tokenize src } in
+  expect_kw st "computation";
+  let name = expect_ident st in
+  expect_punct st "(";
+  let rec params acc =
+    match peek st with
+    | Lexer.PUNCT ")" ->
+      advance st;
+      List.rev acc
+    | Lexer.PUNCT "," ->
+      advance st;
+      params acc
+    | _ -> params (parse_param st :: acc)
+  in
+  let params = params [] in
+  let body = parse_block st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> error "trailing tokens after computation body");
+  { name; params; body }

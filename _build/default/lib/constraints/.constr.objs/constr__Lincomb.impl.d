@@ -1,0 +1,1 @@
+lib/constraints/lincomb.ml: Array Fieldlib Format Fp Int Map

@@ -1,0 +1,1 @@
+lib/constraints/lincomb.mli: Fieldlib Format Fp

@@ -1,0 +1,1 @@
+lib/constraints/quad.ml: Array Fieldlib Fp Lincomb List Map Stdlib

@@ -1,0 +1,1 @@
+lib/constraints/quad.mli: Fieldlib Fp Lincomb Map

@@ -1,0 +1,1 @@
+lib/constraints/r1cs.ml: Array Fieldlib Fp Lincomb List

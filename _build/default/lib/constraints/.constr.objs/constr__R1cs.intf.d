@@ -1,0 +1,1 @@
+lib/constraints/r1cs.mli: Fieldlib Fp Lincomb

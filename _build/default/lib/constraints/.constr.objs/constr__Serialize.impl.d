@@ -1,0 +1,1 @@
+lib/constraints/serialize.ml: Array Buffer Fieldlib Fp Lincomb List Nat Printf R1cs String

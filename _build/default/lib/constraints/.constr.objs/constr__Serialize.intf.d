@@ -1,0 +1,1 @@
+lib/constraints/serialize.mli: Fieldlib Fp R1cs

@@ -1,0 +1,1 @@
+lib/constraints/transform.ml: Array Fieldlib Fp Hashtbl Lincomb Quad R1cs

@@ -1,0 +1,1 @@
+lib/constraints/transform.mli: Fieldlib Fp Quad R1cs

@@ -1,0 +1,164 @@
+(* Ginger's constraint formalism (§2.2): degree-2 polynomials over F set to
+   zero. Each constraint is a sum of degree-2 monomials, a linear
+   combination, and a constant. Monomial keys (i, j) are normalized with
+   i <= j and i, j >= 1 (the constant-one variable never appears inside a
+   quadratic monomial). *)
+
+open Fieldlib
+
+module MMap = Map.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type qpoly = {
+  lin : Lincomb.t; (* includes the constant via variable 0 *)
+  quad : Fp.el MMap.t;
+}
+
+type system = {
+  field : Fp.ctx;
+  num_vars : int; (* n: total variables, excluding the constant w0 *)
+  num_z : int; (* n': unbound variables; IO variables are n'+1 .. n *)
+  constraints : qpoly array;
+}
+
+let qpoly_zero = { lin = Lincomb.zero; quad = MMap.empty }
+
+let norm_key i j = if i <= j then (i, j) else (j, i)
+
+let quad_add_term ctx q (i, j) c =
+  if Fp.is_zero c then q
+  else begin
+    if i < 1 || j < 1 then invalid_arg "Quad: monomial with constant variable";
+    MMap.update (norm_key i j)
+      (function
+        | None -> Some c
+        | Some c0 ->
+          let s = Fp.add ctx c0 c in
+          if Fp.is_zero s then None else Some s)
+      q
+  end
+
+let qpoly_add ctx a b =
+  {
+    lin = Lincomb.add ctx a.lin b.lin;
+    quad = MMap.fold (fun k c acc -> quad_add_term ctx acc k c) b.quad a.quad;
+  }
+
+let qpoly_scale ctx c a =
+  if Fp.is_zero c then qpoly_zero
+  else { lin = Lincomb.scale ctx c a.lin; quad = MMap.map (Fp.mul ctx c) a.quad }
+
+let qpoly_neg ctx a = qpoly_scale ctx (Fp.neg ctx Fp.one) a
+let qpoly_sub ctx a b = qpoly_add ctx a (qpoly_neg ctx b)
+let qpoly_of_lincomb lc = { lin = lc; quad = MMap.empty }
+let qpoly_is_linear q = MMap.is_empty q.quad
+
+(* Product of two linear combinations, expanded to monomials. Degree > 2 is
+   impossible here by typing; the compiler materializes variables before
+   multiplying anything quadratic. *)
+let qpoly_mul_lin ctx (a : Lincomb.t) (b : Lincomb.t) =
+  let acc = ref qpoly_zero in
+  List.iter
+    (fun (va, ca) ->
+      List.iter
+        (fun (vb, cb) ->
+          let c = Fp.mul ctx ca cb in
+          if va = 0 && vb = 0 then
+            acc := { !acc with lin = Lincomb.add_term ctx !acc.lin 0 c }
+          else if va = 0 then acc := { !acc with lin = Lincomb.add_term ctx !acc.lin vb c }
+          else if vb = 0 then acc := { !acc with lin = Lincomb.add_term ctx !acc.lin va c }
+          else acc := { !acc with quad = quad_add_term ctx !acc.quad (va, vb) c })
+        (Lincomb.terms b))
+    (Lincomb.terms a);
+  !acc
+
+let qpoly_eval ctx q (w : Fp.el array) =
+  let lin = Lincomb.eval ctx q.lin w in
+  MMap.fold
+    (fun (i, j) c acc -> Fp.add ctx acc (Fp.mul ctx c (Fp.mul ctx w.(i) w.(j))))
+    q.quad lin
+
+let satisfied ctx sys (w : Fp.el array) =
+  if Array.length w <> sys.num_vars + 1 then invalid_arg "Quad.satisfied: bad assignment length";
+  if not (Fp.equal w.(0) Fp.one) then invalid_arg "Quad.satisfied: w0 must be 1";
+  Array.for_all (fun q -> Fp.is_zero (qpoly_eval ctx q w)) sys.constraints
+
+let first_violation ctx sys (w : Fp.el array) =
+  let n = Array.length sys.constraints in
+  let rec go j =
+    if j >= n then None
+    else if Fp.is_zero (qpoly_eval ctx sys.constraints.(j) w) then go (j + 1)
+    else Some j
+  in
+  go 0
+
+(* Statistics used throughout §4's cost analysis. *)
+
+let num_constraints sys = Array.length sys.constraints
+
+(* K: total number of additive terms across all constraints. *)
+let additive_terms sys =
+  Array.fold_left
+    (fun acc q -> acc + Lincomb.num_terms q.lin + MMap.cardinal q.quad)
+    0 sys.constraints
+
+(* K2: number of *distinct* degree-2 monomials appearing anywhere in the
+   system (§4: |Z_zaatar| = |Z_ginger| + K2). *)
+let distinct_quadratic_terms sys =
+  let seen = ref MMap.empty in
+  Array.iter
+    (fun q -> MMap.iter (fun k _ -> seen := MMap.add k () !seen) q.quad)
+    sys.constraints;
+  MMap.cardinal !seen
+
+let qpoly_map_vars f q =
+  {
+    lin = Lincomb.map_vars (fun v -> if v = 0 then 0 else f v) q.lin;
+    quad =
+      MMap.fold (fun (i, j) c acc -> MMap.add (norm_key (f i) (f j)) c acc) q.quad MMap.empty;
+  }
+
+let qpoly_equal a b = Lincomb.equal a.lin b.lin && MMap.equal Fp.equal a.quad b.quad
+
+(* Bind the input/output variables to concrete values, producing the system
+   C(X=x, Y=y) over the unbound variables Z only (§2.1). IO variables are
+   num_z+1 .. num_vars; [io] lists their values in order. *)
+let bind_io ctx sys (io : Fp.el array) =
+  if Array.length io <> sys.num_vars - sys.num_z then invalid_arg "Quad.bind_io: bad io length";
+  let value v = io.(v - sys.num_z - 1) in
+  let is_io v = v > sys.num_z in
+  let bind_lc lc =
+    List.fold_left
+      (fun acc (v, c) ->
+        if v <> 0 && is_io v then Lincomb.add_term ctx acc 0 (Fp.mul ctx c (value v))
+        else Lincomb.add_term ctx acc v c)
+      Lincomb.zero (Lincomb.terms lc)
+  in
+  let bind_qpoly q =
+    let base = { lin = bind_lc q.lin; quad = MMap.empty } in
+    MMap.fold
+      (fun (i, j) c acc ->
+        match (is_io i, is_io j) with
+        | false, false -> { acc with quad = quad_add_term ctx acc.quad (i, j) c }
+        | false, true -> { acc with lin = Lincomb.add_term ctx acc.lin i (Fp.mul ctx c (value j)) }
+        | true, false -> { acc with lin = Lincomb.add_term ctx acc.lin j (Fp.mul ctx c (value i)) }
+        | true, true ->
+          { acc with lin = Lincomb.add_term ctx acc.lin 0 (Fp.mul ctx c (Fp.mul ctx (value i) (value j))) })
+      q.quad base
+  in
+  {
+    field = ctx;
+    num_vars = sys.num_z;
+    num_z = sys.num_z;
+    constraints = Array.map bind_qpoly sys.constraints;
+  }
+
+let distinct_quadratic_monomials sys =
+  let seen = ref MMap.empty in
+  Array.iter
+    (fun q -> MMap.iter (fun k _ -> seen := MMap.add k () !seen) q.quad)
+    sys.constraints;
+  List.map fst (MMap.bindings !seen)

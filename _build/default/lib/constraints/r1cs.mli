@@ -1,0 +1,34 @@
+(** Zaatar's quadratic-form constraints (paper §4): each constraint j is
+
+      p_A(W) * p_B(W) = p_C(W)
+
+    with degree-1 [p_A], [p_B], [p_C] over (w0 = 1, w1 .. wn). This is the
+    form the QAP encoding of Appendix A.1 consumes (later literature calls
+    it R1CS). *)
+
+open Fieldlib
+
+type constr = { a : Lincomb.t; b : Lincomb.t; c : Lincomb.t }
+
+type system = {
+  field : Fp.ctx;
+  num_vars : int; (** n *)
+  num_z : int; (** n'; IO variables occupy n'+1 .. n *)
+  constraints : constr array;
+}
+
+val num_constraints : system -> int
+val num_io : system -> int
+
+val check_wellformed : system -> unit
+(** Raises [Invalid_argument] on out-of-range variables. *)
+
+val eval_constr : Fp.ctx -> constr -> Fp.el array -> Fp.el
+(** The residual [<a,w><b,w> - <c,w>]; zero iff the constraint holds. *)
+
+val satisfied : Fp.ctx -> system -> Fp.el array -> bool
+val first_violation : Fp.ctx -> system -> Fp.el array -> int option
+
+val num_nonzero : system -> int
+(** Total non-zero coefficients — the K + 3K2 bound of §A.3 that governs
+    the verifier's query-construction cost. *)

@@ -1,0 +1,130 @@
+(* Textual serialization of quadratic-form systems and assignments, so
+   compiled computations can be exported, archived and re-verified without
+   recompiling (CLI: `zaatar compile --emit ...`).
+
+   Format (line-oriented, hex field elements):
+
+     r1cs v=<num_vars> z=<num_z> c=<num_constraints> p=<modulus-hex>
+     # one constraint = three rows
+     A <var>:<coef> <var>:<coef> ...
+     B ...
+     C ...
+     ...
+
+     witness n=<len> p=<modulus-hex>
+     <el>
+     ... *)
+
+open Fieldlib
+
+let row_to_string prefix (lc : Lincomb.t) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b prefix;
+  List.iter
+    (fun (v, c) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ':';
+      Buffer.add_string b (Nat.to_hex (Fp.to_nat c)))
+    (Lincomb.terms lc);
+  Buffer.contents b
+
+let system_to_string (sys : R1cs.system) =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "r1cs v=%d z=%d c=%d p=%s\n" sys.R1cs.num_vars sys.R1cs.num_z
+    (R1cs.num_constraints sys)
+    (Nat.to_hex (Fp.modulus sys.R1cs.field));
+  Array.iter
+    (fun (k : R1cs.constr) ->
+      Buffer.add_string b (row_to_string "A" k.R1cs.a);
+      Buffer.add_char b '\n';
+      Buffer.add_string b (row_to_string "B" k.R1cs.b);
+      Buffer.add_char b '\n';
+      Buffer.add_string b (row_to_string "C" k.R1cs.c);
+      Buffer.add_char b '\n')
+    sys.R1cs.constraints;
+  Buffer.contents b
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_kv line expected_key =
+  match String.split_on_char '=' line with
+  | [ k; v ] when k = expected_key -> v
+  | _ -> parse_error "expected %s=<value>, got %S" expected_key line
+
+let parse_row ctx prefix line =
+  match split_ws line with
+  | p :: terms when p = prefix ->
+    List.fold_left
+      (fun acc term ->
+        match String.index_opt term ':' with
+        | None -> parse_error "bad term %S" term
+        | Some i ->
+          let v = int_of_string (String.sub term 0 i) in
+          let c = Fp.of_nat ctx (Nat.of_hex (String.sub term (i + 1) (String.length term - i - 1))) in
+          Lincomb.add_term ctx acc v c)
+      Lincomb.zero terms
+  | _ -> parse_error "expected row %S, got %S" prefix line
+
+let system_of_string (s : string) : R1cs.system =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           let t = String.trim l in
+           t <> "" && t.[0] <> '#')
+  in
+  match lines with
+  | [] -> parse_error "empty input"
+  | header :: rest ->
+    let fields = split_ws header in
+    (match fields with
+    | [ "r1cs"; v; z; c; p ] ->
+      let num_vars = int_of_string (parse_kv v "v") in
+      let num_z = int_of_string (parse_kv z "z") in
+      let nc = int_of_string (parse_kv c "c") in
+      let modulus = Nat.of_hex (parse_kv p "p") in
+      let ctx = Fp.create modulus in
+      let rest = Array.of_list rest in
+      if Array.length rest <> 3 * nc then
+        parse_error "expected %d rows, found %d" (3 * nc) (Array.length rest);
+      let constraints =
+        Array.init nc (fun j ->
+            {
+              R1cs.a = parse_row ctx "A" rest.(3 * j);
+              b = parse_row ctx "B" rest.((3 * j) + 1);
+              c = parse_row ctx "C" rest.((3 * j) + 2);
+            })
+      in
+      let sys = { R1cs.field = ctx; num_vars; num_z; constraints } in
+      R1cs.check_wellformed sys;
+      sys
+    | _ -> parse_error "bad header %S" header)
+
+let assignment_to_string ctx (w : Fp.el array) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "witness n=%d p=%s\n" (Array.length w) (Nat.to_hex (Fp.modulus ctx));
+  Array.iter
+    (fun e ->
+      Buffer.add_string b (Nat.to_hex (Fp.to_nat e));
+      Buffer.add_char b '\n')
+    w;
+  Buffer.contents b
+
+let assignment_of_string (s : string) : Fp.ctx * Fp.el array =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> parse_error "empty witness"
+  | header :: rest ->
+    (match split_ws header with
+    | [ "witness"; n; p ] ->
+      let len = int_of_string (parse_kv n "n") in
+      let ctx = Fp.create (Nat.of_hex (parse_kv p "p")) in
+      if List.length rest <> len then parse_error "expected %d elements" len;
+      (ctx, Array.of_list (List.map (fun l -> Fp.of_nat ctx (Nat.of_hex (String.trim l))) rest))
+    | _ -> parse_error "bad witness header %S" header)

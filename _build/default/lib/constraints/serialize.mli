@@ -1,0 +1,26 @@
+(** Textual serialization of quadratic-form systems and assignments, so
+    compiled computations can be exported, archived and re-checked without
+    recompiling (`zaatar compile --emit`, `zaatar run --emit-witness`,
+    `zaatar check`).
+
+    Line-oriented, hex field elements; `#` comments and blank lines are
+    ignored:
+
+    {v
+    r1cs v=<num_vars> z=<num_z> c=<num_constraints> p=<modulus-hex>
+    A <var>:<coef> <var>:<coef> ...
+    B ...
+    C ...
+    v} *)
+
+open Fieldlib
+
+exception Parse_error of string
+
+val system_to_string : R1cs.system -> string
+val system_of_string : string -> R1cs.system
+(** Raises {!Parse_error} on malformed input and [Invalid_argument] on
+    systems with out-of-range variables. *)
+
+val assignment_to_string : Fp.ctx -> Fp.el array -> string
+val assignment_of_string : string -> Fp.ctx * Fp.el array

@@ -1,0 +1,78 @@
+(* The Ginger -> Zaatar constraint transformation of §4: keep degree-1
+   terms, replace every *distinct* degree-2 monomial z_i z_j with a fresh
+   variable m_ij defined by a new quadratic-form constraint z_i * z_j =
+   m_ij. The fresh variables are unbound, so they extend the Z region:
+
+     |Z_zaatar| = |Z_ginger| + K2      |C_zaatar| = |C_ginger| + K2
+
+   Variable renumbering keeps the system convention (Z first, then IO):
+   original z stays put, product variables take n'+1 .. n'+K2, original IO
+   shifts up by K2. *)
+
+open Fieldlib
+
+type t = {
+  r1cs : R1cs.system;
+  monomials : (int * int) array; (* original-index monomials, in product-var order *)
+  k2 : int;
+  var_map : int -> int; (* original variable index -> new index *)
+}
+
+let apply (sys : Quad.system) : t =
+  let ctx = sys.field in
+  let monomials = Array.of_list (Quad.distinct_quadratic_monomials sys) in
+  let k2 = Array.length monomials in
+  let var_map v = if v <= sys.num_z then v else v + k2 in
+  let prod_var =
+    let tbl = Hashtbl.create (max 16 k2) in
+    Array.iteri (fun idx m -> Hashtbl.add tbl m (sys.num_z + 1 + idx)) monomials;
+    fun m -> Hashtbl.find tbl m
+  in
+  let remap_lc lc = Lincomb.map_vars var_map lc in
+  let linear_constraints =
+    Array.map
+      (fun (q : Quad.qpoly) ->
+        let lin = remap_lc q.Quad.lin in
+        let with_prods =
+          Quad.MMap.fold
+            (fun m c acc -> Lincomb.add_term ctx acc (prod_var m) c)
+            q.Quad.quad lin
+        in
+        { R1cs.a = with_prods; b = Lincomb.of_const Fp.one; c = Lincomb.zero })
+      sys.constraints
+  in
+  let product_constraints =
+    Array.mapi
+      (fun idx (i, j) ->
+        {
+          R1cs.a = Lincomb.of_var (var_map i);
+          b = Lincomb.of_var (var_map j);
+          c = Lincomb.of_var (sys.num_z + 1 + idx);
+        })
+      monomials
+  in
+  let r1cs =
+    {
+      R1cs.field = ctx;
+      num_vars = sys.num_vars + k2;
+      num_z = sys.num_z + k2;
+      constraints = Array.append linear_constraints product_constraints;
+    }
+  in
+  R1cs.check_wellformed r1cs;
+  { r1cs; monomials; k2; var_map }
+
+(* Lift a satisfying assignment of the Ginger system to the Zaatar system by
+   computing the product-variable values. *)
+let extend_assignment (tr : t) (sys : Quad.system) (w : Fp.el array) : Fp.el array =
+  let ctx = sys.field in
+  let n' = tr.r1cs.R1cs.num_vars in
+  let w' = Array.make (n' + 1) Fp.zero in
+  w'.(0) <- Fp.one;
+  for v = 1 to sys.num_vars do
+    w'.(tr.var_map v) <- w.(v)
+  done;
+  Array.iteri
+    (fun idx (i, j) -> w'.(sys.num_z + 1 + idx) <- Fp.mul ctx w.(i) w.(j))
+    tr.monomials;
+  w'

@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Params Zlang

@@ -1,0 +1,1 @@
+lib/costmodel/params.ml: Array Chacha Elgamal Fieldlib Format Fp Group Nat Unix Zcrypto

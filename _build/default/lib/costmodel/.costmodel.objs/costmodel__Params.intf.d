@@ -1,0 +1,1 @@
+lib/costmodel/params.mli: Fieldlib Format Fp Group Zcrypto

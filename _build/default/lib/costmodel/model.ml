@@ -1,0 +1,123 @@
+(* Figure 3, executable: the closed-form CPU cost model for both Zaatar and
+   Ginger, parameterized by the measured microbenchmarks (Params.t) and the
+   encoding statistics produced by the compiler.
+
+   The paper uses this model two ways, and so do we:
+   (1) to *estimate* Ginger's costs at scales where running it is
+       infeasible (|u_ginger| is quadratic; §5.1: "we use estimates, rather
+       than empirics, because the computations would be too expensive under
+       Ginger");
+   (2) to validate Zaatar empirics ("the empirical CPU costs are 5-15%
+       larger than the model's predictions").  *)
+
+type sizes = {
+  z_ginger : int; (* |Z_ginger| *)
+  c_ginger : int; (* |C_ginger| *)
+  z_zaatar : int;
+  c_zaatar : int;
+  k : int; (* additive terms in C_ginger *)
+  k2 : int; (* distinct degree-2 terms *)
+  n_x : int; (* |x| *)
+  n_y : int; (* |y| *)
+  t_local : float; (* T: running time of Psi, seconds *)
+}
+
+type protocol_params = { rho : int; rho_lin : int }
+
+let log2 x = log (float_of_int (max 2 x)) /. log 2.0
+
+let fi = float_of_int
+
+(* ---- proof vector sizes (first rows of Figure 3) ---- *)
+
+let u_ginger s = s.z_ginger + (s.z_ginger * s.z_ginger)
+let u_zaatar s = s.z_zaatar + s.c_zaatar + 1
+
+(* ---- prover ---- *)
+
+type prover_costs = { construct_u : float; issue_responses : float; total_p : float }
+
+let zaatar_prover (p : Params.t) (pp : protocol_params) s =
+  let ell' = (6 * pp.rho_lin) + 4 in
+  let construct_u =
+    s.t_local +. (3.0 *. p.Params.f *. fi s.c_zaatar *. (log2 s.c_zaatar ** 2.0))
+  in
+  let issue_responses =
+    (p.Params.h +. ((fi (pp.rho * ell') +. 1.0) *. p.Params.f)) *. fi (u_zaatar s)
+  in
+  { construct_u; issue_responses; total_p = construct_u +. issue_responses }
+
+let ginger_prover (p : Params.t) (pp : protocol_params) s =
+  let ell = (3 * pp.rho_lin) + 2 in
+  let construct_u = s.t_local +. (p.Params.f *. fi (s.z_ginger * s.z_ginger)) in
+  let issue_responses =
+    (p.Params.h +. ((fi (pp.rho * ell) +. 1.0) *. p.Params.f)) *. fi (u_ginger s)
+  in
+  { construct_u; issue_responses; total_p = construct_u +. issue_responses }
+
+(* ---- verifier ---- *)
+
+type verifier_costs = {
+  specific_per_batch : float; (* computation-specific query construction *)
+  oblivious_per_batch : float; (* computation-oblivious query construction *)
+  process_per_instance : float;
+}
+
+let zaatar_verifier (p : Params.t) (pp : protocol_params) s =
+  let ell' = (6 * pp.rho_lin) + 4 in
+  let specific =
+    fi pp.rho
+    *. (p.Params.c
+       +. ((p.Params.f_div +. (5.0 *. p.Params.f)) *. fi s.c_zaatar)
+       +. (p.Params.f *. fi s.k)
+       +. (3.0 *. p.Params.f *. fi s.k2))
+  in
+  let oblivious =
+    (p.Params.e +. (2.0 *. p.Params.c)
+    +. (fi pp.rho *. ((2.0 *. fi pp.rho_lin *. p.Params.c) +. (fi ell' *. p.Params.f))))
+    *. fi (u_zaatar s)
+  in
+  let process =
+    p.Params.d +. (fi pp.rho *. fi (ell' + (3 * s.n_x) + (3 * s.n_y)) *. p.Params.f)
+  in
+  { specific_per_batch = specific; oblivious_per_batch = oblivious; process_per_instance = process }
+
+let ginger_verifier (p : Params.t) (pp : protocol_params) s =
+  let ell = (3 * pp.rho_lin) + 2 in
+  let specific =
+    fi pp.rho *. ((p.Params.c *. fi s.c_ginger) +. (p.Params.f *. fi s.k))
+  in
+  let oblivious =
+    (p.Params.e +. (2.0 *. p.Params.c)
+    +. (fi pp.rho *. ((2.0 *. fi pp.rho_lin *. p.Params.c) +. (fi (ell + 1) *. p.Params.f))))
+    *. fi (u_ginger s)
+  in
+  let process =
+    p.Params.d +. (fi pp.rho *. fi ((2 * ell) + s.n_x + s.n_y) *. p.Params.f)
+  in
+  { specific_per_batch = specific; oblivious_per_batch = oblivious; process_per_instance = process }
+
+(* ---- break-even batch size (§2.2): the smallest beta at which verifying
+   the batch beats executing it locally. ---- *)
+
+let breakeven (v : verifier_costs) ~t_local : int option =
+  let setup = v.specific_per_batch +. v.oblivious_per_batch in
+  let margin = t_local -. v.process_per_instance in
+  if margin <= 0.0 then None else Some (max 1 (int_of_float (ceil (setup /. margin))))
+
+let zaatar_breakeven p pp s = breakeven (zaatar_verifier p pp s) ~t_local:s.t_local
+let ginger_breakeven p pp s = breakeven (ginger_verifier p pp s) ~t_local:s.t_local
+
+(* Sizes from a compiled computation plus a measured local time. *)
+let sizes_of_stats (st : Zlang.Compile.stats) ~n_x ~n_y ~t_local =
+  {
+    z_ginger = st.Zlang.Compile.z_ginger;
+    c_ginger = st.Zlang.Compile.c_ginger;
+    z_zaatar = st.Zlang.Compile.z_zaatar;
+    c_zaatar = st.Zlang.Compile.c_zaatar;
+    k = st.Zlang.Compile.k;
+    k2 = st.Zlang.Compile.k2;
+    n_x;
+    n_y;
+    t_local;
+  }

@@ -1,0 +1,50 @@
+(** Figure 3, executable: closed-form CPU cost models for the Zaatar and
+    Ginger protocols, parameterized by measured microbenchmarks
+    ({!Params.t}) and the compiler's encoding statistics.
+
+    Used exactly as the paper uses its model: to estimate Ginger at sizes
+    where running it is infeasible, and to validate measured Zaatar runs
+    (paper: empirics within 5-15% of the model). *)
+
+type sizes = {
+  z_ginger : int;
+  c_ginger : int;
+  z_zaatar : int;
+  c_zaatar : int;
+  k : int; (** additive terms in C_ginger *)
+  k2 : int; (** distinct degree-2 terms *)
+  n_x : int;
+  n_y : int;
+  t_local : float; (** T: running time of Psi, seconds *)
+}
+
+type protocol_params = { rho : int; rho_lin : int }
+
+val u_ginger : sizes -> int
+(** |Z| + |Z|^2 *)
+
+val u_zaatar : sizes -> int
+(** |Z| + |C| + 1 *)
+
+type prover_costs = { construct_u : float; issue_responses : float; total_p : float }
+
+val zaatar_prover : Params.t -> protocol_params -> sizes -> prover_costs
+val ginger_prover : Params.t -> protocol_params -> sizes -> prover_costs
+
+type verifier_costs = {
+  specific_per_batch : float; (** computation-specific query construction *)
+  oblivious_per_batch : float; (** computation-oblivious query construction *)
+  process_per_instance : float;
+}
+
+val zaatar_verifier : Params.t -> protocol_params -> sizes -> verifier_costs
+val ginger_verifier : Params.t -> protocol_params -> sizes -> verifier_costs
+
+val breakeven : verifier_costs -> t_local:float -> int option
+(** Smallest batch size at which verifying beats local execution (§2.2);
+    [None] if per-instance verification alone exceeds local execution. *)
+
+val zaatar_breakeven : Params.t -> protocol_params -> sizes -> int option
+val ginger_breakeven : Params.t -> protocol_params -> sizes -> int option
+
+val sizes_of_stats : Zlang.Compile.stats -> n_x:int -> n_y:int -> t_local:float -> sizes

@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Array Chacha Fieldlib Fp Group Nat

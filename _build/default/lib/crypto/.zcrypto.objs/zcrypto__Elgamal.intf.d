@@ -1,0 +1,1 @@
+lib/crypto/elgamal.mli: Chacha Fieldlib Fp Group Nat

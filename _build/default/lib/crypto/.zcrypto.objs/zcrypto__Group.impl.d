@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Chacha Fieldlib Fp Hashtbl Montgomery Nat Primes Printf

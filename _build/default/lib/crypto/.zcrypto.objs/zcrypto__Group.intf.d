@@ -1,0 +1,1 @@
+lib/crypto/group.mli: Fieldlib Fp Montgomery Nat

@@ -1,0 +1,68 @@
+(* ElGamal over a Schnorr group with plaintexts in the exponent: the
+   homomorphic (not fully homomorphic) encryption the commitment protocol
+   needs (§2.2, footnote 3).
+
+     Enc(m) = (g^k, g^m * y^k)        for k uniform in [1, q)
+     Dec(c1, c2) = c2 * c1^(-x) = g^m
+
+   Decryption recovers g^m, not m — and that is all the consistency test
+   ever needs: it compares group elements whose exponents are linear
+   combinations the verifier knows in the clear (see lib/commit).
+
+   Homomorphism: Enc(a) * Enc(b) = Enc(a+b) componentwise, and
+   Enc(a)^c = Enc(c*a); the prover evaluates Enc(<u, r>) from Enc(r)
+   without ever seeing r. *)
+
+open Fieldlib
+
+type public_key = { grp : Group.t; y : Group.element }
+type secret_key = { pk : public_key; x : Nat.t }
+type ciphertext = { c1 : Group.element; c2 : Group.element }
+
+let keygen (grp : Group.t) (prg : Chacha.Prg.t) =
+  let qctx = Fp.create grp.Group.q in
+  let x = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
+  let y = Group.pow grp grp.Group.g x in
+  let pk = { grp; y } in
+  ({ pk; x }, pk)
+
+(* Encrypt a field element (exponent encoding). *)
+let encrypt (pk : public_key) (prg : Chacha.Prg.t) (m : Fp.el) : ciphertext =
+  let grp = pk.grp in
+  let qctx = Fp.create grp.Group.q in
+  let k = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
+  let gm = Group.pow grp grp.Group.g (Fp.to_nat m) in
+  { c1 = Group.pow grp grp.Group.g k; c2 = Group.mul grp gm (Group.pow grp pk.y k) }
+
+(* Decrypt to the group encoding g^m of the plaintext. *)
+let decrypt_to_group (sk : secret_key) (c : ciphertext) : Group.element =
+  let grp = sk.pk.grp in
+  Group.mul grp c.c2 (Group.inv grp (Group.pow grp c.c1 sk.x))
+
+(* g^m for a known m: what the verifier compares decryptions against. *)
+let encode (pk : public_key) (m : Fp.el) : Group.element =
+  Group.pow pk.grp pk.grp.Group.g (Fp.to_nat m)
+
+(* Homomorphic operations. *)
+
+let hom_add (pk : public_key) (a : ciphertext) (b : ciphertext) : ciphertext =
+  { c1 = Group.mul pk.grp a.c1 b.c1; c2 = Group.mul pk.grp a.c2 b.c2 }
+
+let hom_scale (pk : public_key) (c : ciphertext) (s : Fp.el) : ciphertext =
+  { c1 = Group.pow pk.grp c.c1 (Fp.to_nat s); c2 = Group.pow pk.grp c.c2 (Fp.to_nat s) }
+
+let hom_zero (pk : public_key) : ciphertext =
+  (* Enc(0) with randomness 0: (1, 1) — only used as a fold seed, so the
+     missing blinding is irrelevant. *)
+  ignore pk;
+  { c1 = Fp.one; c2 = Fp.one }
+
+(* Enc(<u, r>) from Enc(r): the prover's commitment computation. Skips zero
+   coefficients, matching the sparse proof vectors. *)
+let hom_dot (pk : public_key) (enc_r : ciphertext array) (u : Fp.el array) : ciphertext =
+  if Array.length enc_r <> Array.length u then invalid_arg "Elgamal.hom_dot: length mismatch";
+  let acc = ref (hom_zero pk) in
+  Array.iteri
+    (fun i ui -> if not (Fp.is_zero ui) then acc := hom_add pk !acc (hom_scale pk enc_r.(i) ui))
+    u;
+  !acc

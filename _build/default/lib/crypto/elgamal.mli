@@ -1,0 +1,30 @@
+(** ElGamal over a Schnorr group with plaintexts in the exponent: the
+    homomorphic (not fully homomorphic) encryption the commitment protocol
+    needs (§2.2, footnote 3).
+
+      Enc(m) = (g^k, g^m y^k)        Dec(c1, c2) = c2 c1^{-x} = g^m
+
+    Decryption recovers g^m, not m — all the consistency test needs, since
+    it compares group elements whose exponents the verifier knows in the
+    clear. [hom_add]/[hom_scale] give Enc(a+b) and Enc(c*a); {!hom_dot}
+    evaluates Enc(<u, r>) from Enc(r) without the prover learning r. *)
+
+open Fieldlib
+
+type public_key = { grp : Group.t; y : Group.element }
+type secret_key = { pk : public_key; x : Nat.t }
+type ciphertext = { c1 : Group.element; c2 : Group.element }
+
+val keygen : Group.t -> Chacha.Prg.t -> secret_key * public_key
+val encrypt : public_key -> Chacha.Prg.t -> Fp.el -> ciphertext
+val decrypt_to_group : secret_key -> ciphertext -> Group.element
+
+val encode : public_key -> Fp.el -> Group.element
+(** [g^m] for a known [m] — what decryptions are compared against. *)
+
+val hom_add : public_key -> ciphertext -> ciphertext -> ciphertext
+val hom_scale : public_key -> ciphertext -> Fp.el -> ciphertext
+val hom_zero : public_key -> ciphertext
+
+val hom_dot : public_key -> ciphertext array -> Fp.el array -> ciphertext
+(** Skips zero coefficients (sparse proof vectors). *)

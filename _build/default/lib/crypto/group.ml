@@ -1,0 +1,80 @@
+(* Schnorr-group parameters for the linear commitment's ElGamal encryption
+   (§2.2, footnote 3; §5.1 uses 1024-bit keys).
+
+   The commitment protocol computes with plaintexts in the exponent, so the
+   plaintext space is Z_q where q is the order of the subgroup. Following
+   Pepper/Ginger, the PCP field *is* Z_q: we pick q = the field modulus and
+   search for a prime p = q*m + 1 of the requested size. Exponent
+   arithmetic then coincides with field arithmetic, which is what makes
+   Enc(pi(r)) homomorphically computable from Enc(r). *)
+
+open Fieldlib
+
+type t = {
+  p : Nat.t; (* group modulus *)
+  q : Nat.t; (* subgroup (and PCP field) order *)
+  g : Fp.el; (* generator of the order-q subgroup, as a mod-p residue *)
+  modp : Fp.ctx; (* arithmetic mod p *)
+  mont : Montgomery.ctx; (* exponentiation ladder (see the ablation bench) *)
+}
+
+type element = Fp.el (* residue mod p *)
+
+let pow t (base : element) (e : Nat.t) = Montgomery.pow_nat t.mont base e
+
+let pow_barrett t (base : element) (e : Nat.t) = Fp.pow t.modp base e
+let mul t a b = Fp.mul t.modp a b
+let inv t a = Fp.inv t.modp a
+let equal = Fp.equal
+
+let generate ?(seed = "zaatar group") ~field_order ~p_bits () =
+  let q = field_order in
+  let q_bits = Nat.num_bits q in
+  if p_bits < q_bits + 16 then invalid_arg "Group.generate: p_bits too small for field order";
+  let prg = Chacha.Prg.create ~seed () in
+  (* Sample m so that p = q*m + 1 has exactly p_bits bits: m must lie in
+     [ceil(2^(p_bits-1)/q), (2^p_bits - 1)/q]. A fixed bit-length for m is
+     NOT enough: when q sits just above a power of two the valid window is
+     a vanishing sliver of any power-of-two range and the search would
+     never terminate. *)
+  let lo =
+    let base = Nat.shift_left Nat.one (p_bits - 1) in
+    let d, r = Nat.divmod base q in
+    if Nat.is_zero r then d else Nat.add d Nat.one
+  in
+  let hi = fst (Nat.divmod (Nat.sub (Nat.shift_left Nat.one p_bits) Nat.one) q) in
+  if Nat.compare lo hi >= 0 then invalid_arg "Group.generate: empty multiplier window";
+  let window = Nat.sub hi lo in
+  let window_bytes = (Nat.num_bits window + 7) / 8 in
+  let rec find_p () =
+    let raw = Nat.of_bytes_le (Chacha.Prg.bytes prg window_bytes) in
+    let m = Nat.add lo (snd (Nat.divmod raw window)) in
+    let m = if Nat.is_even m then m else Nat.add m Nat.one in
+    let p = Nat.add (Nat.mul q m) Nat.one in
+    if Nat.num_bits p <> p_bits then find_p ()
+    else if Primes.probably_prime p then (p, m)
+    else find_p ()
+  in
+  let p, m = find_p () in
+  if not (Primes.is_prime p) then failwith "Group.generate: final primality check failed";
+  let modp = Fp.create p in
+  let mont = Montgomery.create p in
+  let rec find_g h =
+    let g = Fp.pow modp (Fp.of_int modp h) m in
+    if Fp.equal g Fp.one then find_g (h + 1) else g
+  in
+  let g = find_g 2 in
+  { p; q; g; modp; mont }
+
+(* Cache of generated groups, keyed by (field bits, p bits): generation
+   costs seconds at 1024 bits. *)
+let cache : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let cached ~field_order ~p_bits () =
+  let key = Printf.sprintf "%s/%d" (Nat.to_hex field_order) p_bits in
+  match Hashtbl.find_opt cache key with
+  | Some g -> g
+  | None ->
+    let g = generate ~field_order ~p_bits () in
+    Hashtbl.add cache key g;
+    g

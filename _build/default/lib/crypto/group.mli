@@ -1,0 +1,39 @@
+(** Schnorr-group parameters for the commitment's ElGamal encryption (§2.2
+    footnote 3; §5.1 uses 1024-bit keys).
+
+    The commitment computes with plaintexts in the exponent, so the
+    plaintext space is Z_q for q the subgroup order. Following
+    Pepper/Ginger, the PCP field *is* Z_q: [generate] takes the field
+    modulus as the subgroup order and searches for a prime
+    p = q*m + 1 of the requested size, so exponent arithmetic coincides
+    with field arithmetic. *)
+
+open Fieldlib
+
+type t = {
+  p : Nat.t; (** group modulus *)
+  q : Nat.t; (** subgroup (and PCP field) order *)
+  g : Fp.el; (** generator of the order-q subgroup, as a mod-p residue *)
+  modp : Fp.ctx;
+  mont : Montgomery.ctx; (** exponentiation ladder *)
+}
+
+type element = Fp.el
+
+val pow : t -> element -> Nat.t -> element
+(** Montgomery-ladder exponentiation (see the ablation bench). *)
+
+val pow_barrett : t -> element -> Nat.t -> element
+(** The Barrett-reduction ladder, kept for the ablation. *)
+
+val mul : t -> element -> element -> element
+val inv : t -> element -> element
+val equal : element -> element -> bool
+
+val generate : ?seed:string -> field_order:Nat.t -> p_bits:int -> unit -> t
+(** Deterministic given [seed]; candidates are screened with
+    {!Primes.probably_prime} and the final p confirmed with
+    {!Primes.is_prime}. *)
+
+val cached : field_order:Nat.t -> p_bits:int -> unit -> t
+(** Memoized {!generate}: parameter search costs seconds at 1024 bits. *)

@@ -1,0 +1,1 @@
+lib/fieldlib/fp.ml: Array Bytes Char Format Nat

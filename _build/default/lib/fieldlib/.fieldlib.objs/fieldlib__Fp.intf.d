@@ -1,0 +1,1 @@
+lib/fieldlib/fp.mli: Format Nat

@@ -1,0 +1,1 @@
+lib/fieldlib/montgomery.ml: Nat

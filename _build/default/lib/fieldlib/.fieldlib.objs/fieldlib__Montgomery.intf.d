@@ -1,0 +1,1 @@
+lib/fieldlib/montgomery.mli: Nat

@@ -1,0 +1,1 @@
+lib/fieldlib/nat.ml: Array Buffer Bytes Char Format List Printf Stdlib String

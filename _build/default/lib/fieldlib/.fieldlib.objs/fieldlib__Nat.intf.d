@@ -1,0 +1,1 @@
+lib/fieldlib/nat.mli: Format

@@ -1,0 +1,1 @@
+lib/fieldlib/primes.ml: Bytes Char Fp Hashtbl List Nat

@@ -1,0 +1,1 @@
+lib/fieldlib/primes.mli: Fp Nat

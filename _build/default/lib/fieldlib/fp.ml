@@ -1,0 +1,187 @@
+type ctx = {
+  p : Nat.t;
+  k : int; (* limbs of p *)
+  mu : Nat.t; (* floor(B^2k / p) for Barrett reduction *)
+  p_bits : int;
+  p_minus_2 : Nat.t;
+  sample_bytes : int;
+  sample_mask : int; (* mask for the top sampled byte *)
+  dot_window : int; (* lazy products that can be accumulated before reduction *)
+}
+
+type el = Nat.t
+
+let create p =
+  if Nat.compare p (Nat.of_int 3) < 0 then invalid_arg "Fp.create: modulus too small";
+  if Nat.is_even p then invalid_arg "Fp.create: modulus must be odd";
+  let k = Nat.num_limbs p in
+  let b2k = Nat.shift_left Nat.one (31 * 2 * k) in
+  let mu, _ = Nat.divmod b2k p in
+  let p_bits = Nat.num_bits p in
+  let psq = Nat.sqr p in
+  let window, _ = Nat.divmod b2k psq in
+  let dot_window = match Nat.to_int_opt window with Some w -> max 1 (min (w - 1) 1024) | None -> 1024 in
+  {
+    p;
+    k;
+    mu;
+    p_bits;
+    p_minus_2 = Nat.sub p Nat.two;
+    sample_bytes = (p_bits + 7) / 8;
+    sample_mask = (1 lsl (((p_bits - 1) mod 8) + 1)) - 1;
+    dot_window;
+  }
+
+let modulus ctx = ctx.p
+let bits ctx = ctx.p_bits
+let zero = Nat.zero
+let one = Nat.one
+let equal = Nat.equal
+let is_zero = Nat.is_zero
+let to_nat (x : el) : Nat.t = x
+let to_int_opt = Nat.to_int_opt
+
+(* Barrett reduction of x < B^2k into [0, p). *)
+let reduce ctx x =
+  if Nat.compare x ctx.p < 0 then x
+  else begin
+    let q1 = Nat.shift_right_limbs x (ctx.k - 1) in
+    let q2 = Nat.mul q1 ctx.mu in
+    let q3 = Nat.shift_right_limbs q2 (ctx.k + 1) in
+    let r1 = Nat.truncate_limbs x (ctx.k + 1) in
+    let r2 = Nat.truncate_limbs (Nat.mul q3 ctx.p) (ctx.k + 1) in
+    let r =
+      if Nat.compare r1 r2 >= 0 then Nat.sub r1 r2
+      else Nat.sub (Nat.add r1 (Nat.shift_left Nat.one (31 * (ctx.k + 1)))) r2
+    in
+    let r = ref r in
+    while Nat.compare !r ctx.p >= 0 do
+      r := Nat.sub !r ctx.p
+    done;
+    !r
+  end
+
+let of_nat ctx n =
+  if Nat.num_limbs n <= 2 * ctx.k then reduce ctx n
+  else snd (Nat.divmod n ctx.p)
+
+let of_int ctx n =
+  if n >= 0 then of_nat ctx (Nat.of_int n)
+  else begin
+    let m = of_nat ctx (Nat.of_int (-n)) in
+    if Nat.is_zero m then Nat.zero else Nat.sub ctx.p m
+  end
+
+let two ctx = of_int ctx 2
+
+let to_signed_int ctx x =
+  let half = Nat.shift_right ctx.p 1 in
+  if Nat.compare x half <= 0 then Nat.to_int_opt x
+  else
+    match Nat.to_int_opt (Nat.sub ctx.p x) with
+    | Some m -> Some (-m)
+    | None -> None
+
+let add ctx a b =
+  let s = Nat.add a b in
+  if Nat.compare s ctx.p >= 0 then Nat.sub s ctx.p else s
+
+let sub ctx a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a ctx.p) b
+let neg ctx a = if Nat.is_zero a then Nat.zero else Nat.sub ctx.p a
+let mul ctx a b = reduce ctx (Nat.mul a b)
+let sqr ctx a = reduce ctx (Nat.sqr a)
+let mul_lazy _ctx a b = Nat.mul a b
+
+let pow ctx b e =
+  let nbits = Nat.num_bits e in
+  let acc = ref Nat.one in
+  for i = nbits - 1 downto 0 do
+    acc := sqr ctx !acc;
+    if Nat.testbit e i then acc := mul ctx !acc b
+  done;
+  !acc
+
+let pow_int ctx b e =
+  if e < 0 then invalid_arg "Fp.pow_int: negative exponent";
+  pow ctx b (Nat.of_int e)
+
+let inv_fermat ctx a =
+  if Nat.is_zero a then raise Division_by_zero;
+  pow ctx a ctx.p_minus_2
+
+(* Extended Euclid with sign-tracked Bezout coefficient for a.
+   Invariant: t_i * a = r_i (mod p). *)
+let inv ctx a =
+  if Nat.is_zero a then raise Division_by_zero;
+  let sadd (s1, m1) (s2, m2) =
+    if s1 = s2 then (s1, Nat.add m1 m2)
+    else if Nat.compare m1 m2 >= 0 then (s1, Nat.sub m1 m2)
+    else (s2, Nat.sub m2 m1)
+  in
+  let rec go r0 r1 t0 t1 =
+    if Nat.is_zero r1 then begin
+      if not (Nat.is_one r0) then raise Division_by_zero;
+      let s, m = t0 in
+      let m = if Nat.compare m ctx.p >= 0 then snd (Nat.divmod m ctx.p) else m in
+      if s && not (Nat.is_zero m) then Nat.sub ctx.p m else m
+    end else begin
+      let q, r2 = Nat.divmod r0 r1 in
+      let s1, m1 = t1 in
+      let t2 = sadd t0 (not s1, Nat.mul q m1) in
+      go r1 r2 t1 t2
+    end
+  in
+  go ctx.p a (false, Nat.zero) (false, Nat.one)
+
+let div ctx a b = mul ctx a (inv ctx b)
+
+let batch_inv ctx xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n Nat.one in
+    let acc = ref Nat.one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      if Nat.is_zero xs.(i) then raise Division_by_zero;
+      acc := mul ctx !acc xs.(i)
+    done;
+    let inv_all = ref (inv ctx !acc) in
+    let out = Array.make n Nat.zero in
+    for i = n - 1 downto 0 do
+      out.(i) <- mul ctx !inv_all prefix.(i);
+      inv_all := mul ctx !inv_all xs.(i)
+    done;
+    out
+  end
+
+let dot ctx a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Fp.dot: length mismatch";
+  let acc = ref Nat.zero in
+  let pending = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Nat.is_zero a.(i) || Nat.is_zero b.(i)) then begin
+      if !pending >= ctx.dot_window then begin
+        acc := reduce ctx !acc;
+        pending := 0
+      end;
+      acc := Nat.add !acc (Nat.mul a.(i) b.(i));
+      incr pending
+    end
+  done;
+  reduce ctx !acc
+
+let sample ctx random_bytes =
+  let rec draw () =
+    let b = random_bytes ctx.sample_bytes in
+    if Bytes.length b <> ctx.sample_bytes then invalid_arg "Fp.sample: bad byte source";
+    let top = Char.code (Bytes.get b (ctx.sample_bytes - 1)) land ctx.sample_mask in
+    Bytes.set b (ctx.sample_bytes - 1) (Char.chr top);
+    let x = Nat.of_bytes_le b in
+    if Nat.compare x ctx.p < 0 then x else draw ()
+  in
+  draw ()
+
+let to_string = Nat.to_decimal
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,79 @@
+(** Prime fields F_p with Barrett reduction.
+
+    The PCP protocols, the QAP construction and the commitment all work over
+    a large prime field (§5.1 of the paper uses 128-bit and 220-bit prime
+    moduli). A [ctx] carries the modulus and the precomputed Barrett
+    constant; elements are canonical naturals in [0, p). *)
+
+type ctx
+
+type el = Nat.t
+(** Always reduced: [0 <= el < modulus ctx]. *)
+
+val create : Nat.t -> ctx
+(** [create p] builds a context for modulus [p]. [p] must be odd and at
+    least 3; primality is the caller's responsibility (see {!Primes}). *)
+
+val modulus : ctx -> Nat.t
+val bits : ctx -> int
+(** Bit length of the modulus. *)
+
+val zero : el
+val one : el
+val two : ctx -> el
+
+val of_nat : ctx -> Nat.t -> el
+(** Reduce an arbitrary natural modulo p. *)
+
+val of_int : ctx -> int -> el
+(** Accepts negative integers (mapped to [p - |n| mod p]). *)
+
+val to_nat : el -> Nat.t
+val to_int_opt : el -> int option
+
+val to_signed_int : ctx -> el -> int option
+(** Interpret elements in [(p/2, p)] as negative; [None] if out of native
+    range. Used to read back integer outputs of compiled computations. *)
+
+val equal : el -> el -> bool
+val is_zero : el -> bool
+
+val add : ctx -> el -> el -> el
+val sub : ctx -> el -> el -> el
+val neg : ctx -> el -> el
+val mul : ctx -> el -> el -> el
+val sqr : ctx -> el -> el
+val mul_lazy : ctx -> el -> el -> Nat.t
+(** Product without the final reduction; the paper's [f_lazy]
+    microbenchmark. Combine with {!reduce}. *)
+
+val reduce : ctx -> Nat.t -> el
+(** Barrett-reduce a value < p^2 (more generally < 2^(62k) for a k-limb p). *)
+
+val inv : ctx -> el -> el
+(** Modular inverse by the extended Euclidean algorithm. Raises
+    [Division_by_zero] on zero. *)
+
+val inv_fermat : ctx -> el -> el
+(** Inverse as [a^(p-2)]; kept as an ablation/cross-check of {!inv}. *)
+
+val div : ctx -> el -> el -> el
+
+val batch_inv : ctx -> el array -> el array
+(** Montgomery's trick: n inverses for one [inv] and 3(n-1) multiplications.
+    Raises [Division_by_zero] if any element is zero. *)
+
+val pow : ctx -> el -> Nat.t -> el
+val pow_int : ctx -> el -> int -> el
+
+val dot : ctx -> el array -> el array -> el
+(** Inner product with lazy reduction: one reduction per partial-sum
+    overflow window rather than per term. The prover's query-answering
+    primitive (π(q) = <q, u>). *)
+
+val sample : ctx -> (int -> bytes) -> el
+(** [sample ctx random_bytes] draws a uniform element by rejection, pulling
+    [random_bytes n] for fresh entropy. *)
+
+val to_string : el -> string
+val pp : Format.formatter -> el -> unit

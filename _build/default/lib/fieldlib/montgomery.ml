@@ -1,0 +1,85 @@
+type ctx = {
+  p : Nat.t;
+  k : int; (* limbs of p; R = 2^(31k) *)
+  r_mod_p : Nat.t; (* R mod p: the Montgomery form of 1 *)
+  r2_mod_p : Nat.t; (* R^2 mod p: converts into Montgomery form *)
+  p' : Nat.t; (* -p^{-1} mod R *)
+}
+
+type el = Nat.t
+
+let modulus ctx = ctx.p
+let equal = Nat.equal
+
+(* p^{-1} mod 2^(31k) by Hensel lifting: x <- x (2 - p x) doubles the
+   number of correct low bits each step. *)
+let inv_mod_r p k =
+  let r_bits = 31 * k in
+  let two = Nat.two in
+  let x = ref Nat.one in
+  (* p odd => p^{-1} = 1 (mod 2) *)
+  let prec = ref 1 in
+  while !prec < r_bits do
+    prec := min (2 * !prec) r_bits;
+    let px = Nat.mul p !x in
+    let px = Nat.truncate_limbs px (((!prec + 30) / 31) + 1) in
+    (* x (2 - p x) mod 2^prec, computed as x*2 - x*p*x avoiding negatives:
+       2 - px == 2 + (2^prec - px) mod 2^prec *)
+    let modulus_prec = Nat.shift_left Nat.one !prec in
+    let px_mod = snd (Nat.divmod px modulus_prec) in
+    let t =
+      if Nat.compare two px_mod >= 0 then Nat.sub two px_mod
+      else Nat.sub (Nat.add modulus_prec two) px_mod
+    in
+    x := snd (Nat.divmod (Nat.mul !x t) modulus_prec)
+  done;
+  !x
+
+let create p =
+  if Nat.is_even p || Nat.compare p (Nat.of_int 3) < 0 then
+    invalid_arg "Montgomery.create: modulus must be odd and >= 3";
+  let k = Nat.num_limbs p in
+  let r = Nat.shift_left Nat.one (31 * k) in
+  let r_mod_p = snd (Nat.divmod r p) in
+  let r2_mod_p = snd (Nat.divmod (Nat.sqr r_mod_p) p) in
+  let r2_mod_p = r2_mod_p in
+  let inv = inv_mod_r p k in
+  let p' = Nat.sub r inv in
+  { p; k; r_mod_p; r2_mod_p; p' }
+
+(* REDC: given t < p*R, return t R^{-1} mod p. *)
+let redc ctx t =
+  let m = Nat.truncate_limbs (Nat.mul (Nat.truncate_limbs t ctx.k) ctx.p') ctx.k in
+  let u = Nat.shift_right_limbs (Nat.add t (Nat.mul m ctx.p)) ctx.k in
+  if Nat.compare u ctx.p >= 0 then Nat.sub u ctx.p else u
+
+let mul ctx a b = redc ctx (Nat.mul a b)
+let sqr ctx a = redc ctx (Nat.sqr a)
+
+let to_mont ctx x =
+  if Nat.compare x ctx.p >= 0 then invalid_arg "Montgomery.to_mont: input not reduced";
+  redc ctx (Nat.mul x ctx.r2_mod_p)
+
+let of_mont ctx x = redc ctx x
+
+let one ctx = ctx.r_mod_p
+let zero _ctx = Nat.zero
+
+let add ctx a b =
+  let s = Nat.add a b in
+  if Nat.compare s ctx.p >= 0 then Nat.sub s ctx.p else s
+
+let sub ctx a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a ctx.p) b
+
+let pow ctx b e =
+  let nbits = Nat.num_bits e in
+  let acc = ref (one ctx) in
+  for i = nbits - 1 downto 0 do
+    acc := sqr ctx !acc;
+    if Nat.testbit e i then acc := mul ctx !acc b
+  done;
+  !acc
+
+let pow_nat ctx b e =
+  let b = snd (Nat.divmod b ctx.p) in
+  of_mont ctx (pow ctx (to_mont ctx b) e)

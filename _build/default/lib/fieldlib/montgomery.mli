@@ -1,0 +1,42 @@
+(** Montgomery-form modular arithmetic: the multiplication-heavy
+    alternative to {!Fp}'s Barrett reduction, used where long chains of
+    multiplications dominate (group exponentiation in the commitment's
+    ElGamal, §5.1's e/d/h costs).
+
+    Elements live in Montgomery representation (xR mod p, R = 2^(31k));
+    convert at the boundary with {!to_mont}/{!of_mont}. The ablation bench
+    compares a Barrett and a Montgomery exponentiation ladder. *)
+
+open Nat
+
+type ctx
+
+type el
+(** An element in Montgomery representation. *)
+
+val create : t -> ctx
+(** Modulus must be odd and >= 3. *)
+
+val modulus : ctx -> t
+
+val to_mont : ctx -> t -> el
+(** Input must be reduced (< p). *)
+
+val of_mont : ctx -> el -> t
+
+val one : ctx -> el
+val zero : ctx -> el
+
+val mul : ctx -> el -> el -> el
+val sqr : ctx -> el -> el
+val add : ctx -> el -> el -> el
+val sub : ctx -> el -> el -> el
+
+val pow : ctx -> el -> t -> el
+(** Square-and-multiply entirely inside Montgomery form. *)
+
+val pow_nat : ctx -> t -> t -> t
+(** [pow_nat ctx b e]: convenience [b^e mod p] over plain naturals
+    (converts in and out). *)
+
+val equal : el -> el -> bool

@@ -1,0 +1,40 @@
+(* Work-stealing parallel map over OCaml 5 domains.
+
+   This is the substitute for the paper's distributed prover and GPU
+   offload (§5.2, Figure 6): batch instances are independent, so the prover
+   parallelizes across them; "GPUs" become extra domains dedicated to the
+   crypto phase (see DESIGN.md §2). All shared state reached from worker
+   domains is immutable (field contexts, constraint systems, QAP trees), so
+   plain Domain.spawn with an atomic work counter suffices. *)
+
+let num_cores () =
+  match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
+
+let map ?(domains = 1) (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  if domains <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let nd = min domains n in
+    let results : 'b option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = Array.init (nd - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* Wall-clock latency of a parallel map — what Figure 6 reports. *)
+let timed_map ?domains f arr =
+  let t0 = Unix.gettimeofday () in
+  let r = map ?domains f arr in
+  (r, Unix.gettimeofday () -. t0)

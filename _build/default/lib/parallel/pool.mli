@@ -1,0 +1,13 @@
+(** Work-stealing parallel map over OCaml 5 domains — the substitute for
+    the paper's distributed prover and GPU offload (§5.2, Figure 6; see
+    DESIGN.md §2). Batch instances are independent; everything shared is
+    immutable, so an atomic work counter suffices. *)
+
+val num_cores : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving. [domains <= 1] degrades to [Array.map]. The mapped
+    function must not force shared lazy values (force them before). *)
+
+val timed_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array * float
+(** Also returns the wall-clock latency — what Figure 6 reports. *)

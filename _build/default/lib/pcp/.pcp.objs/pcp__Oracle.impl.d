@@ -1,0 +1,1 @@
+lib/pcp/oracle.ml: Array Chacha Fieldlib Fp Printf

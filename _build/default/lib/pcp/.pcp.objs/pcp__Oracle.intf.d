@@ -1,0 +1,1 @@
+lib/pcp/oracle.mli: Chacha Fieldlib Fp

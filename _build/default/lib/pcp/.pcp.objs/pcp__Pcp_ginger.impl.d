@@ -1,0 +1,1 @@
+lib/pcp/pcp_ginger.ml: Array Chacha Constr Fieldlib Fp Lincomb List Oracle Quad

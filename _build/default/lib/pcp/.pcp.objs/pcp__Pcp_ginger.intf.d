@@ -1,0 +1,1 @@
+lib/pcp/pcp_ginger.mli: Chacha Constr Fieldlib Fp Oracle Quad

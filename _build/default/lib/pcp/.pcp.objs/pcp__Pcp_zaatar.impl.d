@@ -1,0 +1,1 @@
+lib/pcp/pcp_zaatar.ml: Array Chacha Constr Fieldlib Fp List Oracle Qap R1cs

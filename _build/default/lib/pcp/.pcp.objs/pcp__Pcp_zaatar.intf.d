@@ -1,0 +1,1 @@
+lib/pcp/pcp_zaatar.mli: Chacha Fieldlib Fp Oracle Qap

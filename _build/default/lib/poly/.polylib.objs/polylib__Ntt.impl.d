@@ -1,0 +1,1 @@
+lib/poly/ntt.ml: Array Fieldlib Fp Poly Primes

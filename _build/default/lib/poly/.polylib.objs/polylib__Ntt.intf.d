@@ -1,0 +1,1 @@
+lib/poly/ntt.mli: Fieldlib Fp Poly

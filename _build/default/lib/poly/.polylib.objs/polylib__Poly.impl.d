@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Chacha Fieldlib Format Fp Nat

@@ -1,0 +1,1 @@
+lib/poly/poly.mli: Chacha Fieldlib Format Fp

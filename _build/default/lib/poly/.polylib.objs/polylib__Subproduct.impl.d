@@ -1,0 +1,1 @@
+lib/poly/subproduct.ml: Array Fieldlib Fp List Poly

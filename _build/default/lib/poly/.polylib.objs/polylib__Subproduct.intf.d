@@ -1,0 +1,1 @@
+lib/poly/subproduct.mli: Fieldlib Fp Poly

@@ -1,0 +1,116 @@
+(* Number-theoretic transform over fields with high 2-adicity.
+
+   The paper's field is chosen only for size, so its prover uses
+   arbitrary-point algorithms (our Subproduct). Modern QAP systems instead
+   pick sigma_j as 2^k-th roots of unity so that interpolation is an inverse
+   NTT and D(t) = t^n - 1. We implement that path as an ablation
+   (bench `ablation`); see DESIGN.md §2. *)
+
+open Fieldlib
+
+type ctx = {
+  field : Fp.ctx;
+  max_log : int; (* 2-adicity *)
+  root : Fp.el; (* generator of the 2^max_log-order subgroup *)
+}
+
+let create field =
+  let max_log = Primes.two_adicity (Fp.modulus field) in
+  let root = Primes.find_generator_of_two_power_subgroup field in
+  { field; max_log; root }
+
+let root_of_order t log_n =
+  if log_n > t.max_log then invalid_arg "Ntt.root_of_order: order too large";
+  let w = ref t.root in
+  for _ = 1 to t.max_log - log_n do
+    w := Fp.sqr t.field !w
+  done;
+  !w
+
+let bit_reverse_permute (a : Fp.el array) =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done
+
+(* In-place iterative radix-2 Cooley-Tukey. [a] must have power-of-two
+   length. *)
+let transform t (a : Fp.el array) w =
+  let f = t.field in
+  let n = Array.length a in
+  bit_reverse_permute a;
+  let len = ref 2 in
+  while !len <= n do
+    (* w_len = w^(n / len) *)
+    let wlen = ref w in
+    let m = ref n in
+    while !m > !len do
+      wlen := Fp.sqr f !wlen;
+      m := !m / 2
+    done;
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let wp = ref Fp.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Fp.mul f a.(!i + k + half) !wp in
+        a.(!i + k) <- Fp.add f u v;
+        a.(!i + k + half) <- Fp.sub f u v;
+        wp := Fp.mul f !wp !wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let log2_exact n =
+  let rec go n l = if n = 1 then l else if n land 1 = 1 then invalid_arg "Ntt: size not a power of two" else go (n lsr 1) (l + 1) in
+  go n 0
+
+let forward t (a : Fp.el array) =
+  let a = Array.copy a in
+  let log_n = log2_exact (Array.length a) in
+  transform t a (root_of_order t log_n);
+  a
+
+let inverse t (a : Fp.el array) =
+  let a = Array.copy a in
+  let n = Array.length a in
+  let log_n = log2_exact n in
+  let w = root_of_order t log_n in
+  transform t a (Fp.inv t.field w);
+  let n_inv = Fp.inv t.field (Fp.of_int t.field n) in
+  Array.map (Fp.mul t.field n_inv) a
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* Polynomial multiplication by pointwise product in the evaluation
+   domain. *)
+let mul t (p : Poly.t) (q : Poly.t) : Poly.t =
+  if Poly.is_zero p || Poly.is_zero q then Poly.zero
+  else begin
+    let dn = Poly.degree p + Poly.degree q + 1 in
+    let n = next_pow2 dn in
+    let pad (x : Poly.t) =
+      let a = Array.make n Fp.zero in
+      Array.blit (Poly.coeffs x) 0 a 0 (Poly.degree x + 1);
+      a
+    in
+    let fa = forward t (pad p) and fb = forward t (pad q) in
+    let prod = Array.init n (fun i -> Fp.mul t.field fa.(i) fb.(i)) in
+    Poly.of_coeffs (inverse t prod)
+  end

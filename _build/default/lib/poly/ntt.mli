@@ -1,0 +1,27 @@
+(** Number-theoretic transform over fields whose multiplicative group has
+    high 2-adicity. The paper's field is chosen only for size, so its
+    prover uses arbitrary-point algorithms ({!Subproduct}); this module
+    implements the modern alternative (roots of unity as interpolation
+    points) used by the ablation bench and {!Qap_ntt}. *)
+
+open Fieldlib
+
+type ctx
+
+val create : Fp.ctx -> ctx
+(** The field's 2-adicity bounds the largest transform size. *)
+
+val root_of_order : ctx -> int -> Fp.el
+(** A primitive 2^log_n-th root of unity; raises [Invalid_argument] beyond
+    the field's 2-adicity. *)
+
+val forward : ctx -> Fp.el array -> Fp.el array
+(** In natural order; length must be a power of two. *)
+
+val inverse : ctx -> Fp.el array -> Fp.el array
+
+val mul : ctx -> Poly.t -> Poly.t -> Poly.t
+(** Polynomial product by pointwise multiplication in the evaluation
+    domain. *)
+
+val next_pow2 : int -> int

@@ -1,0 +1,189 @@
+open Fieldlib
+
+type t = Fp.el array
+
+let karatsuba_threshold = 32
+
+let trim (a : Fp.el array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && Fp.is_zero a.(!n - 1) do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero : t = [||]
+let one : t = [| Fp.one |]
+let of_coeffs a = trim (Array.copy a)
+let coeffs (p : t) = Array.copy p
+let coeff (p : t) i = if i < Array.length p then p.(i) else Fp.zero
+let constant c = trim [| c |]
+
+let monomial c k =
+  if Fp.is_zero c then zero
+  else begin
+    let a = Array.make (k + 1) Fp.zero in
+    a.(k) <- c;
+    a
+  end
+
+let x_minus ctx s = trim [| Fp.neg ctx s; Fp.one |]
+let degree (p : t) = Array.length p - 1
+let is_zero (p : t) = Array.length p = 0
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 (fun x y -> Fp.equal x y) a b
+
+let add ctx (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  trim
+    (Array.init l (fun i ->
+         let x = if i < la then a.(i) else Fp.zero in
+         let y = if i < lb then b.(i) else Fp.zero in
+         Fp.add ctx x y))
+
+let neg ctx (a : t) : t = Array.map (Fp.neg ctx) a
+
+let sub ctx (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  trim
+    (Array.init l (fun i ->
+         let x = if i < la then a.(i) else Fp.zero in
+         let y = if i < lb then b.(i) else Fp.zero in
+         Fp.sub ctx x y))
+
+let scale ctx c (a : t) : t =
+  if Fp.is_zero c then zero else trim (Array.map (Fp.mul ctx c) a)
+
+let shift (a : t) k : t =
+  if is_zero a then zero
+  else begin
+    let r = Array.make (Array.length a + k) Fp.zero in
+    Array.blit a 0 r k (Array.length a);
+    r
+  end
+
+let mul_schoolbook ctx (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    (* Accumulate lazily: reduce once per output coefficient. *)
+    let r = Array.make (la + lb - 1) Fp.zero in
+    for i = 0 to la + lb - 2 do
+      let acc = ref Nat.zero in
+      let jmin = max 0 (i - lb + 1) and jmax = min (la - 1) i in
+      let pending = ref 0 in
+      for j = jmin to jmax do
+        if not (Fp.is_zero a.(j) || Fp.is_zero b.(i - j)) then begin
+          if !pending >= 512 then begin
+            acc := Fp.reduce ctx !acc;
+            pending := 0
+          end;
+          acc := Nat.add !acc (Fp.mul_lazy ctx a.(j) b.(i - j));
+          incr pending
+        end
+      done;
+      r.(i) <- Fp.reduce ctx !acc
+    done;
+    trim r
+  end
+
+let split (a : t) k : t * t =
+  let la = Array.length a in
+  if la <= k then (zero, a) else (trim (Array.sub a k (la - k)), trim (Array.sub a 0 k))
+
+let rec mul ctx (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook ctx a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a1, a0 = split a k and b1, b0 = split b k in
+    let z2 = mul ctx a1 b1 in
+    let z0 = mul ctx a0 b0 in
+    let z1 = sub ctx (mul ctx (add ctx a1 a0) (add ctx b1 b0)) (add ctx z2 z0) in
+    add ctx (add ctx (shift z2 (2 * k)) (shift z1 k)) z0
+  end
+
+let eval ctx (p : t) x =
+  let acc = ref Fp.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Fp.add ctx (Fp.mul ctx !acc x) p.(i)
+  done;
+  !acc
+
+let derivative ctx (p : t) : t =
+  if Array.length p <= 1 then zero
+  else trim (Array.init (Array.length p - 1) (fun i -> Fp.mul ctx (Fp.of_int ctx (i + 1)) p.(i + 1)))
+
+let div_rem ctx (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b in
+  if degree a < db then (zero, a)
+  else begin
+    let rem = Array.copy (a : t :> Fp.el array) in
+    let q = Array.make (degree a - db + 1) Fp.zero in
+    let lead_inv = Fp.inv ctx b.(db) in
+    for i = degree a - db downto 0 do
+      let c = Fp.mul ctx rem.(i + db) lead_inv in
+      if not (Fp.is_zero c) then begin
+        q.(i) <- c;
+        for j = 0 to db do
+          rem.(i + j) <- Fp.sub ctx rem.(i + j) (Fp.mul ctx c b.(j))
+        done
+      end
+    done;
+    (trim q, trim rem)
+  end
+
+let reverse (p : t) n =
+  (* Coefficient reversal treating p as having degree exactly n. *)
+  trim (Array.init (n + 1) (fun i -> coeff p (n - i)))
+
+let truncate (p : t) k = if Array.length p <= k then p else trim (Array.sub p 0 k)
+
+let inv_mod_xk ctx (f : t) k =
+  if is_zero f || Fp.is_zero f.(0) then invalid_arg "Poly.inv_mod_xk: constant term is zero";
+  (* Newton iteration: g <- g * (2 - f g) mod x^(2^i). *)
+  let g = ref (constant (Fp.inv ctx f.(0))) in
+  let prec = ref 1 in
+  while !prec < k do
+    prec := min (2 * !prec) k;
+    let fg = truncate (mul ctx (truncate f !prec) !g) !prec in
+    let two_minus = sub ctx (constant (Fp.of_int ctx 2)) fg in
+    g := truncate (mul ctx !g two_minus) !prec
+  done;
+  truncate !g k
+
+let div_rem_fast ctx (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  let da = degree a and db = degree b in
+  if da < db then (zero, a)
+  else if db = 0 then (scale ctx (Fp.inv ctx b.(0)) a, zero)
+  else begin
+    let k = da - db + 1 in
+    let rev_b = reverse b db in
+    let rev_a = reverse a da in
+    let inv_rb = inv_mod_xk ctx rev_b k in
+    let rev_q = truncate (mul ctx rev_a inv_rb) k in
+    let q = reverse rev_q (k - 1) in
+    let r = sub ctx a (mul ctx b q) in
+    (q, r)
+  end
+
+let divide_exact ctx a b =
+  let q, r = div_rem_fast ctx a b in
+  if not (is_zero r) then failwith "Poly.divide_exact: non-zero remainder";
+  q
+
+let random ctx prg deg_bound =
+  trim (Array.init (deg_bound + 1) (fun _ -> Chacha.Prg.field ctx prg))
+
+let pp ctx fmt (p : t) =
+  ignore ctx;
+  if is_zero p then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if not (Fp.is_zero c) then
+          Format.fprintf fmt "%s%a*x^%d" (if i > 0 then " + " else "") Fp.pp c i)
+      p

@@ -1,0 +1,30 @@
+(** Subproduct trees: fast multipoint evaluation and interpolation over
+    arbitrary points (von zur Gathen & Gerhard ch. 10) — the engine behind
+    the QAP prover's "FFT-based" interpolation (§A.3) when the sigma_j are
+    an arbitrary arithmetic progression rather than roots of unity. *)
+
+open Fieldlib
+
+type tree
+
+val build : Fp.ctx -> Fp.el array -> tree
+(** Product tree over (x - s_i); points need not be distinct, but
+    interpolation requires distinctness. *)
+
+val root_poly : Fp.ctx -> tree -> Poly.t
+(** prod_i (x - s_i) — e.g. the divisor D(t) over sigma_1..sigma_|C|. *)
+
+val eval_all : Fp.ctx -> Poly.t -> tree -> Fp.el array
+(** Remainder-tree multipoint evaluation, in point order. *)
+
+val interpolate : Fp.ctx -> tree -> Fp.el array -> Poly.t
+(** Unique polynomial of degree < n through (s_i, v_i). *)
+
+val interpolate_points : Fp.ctx -> Fp.el array -> Fp.el array -> Poly.t
+
+type interpolator
+(** Precomputed tree + barycentric weights 1/M'(s_i); the QAP prover
+    interpolates A, B and C over the same points, so this is built once. *)
+
+val prepare : Fp.ctx -> Fp.el array -> interpolator
+val interpolate_with : Fp.ctx -> interpolator -> Fp.el array -> Poly.t

@@ -1,0 +1,1 @@
+lib/qap/qap.ml: Array Constr Fieldlib Fp Lazy Lincomb List Nat Polylib R1cs

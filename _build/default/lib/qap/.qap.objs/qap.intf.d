@@ -1,0 +1,1 @@
+lib/qap/qap.mli: Constr Fieldlib Fp Lazy Lincomb Polylib R1cs

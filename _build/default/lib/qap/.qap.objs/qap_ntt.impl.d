@@ -1,0 +1,1 @@
+lib/qap/qap_ntt.ml: Array Constr Fieldlib Fp Lincomb List Polylib R1cs

@@ -1,0 +1,1 @@
+lib/qap/qap_ntt.mli: Constr Fieldlib Fp Polylib R1cs

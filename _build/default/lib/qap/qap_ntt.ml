@@ -1,0 +1,151 @@
+(* QAP over roots of unity: the modern alternative to the paper's
+   arithmetic-progression interpolation points (ablation; see DESIGN.md).
+
+   The paper fixes sigma_j = j and pays O(M(n) log n) subproduct-tree
+   algebra for the prover's interpolate-multiply-divide pipeline (§A.3).
+   Pinocchio-era systems instead put the constraints at the n-th roots of
+   unity of an FFT-friendly field:
+
+     - interpolation is a size-n inverse NTT,
+     - the divisor is D(t) = t^n - 1, so the exact division
+       H = P_w / D is coefficient folding: h_i = c_{n+i}, with the
+       divisibility witness c_i + c_{n+i} = 0,
+     - the verifier's barycentric weights collapse to
+       A_i(tau) = (tau^n - 1)/n * sum_j a_ij * w^j / (tau - w^j).
+
+   The |C| constraints are padded to n = 2^k with trivial 0 = 0 rows
+   (satisfied by every assignment, so soundness is unaffected). This
+   module mirrors Qap's prover/verifier entry points; the ablation bench
+   compares the two prover pipelines, and the test-suite checks that both
+   agree with the constraint semantics. *)
+
+open Fieldlib
+open Constr
+
+type t = {
+  ctx : Fp.ctx;
+  ntt : Polylib.Ntt.ctx;
+  sys : R1cs.system;
+  nc : int; (* original |C| *)
+  n : int; (* padded domain size, a power of two *)
+  log_n : int;
+  omega : Fp.el; (* primitive n-th root of unity *)
+  domain : Fp.el array; (* w^0 .. w^(n-1) *)
+}
+
+let next_pow2 n =
+  let rec go p l = if p >= n then (p, l) else go (2 * p) (l + 1) in
+  go 1 0
+
+let of_r1cs (sys : R1cs.system) =
+  let ctx = sys.R1cs.field in
+  let ntt = Polylib.Ntt.create ctx in
+  let nc = R1cs.num_constraints sys in
+  if nc = 0 then invalid_arg "Qap_ntt.of_r1cs: empty system";
+  let n, log_n = next_pow2 nc in
+  let omega = Polylib.Ntt.root_of_order ntt log_n in
+  let domain = Array.make n Fp.one in
+  for j = 1 to n - 1 do
+    domain.(j) <- Fp.mul ctx domain.(j - 1) omega
+  done;
+  { ctx; ntt; sys; nc; n; log_n; omega; domain }
+
+(* ------------------------------------------------------------------ *)
+(* Prover                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let eval_rows q (row : R1cs.constr -> Lincomb.t) (w : Fp.el array) =
+  let out = Array.make q.n Fp.zero in
+  Array.iteri (fun j k -> out.(j) <- Lincomb.eval q.ctx (row k) w) q.sys.R1cs.constraints;
+  out
+
+(* Coefficients (length n) of the degree-<n polynomial interpolating the
+   row evaluations over the domain: one inverse NTT. *)
+let interpolate q evals = Polylib.Ntt.inverse q.ntt evals
+
+let pw_coeffs q (w : Fp.el array) =
+  let ctx = q.ctx in
+  let a = Polylib.Poly.of_coeffs (interpolate q (eval_rows q (fun k -> k.R1cs.a) w)) in
+  let b = Polylib.Poly.of_coeffs (interpolate q (eval_rows q (fun k -> k.R1cs.b) w)) in
+  let c = Polylib.Poly.of_coeffs (interpolate q (eval_rows q (fun k -> k.R1cs.c) w)) in
+  let ab = Polylib.Ntt.mul q.ntt a b in
+  Polylib.Poly.sub ctx ab c
+
+exception Not_divisible
+
+(* H = P_w / (t^n - 1) by coefficient folding; raises if the division is
+   not exact (Claim A.1 analog: w does not satisfy the constraints). *)
+let prover_h q (w : Fp.el array) : Fp.el array =
+  let ctx = q.ctx in
+  let p = pw_coeffs q w in
+  let h = Array.make q.n Fp.zero in
+  for i = 0 to q.n - 1 do
+    h.(i) <- Polylib.Poly.coeff p (q.n + i)
+  done;
+  (* exactness: c_i + c_{n+i} = 0 for all i < n *)
+  for i = 0 to q.n - 1 do
+    if not (Fp.is_zero (Fp.add ctx (Polylib.Poly.coeff p i) h.(i))) then raise Not_divisible
+  done;
+  h
+
+let prover_h_forced q (w : Fp.el array) : Fp.el array =
+  let p = pw_coeffs q w in
+  Array.init q.n (fun i -> Polylib.Poly.coeff p (q.n + i))
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type queries = {
+  tau : Fp.el;
+  d_tau : Fp.el; (* tau^n - 1 *)
+  a_tau : Fp.el array; (* indexed by variable 0..num_vars *)
+  b_tau : Fp.el array;
+  c_tau : Fp.el array;
+  qd : Fp.el array; (* 1, tau, ..., tau^(n-1) *)
+}
+
+exception Tau_collision
+
+let queries q ~tau : queries =
+  let ctx = q.ctx in
+  let nvars = q.sys.R1cs.num_vars in
+  let diffs = Array.map (fun s -> Fp.sub ctx tau s) q.domain in
+  if Array.exists Fp.is_zero diffs then raise Tau_collision;
+  let inv_diffs = Fp.batch_inv ctx diffs in
+  let tau_n = Fp.pow_int ctx tau q.n in
+  let d_tau = Fp.sub ctx tau_n Fp.one in
+  let n_inv = Fp.inv ctx (Fp.of_int ctx q.n) in
+  let scale = Fp.mul ctx d_tau n_inv in
+  (* weight_j = (tau^n - 1)/n * w^j / (tau - w^j) *)
+  let weight = Array.init q.n (fun j -> Fp.mul ctx scale (Fp.mul ctx q.domain.(j) inv_diffs.(j))) in
+  let a_tau = Array.make (nvars + 1) Fp.zero in
+  let b_tau = Array.make (nvars + 1) Fp.zero in
+  let c_tau = Array.make (nvars + 1) Fp.zero in
+  Array.iteri
+    (fun j (k : R1cs.constr) ->
+      let wj = weight.(j) in
+      let accumulate dst lc =
+        List.iter (fun (i, coef) -> dst.(i) <- Fp.add ctx dst.(i) (Fp.mul ctx coef wj)) (Lincomb.terms lc)
+      in
+      accumulate a_tau k.R1cs.a;
+      accumulate b_tau k.R1cs.b;
+      accumulate c_tau k.R1cs.c)
+    q.sys.R1cs.constraints;
+  let qd = Array.make q.n Fp.one in
+  for i = 1 to q.n - 1 do
+    qd.(i) <- Fp.mul ctx qd.(i - 1) tau
+  done;
+  { tau; d_tau; a_tau; b_tau; c_tau; qd }
+
+let z_slice q (evals : Fp.el array) = Array.sub evals 1 q.sys.R1cs.num_z
+
+let io_contribution q (evals : Fp.el array) (io : Fp.el array) =
+  let ctx = q.ctx and sys = q.sys in
+  let nio = R1cs.num_io sys in
+  if Array.length io <> nio then invalid_arg "Qap_ntt.io_contribution: bad io length";
+  let acc = ref evals.(0) in
+  for i = 0 to nio - 1 do
+    acc := Fp.add ctx !acc (Fp.mul ctx io.(i) evals.(sys.R1cs.num_z + 1 + i))
+  done;
+  !acc

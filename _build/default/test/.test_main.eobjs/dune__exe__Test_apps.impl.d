@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App_def Apps Apsp Argsys Array Bisection Chacha Fannkuch Fieldlib Fp Glue Lcs List Pam Primes Printf

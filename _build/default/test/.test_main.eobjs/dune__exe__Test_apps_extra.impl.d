@@ -1,0 +1,1 @@
+test/test_apps_extra.ml: Alcotest App_def Apps Apsp Array Bisection Chacha Constr Fannkuch Fieldlib Fp Glue Lcs List Pam Primes Printf Registry Zlang

@@ -1,0 +1,1 @@
+test/test_argument.ml: Alcotest Argsys Argument Array Chacha Constr Fieldlib Fp Lincomb List Metrics Primes R1cs

@@ -1,0 +1,1 @@
+test/test_argument_ginger.ml: Alcotest Argsys Argument_ginger Array Chacha Fieldlib Fp List Metrics Primes Printf Test_constr Zlang

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Ast Builder Chacha Constr Fieldlib Fp List Primes Printf QCheck QCheck_alcotest Quad Test_constr Zlang

@@ -1,0 +1,1 @@
+test/test_chacha.ml: Alcotest Bytes Chacha Chacha20 Char Fieldlib Fp List Nat Prg Primes Printf String

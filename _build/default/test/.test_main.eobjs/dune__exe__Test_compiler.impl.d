@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Chacha Compile Constr Fieldlib Fp List Primes Printexc Printf QCheck QCheck_alcotest Quad R1cs String Zlang

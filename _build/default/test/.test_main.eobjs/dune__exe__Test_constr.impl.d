@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Array Chacha Constr Fieldlib Fp Lincomb List Primes Printf QCheck QCheck_alcotest Quad R1cs Transform

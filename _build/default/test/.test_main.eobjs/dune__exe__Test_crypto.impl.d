@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Chacha Commitment Elgamal Fieldlib Fp Group Nat Primes Zcrypto

@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Array Bytes Chacha Char Fieldlib Fp List Montgomery Nat Primes QCheck QCheck_alcotest

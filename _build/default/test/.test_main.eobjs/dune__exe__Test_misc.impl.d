@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Costmodel Dompool Fieldlib Fp Primes Zcrypto

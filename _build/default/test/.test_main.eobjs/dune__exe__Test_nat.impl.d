@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Fieldlib List Nat Printf QCheck QCheck_alcotest

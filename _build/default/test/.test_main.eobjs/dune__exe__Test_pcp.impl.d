@@ -1,0 +1,1 @@
+test/test_pcp.ml: Alcotest Array Chacha Constr Fieldlib Fp Lincomb List Oracle Pcp Pcp_ginger Pcp_zaatar Primes Printf QCheck QCheck_alcotest Qap Quad R1cs Test_constr

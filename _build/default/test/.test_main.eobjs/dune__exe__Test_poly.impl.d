@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Chacha Fieldlib Format Fp Ntt Poly Polylib Primes Printf QCheck QCheck_alcotest Subproduct

@@ -1,0 +1,1 @@
+test/test_protocol_extra.ml: Alcotest Argsys Array Chacha Constr Fieldlib Fp Nat Oracle Pcp Pcp_zaatar Primes Printf Qap R1cs Test_argument Test_constr

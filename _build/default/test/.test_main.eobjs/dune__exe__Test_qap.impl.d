@@ -1,0 +1,1 @@
+test/test_qap.ml: Alcotest Array Chacha Constr Fieldlib Fp Lazy Lincomb Nat Poly Polylib Primes Printf QCheck QCheck_alcotest Qap R1cs Subproduct Test_constr

@@ -1,0 +1,1 @@
+test/test_qap_ntt.ml: Alcotest Array Chacha Constr Fieldlib Fp Hashtbl Lincomb Polylib Primes Printf QCheck QCheck_alcotest Qap Qap_ntt R1cs

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Apps Array Chacha Constr Fieldlib Fp Lincomb List Nat Primes R1cs Serialize Test_constr Zlang

@@ -1,0 +1,88 @@
+open Fieldlib
+open Apps
+
+let ctx = Fp.create Primes.p127
+
+(* Differential tests: every benchmark, compiled and solved, must match its
+   native reference on random inputs, with both encodings satisfied. *)
+let differential_test (app : App_def.t) =
+  Alcotest.test_case (Printf.sprintf "%s (%s) matches native" app.App_def.name app.App_def.params_desc)
+    `Quick (fun () ->
+      let prg = Chacha.Prg.create ~seed:("apps " ^ app.App_def.name) () in
+      ignore (Glue.differential_check ~trials:4 ctx app prg))
+
+let apps_small =
+  [
+    Pam.app ~m:3 ~d:2;
+    Pam.app ~m:4 ~d:3;
+    Bisection.app ~m:2 ~l:3;
+    Bisection.app ~m:3 ~l:4;
+    Apsp.app ~m:3;
+    Apsp.app ~m:4;
+    Fannkuch.app ~m:1 ~n:4 ~bound:6;
+    Fannkuch.app ~m:2 ~n:4 ~bound:6;
+    Lcs.app ~m:4;
+    Lcs.app ~m:6;
+  ]
+
+(* Spot-check the native implementations themselves on hand-computable
+   cases, so the differential tests are anchored to ground truth. *)
+let native_tests =
+  [
+    Alcotest.test_case "native lcs ground truth" `Quick (fun () ->
+        (* a = 1,2,3,4 ; b = 2,4,3,4 -> LCS 2,3,4 of length 3 *)
+        let out = (Lcs.app ~m:4).App_def.native [| 1; 2; 3; 4; 2; 4; 3; 4 |] in
+        Alcotest.(check (array int)) "lcs" [| 3 |] out);
+    Alcotest.test_case "native apsp ground truth" `Quick (fun () ->
+        (* 3 nodes: 0->1 = 1, 1->2 = 1, 0->2 = 10 (and inf elsewhere) *)
+        let i = Apsp.inf in
+        let out = (Apsp.app ~m:3).App_def.native [| 0; 1; 10; i; 0; 1; i; i; 0 |] in
+        Alcotest.(check int) "0->2 relaxed" 2 out.(2));
+    Alcotest.test_case "native fannkuch ground truth" `Quick (fun () ->
+        (* permutation (2 1 3 4): one flip of prefix 2 -> (1 2 3 4). *)
+        let out = (Fannkuch.app ~m:1 ~n:4 ~bound:6).App_def.native [| 2; 1; 3; 4 |] in
+        Alcotest.(check (array int)) "counts,max" [| 1; 1 |] out);
+    Alcotest.test_case "native fannkuch known hard case" `Quick (fun () ->
+        (* (3 1 2 4): flip3 -> (2 1 3 4); flip2 -> (1 2 3 4): 2 flips *)
+        let out = (Fannkuch.app ~m:1 ~n:4 ~bound:6).App_def.native [| 3; 1; 2; 4 |] in
+        Alcotest.(check (array int)) "counts,max" [| 2; 2 |] out);
+    Alcotest.test_case "native pam picks central medoid" `Quick (fun () ->
+        (* 3 points on a line at 0, 1, 10 (d=1): medoid 1 is central. *)
+        let out = (Pam.app ~m:3 ~d:1).App_def.native [| 0; 1; 10 |] in
+        Alcotest.(check int) "med1" 1 out.(0));
+    Alcotest.test_case "native bisection recovers planted root" `Quick (fun () ->
+        let app = Bisection.app ~m:3 ~l:5 in
+        let prg = Chacha.Prg.create ~seed:"bisect plant" () in
+        for _ = 1 to 10 do
+          let inputs = app.App_def.gen_inputs prg in
+          let out = app.App_def.native inputs in
+          (* F monotone increasing and target = F(r): the search returns r. *)
+          Alcotest.(check bool) "in range" true (out.(0) >= 0 && out.(0) < 32)
+        done);
+  ]
+
+(* End-to-end: compile a benchmark and run the full batched argument. *)
+let e2e_tests =
+  [
+    Alcotest.test_case "end-to-end: lcs through the argument system" `Slow (fun () ->
+        let app = Lcs.app ~m:4 in
+        let prg = Chacha.Prg.create ~seed:"e2e lcs" () in
+        let compiled = Glue.compile ctx app in
+        let comp = Glue.computation_of compiled in
+        let inputs =
+          Array.init 3 (fun _ -> Glue.field_inputs ctx (app.App_def.gen_inputs prg))
+        in
+        let r = Argsys.Argument.run_batch ~config:Argsys.Argument.test_config comp ~prg ~inputs in
+        Alcotest.(check bool) "accepted" true (Argsys.Argument.all_accepted r));
+    Alcotest.test_case "end-to-end: cheating prover on apsp rejected" `Slow (fun () ->
+        let app = Apsp.app ~m:3 in
+        let prg = Chacha.Prg.create ~seed:"e2e apsp cheat" () in
+        let compiled = Glue.compile ctx app in
+        let comp = Glue.computation_of compiled in
+        let inputs = [| Glue.field_inputs ctx (app.App_def.gen_inputs prg) |] in
+        let config = { Argsys.Argument.test_config with Argsys.Argument.strategy = Argsys.Argument.Wrong_output } in
+        let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+        Alcotest.(check bool) "rejected" true (Argsys.Argument.none_accepted r));
+  ]
+
+let suite = native_tests @ List.map differential_test apps_small @ e2e_tests

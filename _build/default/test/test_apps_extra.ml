@@ -1,0 +1,103 @@
+open Fieldlib
+open Apps
+
+(* Additional benchmark coverage at sizes and shapes the main differential
+   suite does not hit. *)
+
+let ctx = Fp.create Primes.p127
+
+let unit_tests =
+  [
+    Alcotest.test_case "fannkuch with n=5 and deep flips" `Slow (fun () ->
+        let prg = Chacha.Prg.create ~seed:"fk5" () in
+        ignore (Glue.differential_check ~trials:2 ctx (Fannkuch.app ~m:1 ~n:5 ~bound:8) prg));
+    Alcotest.test_case "apsp with a disconnected graph" `Quick (fun () ->
+        (* Two components: distances across stay at the inf marker. *)
+        let m = 4 in
+        let i = Apsp.inf in
+        let adj =
+          [| 0; 1; i; i;
+             1; 0; i; i;
+             i; i; 0; 2;
+             i; i; 2; 0 |]
+        in
+        let out = (Apsp.app ~m).App_def.native adj in
+        Alcotest.(check bool) "cross-component distance still >= inf" true (out.(2) >= i);
+        Alcotest.(check int) "within-component" 1 out.(1));
+    Alcotest.test_case "apsp circuit agrees on the disconnected graph" `Slow (fun () ->
+        let m = 4 in
+        let i = Apsp.inf in
+        let adj =
+          [| 0; 1; i; i;
+             1; 0; i; i;
+             i; i; 0; 2;
+             i; i; 2; 0 |]
+        in
+        let app = Apsp.app ~m in
+        let c = Glue.compile ctx app in
+        let w = c.Zlang.Compile.solve_zaatar (Glue.field_inputs ctx adj) in
+        Alcotest.(check bool) "satisfied" true
+          (Constr.R1cs.satisfied ctx (Zlang.Compile.zaatar_r1cs c) w);
+        let got = Glue.int_outputs ctx (Zlang.Compile.outputs_zaatar c w) in
+        Alcotest.(check (array int)) "same" (app.App_def.native adj) got);
+    Alcotest.test_case "lcs of identical strings is their length" `Quick (fun () ->
+        let m = 5 in
+        let s = [| 1; 2; 3; 4; 1 |] in
+        let out = (Lcs.app ~m).App_def.native (Array.append s s) in
+        Alcotest.(check (array int)) "full" [| m |] out);
+    Alcotest.test_case "lcs of disjoint alphabets is zero" `Quick (fun () ->
+        let out = (Lcs.app ~m:4).App_def.native [| 1; 1; 1; 1; 2; 2; 2; 2 |] in
+        Alcotest.(check (array int)) "zero" [| 0 |] out);
+    Alcotest.test_case "bisection recovers every plantable root" `Quick (fun () ->
+        (* Exhaustively check all 2^L roots for a small instance. *)
+        let m = 2 and l = 4 in
+        let app0 = Bisection.app ~m ~l in
+        let prg = Chacha.Prg.create ~seed:"bisect exhaustive" () in
+        let base = app0.App_def.gen_inputs prg in
+        let q = Array.sub base 0 (m * m) in
+        let a = Array.sub base (m * m) m in
+        let bb = Array.sub base ((m * m) + m) m in
+        for r = 0 to (1 lsl l) - 1 do
+          let target = Bisection.eval_f ~m q a bb r in
+          let inputs = Array.concat [ q; a; bb; [| target |] ] in
+          let out = app0.App_def.native inputs in
+          Alcotest.(check (array int)) (Printf.sprintf "root %d" r) [| r |] out
+        done);
+    Alcotest.test_case "pam assignment is consistent with medoids" `Quick (fun () ->
+        let m = 6 and d = 3 in
+        let prg = Chacha.Prg.create ~seed:"pam check" () in
+        let app = Pam.app ~m ~d in
+        for _ = 1 to 5 do
+          let inputs = app.App_def.gen_inputs prg in
+          let out = app.App_def.native inputs in
+          let med1 = out.(0) and med2 = out.(1) in
+          Alcotest.(check bool) "distinct medoids" true (med1 <> med2);
+          (* each point's assignment points at the closer medoid *)
+          let dist p q =
+            let acc = ref 0 in
+            for k = 0 to d - 1 do
+              let dd = inputs.((p * d) + k) - inputs.((q * d) + k) in
+              acc := !acc + (dd * dd)
+            done;
+            !acc
+          in
+          for p = 0 to m - 1 do
+            let a = out.(2 + p) in
+            let d1 = dist p med1 and d2 = dist p med2 in
+            if a = 1 then Alcotest.(check bool) "closer to med2" true (d2 < d1)
+            else Alcotest.(check bool) "not strictly closer to med2" true (d2 >= d1)
+          done
+        done);
+    Alcotest.test_case "registry lookup and sweep shapes" `Quick (fun () ->
+        Alcotest.(check int) "suite size" 5 (List.length (Registry.suite ()));
+        List.iter
+          (fun (_, apps) -> Alcotest.(check int) "three sizes" 3 (List.length apps))
+          (Registry.sweep ());
+        Alcotest.(check bool) "unknown benchmark raises" true
+          (try
+             ignore (Registry.by_name "nope" ~scale:1);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,69 @@
+open Fieldlib
+open Argsys
+
+let ctx = Fp.create Primes.p61
+let fi = Fp.of_int ctx
+
+(* Reuse the y = x^2 + 3 system from the constraint tests, wrapped for the
+   Ginger argument driver. Canonical variables: 1 = z1, 2 = x, 3 = y. *)
+let square_plus_3 : Argument_ginger.computation =
+  {
+    Argument_ginger.ginger = Test_constr.ginger_sys;
+    num_inputs = 1;
+    num_outputs = 1;
+    solve =
+      (fun x ->
+        let x0 = x.(0) in
+        let sq = Fp.mul ctx x0 x0 in
+        [| Fp.one; sq; x0; Fp.add ctx sq (fi 3) |]);
+  }
+
+let unit_tests =
+  [
+    Alcotest.test_case "ginger argument accepts honest prover" `Quick (fun () ->
+        let prg = Chacha.Prg.create ~seed:"garg ok" () in
+        let r = Argument_ginger.run_instance square_plus_3 ~prg ~x:[| fi 6 |] in
+        Alcotest.(check bool) "accepted" true r.Argument_ginger.accepted;
+        Alcotest.(check (option int)) "output" (Some 39)
+          (Fp.to_int_opt r.Argument_ginger.claimed_output.(0)));
+    Alcotest.test_case "ginger argument rejects cheating prover (whp)" `Quick (fun () ->
+        let rejections = ref 0 in
+        for i = 0 to 9 do
+          let prg = Chacha.Prg.create ~seed:(Printf.sprintf "garg cheat %d" i) () in
+          let config = { Argument_ginger.test_config with Argument_ginger.cheat = true } in
+          let r = Argument_ginger.run_instance ~config square_plus_3 ~prg ~x:[| fi 6 |] in
+          if not r.Argument_ginger.accepted then incr rejections
+        done;
+        Alcotest.(check bool) "mostly rejected" true (!rejections >= 9));
+    Alcotest.test_case "ginger argument on a compiled program" `Slow (fun () ->
+        (* A compiled tiny computation, proved under the Ginger (quadratic
+           proof vector) protocol end to end. *)
+        let ctx = Fp.create Primes.p61 in
+        let compiled =
+          Zlang.Compile.compile ~ctx
+            "computation g(input int8 a, input int8 b, output int32 y) { y = a * b + a; }"
+        in
+        let comp =
+          {
+            Argument_ginger.ginger = compiled.Zlang.Compile.ginger;
+            num_inputs = compiled.Zlang.Compile.num_inputs;
+            num_outputs = compiled.Zlang.Compile.num_outputs;
+            solve = compiled.Zlang.Compile.solve_ginger;
+          }
+        in
+        let prg = Chacha.Prg.create ~seed:"garg compiled" () in
+        let r = Argument_ginger.run_instance comp ~prg ~x:[| fi 7; fi 5 |] in
+        Alcotest.(check bool) "accepted" true r.Argument_ginger.accepted;
+        Alcotest.(check (option int)) "output" (Some 42)
+          (Fp.to_int_opt r.Argument_ginger.claimed_output.(0)));
+    Alcotest.test_case "ginger prover metrics populated" `Quick (fun () ->
+        let prg = Chacha.Prg.create ~seed:"garg metrics" () in
+        let r = Argument_ginger.run_instance square_plus_3 ~prg ~x:[| fi 2 |] in
+        List.iter
+          (fun phase ->
+            Alcotest.(check bool) phase true
+              (List.mem_assoc phase (Metrics.to_list r.Argument_ginger.prover)))
+          [ "solve_constraints"; "construct_u"; "crypto_ops"; "answer_queries" ]);
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,147 @@
+open Fieldlib
+open Constr
+open Zlang
+
+(* Direct unit tests of the constraint-builder gadgets, below the language
+   level: each gadget's constraints must be satisfied by the generated
+   witness and must pin down the advertised value. *)
+
+let ctx = Fp.create Primes.p61
+let fi = Fp.of_int ctx
+
+(* Build a tiny circuit with [k] inputs through [f], finish, solve on
+   [inputs], and return (ginger system, witness, perm-applied output
+   reader). [f] receives the builder and the input values and returns the
+   output value to bind. *)
+let run_gadget k f inputs =
+  let b = Builder.create ctx in
+  let ins = Array.init k (fun i -> Builder.input b ~index:i ~width:31) in
+  let out = f b ins in
+  Builder.bind_output b out;
+  let sys, perm = Builder.finalize b in
+  let worig = Builder.solve_original b (Array.map fi (Array.of_list inputs)) in
+  let w = Array.make (sys.Quad.num_vars + 1) Fp.zero in
+  w.(0) <- Fp.one;
+  Array.iteri (fun v value -> if v > 0 then w.(perm.(v)) <- value) worig;
+  let out_val = w.(sys.Quad.num_vars) (* outputs are last in canonical order *) in
+  (sys, w, out_val)
+
+let check_value name expected (sys, w, out) =
+  Alcotest.(check bool) (name ^ ": satisfied") true (Quad.satisfied ctx sys w);
+  Alcotest.(check (option int)) (name ^ ": value") (Some expected) (Fp.to_signed_int ctx out)
+
+let unit_tests =
+  [
+    Alcotest.test_case "decompose pins the bits" `Quick (fun () ->
+        let b = Builder.create ctx in
+        let x = Builder.input b ~index:0 ~width:8 in
+        let bits = Builder.decompose b x.Builder.qp 9 in
+        Alcotest.(check int) "nine bits" 9 (Array.length bits);
+        (* witness for x = 0b101101010 = 362 *)
+        let w = Builder.solve_original b [| fi 362 |] in
+        let got = Array.map (fun v -> Fp.to_int_opt w.(v)) bits in
+        Alcotest.(check (array (option int))) "bits"
+          [| Some 0; Some 1; Some 0; Some 1; Some 0; Some 1; Some 1; Some 0; Some 1 |] got);
+    Alcotest.test_case "ge gadget across sign combinations" `Quick (fun () ->
+        List.iter
+          (fun (a, bb, expect) ->
+            run_gadget 2 (fun b ins -> Builder.ge b ins.(0) ins.(1)) [ a; bb ]
+            |> check_value (Printf.sprintf "%d >= %d" a bb) expect)
+          [ (5, 3, 1); (3, 5, 0); (-5, 3, 0); (3, -5, 1); (-3, -5, 1); (-5, -3, 0); (4, 4, 1) ]);
+    Alcotest.test_case "is_zero gadget" `Quick (fun () ->
+        List.iter
+          (fun (a, expect) ->
+            run_gadget 1 (fun b ins -> Builder.is_zero b ins.(0)) [ a ]
+            |> check_value (Printf.sprintf "is_zero %d" a) expect)
+          [ (0, 1); (1, 0); (-7, 0); (123456, 0) ]);
+    Alcotest.test_case "mux gadget selects" `Quick (fun () ->
+        List.iter
+          (fun (c, expect) ->
+            run_gadget 3
+              (fun b ins ->
+                let cond = Builder.is_zero b ins.(0) in
+                Builder.mux b cond ins.(1) ins.(2))
+              [ c; 111; 222 ]
+            |> check_value (Printf.sprintf "mux %d" c) expect)
+          [ (0, 111); (5, 222) ]);
+    Alcotest.test_case "dyn_read selects and range-checks" `Quick (fun () ->
+        run_gadget 4
+          (fun b ins ->
+            let arr = [| ins.(0); ins.(1); ins.(2) |] in
+            fst (Builder.dyn_read b ins.(3) arr))
+          [ 10; 20; 30; 1 ]
+        |> check_value "dyn_read" 20);
+    Alcotest.test_case "dyn_write updates exactly one slot" `Quick (fun () ->
+        let b = Builder.create ctx in
+        let ins = Array.init 2 (fun i -> Builder.input b ~index:i ~width:31) in
+        let arr = [| Builder.const b 7; Builder.const b 8; Builder.const b 9 |] in
+        let arr' = Builder.dyn_write b ins.(0) arr ins.(1) in
+        Array.iter (fun v -> Builder.bind_output b v) arr';
+        let sys, perm = Builder.finalize b in
+        let worig = Builder.solve_original b [| fi 2; fi 99 |] in
+        let w = Array.make (sys.Quad.num_vars + 1) Fp.zero in
+        w.(0) <- Fp.one;
+        Array.iteri (fun v value -> if v > 0 then w.(perm.(v)) <- value) worig;
+        Alcotest.(check bool) "satisfied" true (Quad.satisfied ctx sys w);
+        let base = sys.Quad.num_vars - 2 in
+        let outs = Array.init 3 (fun i -> Fp.to_int_opt w.(base + i)) in
+        Alcotest.(check (array (option int))) "written" [| Some 7; Some 8; Some 99 |] outs);
+    Alcotest.test_case "shr gadget floor semantics" `Quick (fun () ->
+        List.iter
+          (fun (x, k, expect) ->
+            run_gadget 1 (fun b ins -> Builder.shr b ins.(0) k) [ x ]
+            |> check_value (Printf.sprintf "%d >> %d" x k) expect)
+          [ (37, 2, 9); (-37, 2, -10); (8, 3, 1); (-8, 3, -1); (0, 5, 0) ]);
+    Alcotest.test_case "boolean connectives" `Quick (fun () ->
+        List.iter
+          (fun (x, y, expect) ->
+            run_gadget 2
+              (fun b ins ->
+                let p = Builder.is_zero b ins.(0) in
+                let q = Builder.is_zero b ins.(1) in
+                Builder.bor b (Builder.band b p q) (Builder.bool_not b q))
+              [ x; y ]
+            |> check_value (Printf.sprintf "(x=0 && y=0) || !(y=0) for %d %d" x y) expect)
+          [ (0, 0, 1); (1, 0, 0); (0, 1, 1); (1, 1, 1) ]);
+    Alcotest.test_case "materialization count: linear code costs no constraints" `Quick (fun () ->
+        let b = Builder.create ctx in
+        let ins = Array.init 4 (fun i -> Builder.input b ~index:i ~width:20) in
+        (* purely linear expression: stays symbolic *)
+        let s = Array.fold_left (Builder.add b) (Builder.const b 0) ins in
+        Builder.bind_output b s;
+        let sys, _ = Builder.finalize b in
+        (* only the output-binding constraint *)
+        Alcotest.(check int) "one constraint" 1 (Quad.num_constraints sys));
+    Alcotest.test_case "width tracking rejects oversized comparisons" `Quick (fun () ->
+        let b = Builder.create ctx in
+        let x = Builder.input b ~index:0 ~width:30 in
+        (* squaring twice would need width 120 > p61's capacity of 58 *)
+        Alcotest.(check bool) "raises" true
+          (try
+             let sq = Builder.mul b x x in
+             ignore (Builder.mul b sq sq);
+             false
+           with Ast.Error _ -> true));
+  ]
+
+(* Property: the bind_io substitution agrees with direct evaluation. *)
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:50 ~name:"bind_io agrees with substitution" QCheck.small_int
+         (fun seed ->
+           let prg = Chacha.Prg.create ~seed:(Printf.sprintf "bindio %d" seed) () in
+           let sys = Test_constr.ginger_sys in
+           let x = Chacha.Prg.field ctx prg in
+           let y = Chacha.Prg.field ctx prg in
+           let z1 = Chacha.Prg.field ctx prg in
+           let bound = Quad.bind_io ctx sys [| x; y |] in
+           let full = [| Fp.one; z1; x; y |] in
+           let partial = [| Fp.one; z1 |] in
+           Array.for_all2
+             (fun q qb ->
+               Fp.equal (Quad.qpoly_eval ctx q full) (Quad.qpoly_eval ctx qb partial))
+             sys.Quad.constraints bound.Quad.constraints));
+  ]
+
+let suite = unit_tests @ property_tests

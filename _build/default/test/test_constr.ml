@@ -1,0 +1,149 @@
+open Fieldlib
+open Constr
+
+let ctx = Fp.create Primes.p61
+let fi = Fp.of_int ctx
+
+(* The running example: y = x^2 + 3 with intermediate z1 = x^2.
+   Variables: 1 = z1 (unbound), 2 = x (input), 3 = y (output).
+   Ginger constraints: { x*x - z1 = 0, z1 + 3 - y = 0 }. *)
+let ginger_sys =
+  let c1 =
+    Quad.qpoly_add ctx
+      (Quad.qpoly_mul_lin ctx (Lincomb.of_var 2) (Lincomb.of_var 2))
+      (Quad.qpoly_of_lincomb (Lincomb.scale ctx (fi (-1)) (Lincomb.of_var 1)))
+  in
+  let c2 =
+    Quad.qpoly_of_lincomb
+      (Lincomb.add ctx
+         (Lincomb.add ctx (Lincomb.of_var 1) (Lincomb.of_const (fi 3)))
+         (Lincomb.scale ctx (fi (-1)) (Lincomb.of_var 3)))
+  in
+  { Quad.field = ctx; num_vars = 3; num_z = 1; constraints = [| c1; c2 |] }
+
+let good_w = [| Fp.one; fi 25; fi 5; fi 28 |] (* 1, z1, x, y *)
+let bad_w = [| Fp.one; fi 24; fi 5; fi 28 |]
+
+let unit_tests =
+  [
+    Alcotest.test_case "lincomb arithmetic" `Quick (fun () ->
+        let a = Lincomb.add ctx (Lincomb.of_var 1) (Lincomb.scale ctx (fi 3) (Lincomb.of_var 2)) in
+        let w = [| Fp.one; fi 10; fi 20 |] in
+        Alcotest.(check bool) "eval" true (Fp.equal (Lincomb.eval ctx a w) (fi 70));
+        let cancel = Lincomb.sub ctx a a in
+        Alcotest.(check bool) "cancel" true (Lincomb.is_zero cancel));
+    Alcotest.test_case "lincomb drops zero coefficients" `Quick (fun () ->
+        let a = Lincomb.add_term ctx (Lincomb.of_var 5) 5 (fi (-1)) in
+        Alcotest.(check bool) "empty" true (Lincomb.is_zero a);
+        Alcotest.(check int) "terms" 0 (Lincomb.num_terms a));
+    Alcotest.test_case "qpoly_mul_lin expands products" `Quick (fun () ->
+        (* (w1 + 2)(w2 + 3) = w1w2 + 3w1 + 2w2 + 6 *)
+        let a = Lincomb.add ctx (Lincomb.of_var 1) (Lincomb.of_const (fi 2)) in
+        let b = Lincomb.add ctx (Lincomb.of_var 2) (Lincomb.of_const (fi 3)) in
+        let q = Quad.qpoly_mul_lin ctx a b in
+        let w = [| Fp.one; fi 7; fi 11 |] in
+        Alcotest.(check bool) "eval" true (Fp.equal (Quad.qpoly_eval ctx q w) (fi (9 * 14))));
+    Alcotest.test_case "ginger system satisfied" `Quick (fun () ->
+        Alcotest.(check bool) "good" true (Quad.satisfied ctx ginger_sys good_w);
+        Alcotest.(check bool) "bad" false (Quad.satisfied ctx ginger_sys bad_w);
+        Alcotest.(check (option int)) "violation" (Some 0) (Quad.first_violation ctx ginger_sys bad_w));
+    Alcotest.test_case "K and K2 statistics" `Quick (fun () ->
+        Alcotest.(check int) "K2" 1 (Quad.distinct_quadratic_terms ginger_sys);
+        Alcotest.(check int) "K" 5 (Quad.additive_terms ginger_sys));
+    Alcotest.test_case "transform shapes (section 4)" `Quick (fun () ->
+        let tr = Transform.apply ginger_sys in
+        let r = tr.Transform.r1cs in
+        Alcotest.(check int) "K2" 1 tr.Transform.k2;
+        Alcotest.(check int) "|Z_zaatar| = |Z_ginger| + K2" 2 r.R1cs.num_z;
+        Alcotest.(check int) "|C_zaatar| = |C_ginger| + K2" 3 (R1cs.num_constraints r);
+        Alcotest.(check int) "num_vars" 4 r.R1cs.num_vars);
+    Alcotest.test_case "transform preserves satisfiability" `Quick (fun () ->
+        let tr = Transform.apply ginger_sys in
+        let w' = Transform.extend_assignment tr ginger_sys good_w in
+        Alcotest.(check bool) "sat" true (R1cs.satisfied ctx tr.Transform.r1cs w');
+        let w_bad = Transform.extend_assignment tr ginger_sys bad_w in
+        Alcotest.(check bool) "unsat" false (R1cs.satisfied ctx tr.Transform.r1cs w_bad));
+    Alcotest.test_case "transform worst-case example from section 4" `Quick (fun () ->
+        (* {3 Z1Z2 + 2 Z3Z4 + Z5 - Z6 = 0} -> 3 quadratic-form constraints *)
+        let q =
+          Quad.qpoly_add ctx
+            (Quad.qpoly_add ctx
+               (Quad.qpoly_scale ctx (fi 3) (Quad.qpoly_mul_lin ctx (Lincomb.of_var 1) (Lincomb.of_var 2)))
+               (Quad.qpoly_scale ctx (fi 2) (Quad.qpoly_mul_lin ctx (Lincomb.of_var 3) (Lincomb.of_var 4))))
+            (Quad.qpoly_of_lincomb (Lincomb.sub ctx (Lincomb.of_var 5) (Lincomb.of_var 6)))
+        in
+        let sys = { Quad.field = ctx; num_vars = 6; num_z = 6; constraints = [| q |] } in
+        let tr = Transform.apply sys in
+        Alcotest.(check int) "K2" 2 tr.Transform.k2;
+        Alcotest.(check int) "constraints" 3 (R1cs.num_constraints tr.Transform.r1cs);
+        (* z = (2, 3, 4, 5, 7, 6*2*3 + 2*4*5 + 7) *)
+        let w = [| Fp.one; fi 2; fi 3; fi 4; fi 5; fi 7; fi 65 |] in
+        Alcotest.(check bool) "ginger sat" true (Quad.satisfied ctx sys w);
+        let w' = Transform.extend_assignment tr sys w in
+        Alcotest.(check bool) "zaatar sat" true (R1cs.satisfied ctx tr.Transform.r1cs w'));
+    Alcotest.test_case "r1cs rejects out-of-range variables" `Quick (fun () ->
+        let bad =
+          {
+            R1cs.field = ctx;
+            num_vars = 1;
+            num_z = 1;
+            constraints = [| { R1cs.a = Lincomb.of_var 5; b = Lincomb.of_const Fp.one; c = Lincomb.zero } |];
+          }
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             R1cs.check_wellformed bad;
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* Random satisfiable R1CS systems: draw an assignment, draw random a/b
+   rows, then solve for the constant of the c row. *)
+let random_satisfiable_r1cs seed =
+  let prg = Chacha.Prg.create ~seed:(Printf.sprintf "r1cs %d" seed) () in
+  let n = 3 + Chacha.Prg.int_below prg 10 in
+  let num_z = 1 + Chacha.Prg.int_below prg (n - 1) in
+  let nc = 1 + Chacha.Prg.int_below prg 12 in
+  let w = Array.init (n + 1) (fun i -> if i = 0 then Fp.one else Chacha.Prg.field ctx prg) in
+  let random_row () =
+    let t = ref Lincomb.zero in
+    for _ = 0 to Chacha.Prg.int_below prg 4 do
+      t := Lincomb.add_term ctx !t (Chacha.Prg.int_below prg (n + 1)) (Chacha.Prg.field ctx prg)
+    done;
+    !t
+  in
+  let constraints =
+    Array.init nc (fun _ ->
+        let a = random_row () and b = random_row () and c0 = random_row () in
+        let target = Fp.mul ctx (Lincomb.eval ctx a w) (Lincomb.eval ctx b w) in
+        let fix = Fp.sub ctx target (Lincomb.eval ctx c0 w) in
+        { R1cs.a; b; c = Lincomb.add_term ctx c0 0 fix })
+  in
+  ({ R1cs.field = ctx; num_vars = n; num_z; constraints }, w)
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"random satisfiable systems verify"
+         QCheck.small_int (fun seed ->
+           let sys, w = random_satisfiable_r1cs seed in
+           R1cs.satisfied ctx sys w));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"perturbed assignments violate (whp)"
+         QCheck.small_int (fun seed ->
+           let sys, w = random_satisfiable_r1cs seed in
+           let prg = Chacha.Prg.create ~seed:(Printf.sprintf "perturb %d" seed) () in
+           let i = 1 + Chacha.Prg.int_below prg sys.R1cs.num_vars in
+           let w' = Array.copy w in
+           w'.(i) <- Fp.add ctx w'.(i) Fp.one;
+           (* The perturbed variable might not appear in any constraint;
+              accept either a violation or a provably-unused variable. *)
+           (not (R1cs.satisfied ctx sys w'))
+           || Array.for_all
+                (fun (k : R1cs.constr) ->
+                  List.for_all (fun (v, _) -> v <> i)
+                    (Lincomb.terms k.R1cs.a @ Lincomb.terms k.R1cs.b @ Lincomb.terms k.R1cs.c))
+                sys.R1cs.constraints));
+  ]
+
+let suite = unit_tests @ property_tests

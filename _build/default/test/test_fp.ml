@@ -1,0 +1,177 @@
+open Fieldlib
+
+let ctx61 = Fp.create Primes.p61
+let ctx127 = Fp.create Primes.p127
+
+let el c = Alcotest.testable Fp.pp Fp.equal |> fun t -> ignore c; t
+
+(* Deterministic pseudo-random field elements for property tests. *)
+let gen_el ctx =
+  QCheck.Gen.(
+    list_size (return 8) (int_range 0 ((1 lsl 30) - 1)) >|= fun limbs ->
+    Fp.of_nat ctx
+      (List.fold_left (fun acc l -> Nat.add_int (Nat.shift_left acc 30) l) Nat.zero limbs))
+
+let arb_el ctx = QCheck.make ~print:Fp.to_string (gen_el ctx)
+
+let arb_nonzero ctx =
+  QCheck.make ~print:Fp.to_string
+    QCheck.Gen.(gen_el ctx >|= fun x -> if Fp.is_zero x then Fp.one else x)
+
+let qtest name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let field_laws name ctx =
+  [
+    qtest (name ^ ": add assoc") 200
+      (QCheck.triple (arb_el ctx) (arb_el ctx) (arb_el ctx))
+      (fun (a, b, c) -> Fp.equal (Fp.add ctx (Fp.add ctx a b) c) (Fp.add ctx a (Fp.add ctx b c)));
+    qtest (name ^ ": mul assoc") 200
+      (QCheck.triple (arb_el ctx) (arb_el ctx) (arb_el ctx))
+      (fun (a, b, c) -> Fp.equal (Fp.mul ctx (Fp.mul ctx a b) c) (Fp.mul ctx a (Fp.mul ctx b c)));
+    qtest (name ^ ": distributivity") 200
+      (QCheck.triple (arb_el ctx) (arb_el ctx) (arb_el ctx))
+      (fun (a, b, c) ->
+        Fp.equal (Fp.mul ctx a (Fp.add ctx b c)) (Fp.add ctx (Fp.mul ctx a b) (Fp.mul ctx a c)));
+    qtest (name ^ ": sub inverse of add") 200
+      (QCheck.pair (arb_el ctx) (arb_el ctx))
+      (fun (a, b) -> Fp.equal a (Fp.sub ctx (Fp.add ctx a b) b));
+    qtest (name ^ ": neg") 200 (arb_el ctx) (fun a -> Fp.is_zero (Fp.add ctx a (Fp.neg ctx a)));
+    qtest (name ^ ": inv") 200 (arb_nonzero ctx) (fun a ->
+        Fp.equal Fp.one (Fp.mul ctx a (Fp.inv ctx a)));
+    qtest (name ^ ": inv matches fermat") 100 (arb_nonzero ctx) (fun a ->
+        Fp.equal (Fp.inv ctx a) (Fp.inv_fermat ctx a));
+    qtest (name ^ ": fermat little theorem") 50 (arb_nonzero ctx) (fun a ->
+        Fp.equal Fp.one (Fp.pow ctx a (Nat.sub (Fp.modulus ctx) Nat.one)));
+    qtest (name ^ ": reduce idempotent under of_nat") 200 (arb_el ctx) (fun a ->
+        Fp.equal a (Fp.of_nat ctx (Fp.to_nat a)));
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int negative" `Quick (fun () ->
+        let m1 = Fp.of_int ctx61 (-1) in
+        Alcotest.check (el ctx61) "p-1" (Fp.sub ctx61 Fp.zero Fp.one) m1);
+    Alcotest.test_case "to_signed_int" `Quick (fun () ->
+        Alcotest.(check (option int)) "neg" (Some (-42)) (Fp.to_signed_int ctx61 (Fp.of_int ctx61 (-42)));
+        Alcotest.(check (option int)) "pos" (Some 42) (Fp.to_signed_int ctx61 (Fp.of_int ctx61 42)));
+    Alcotest.test_case "batch_inv" `Quick (fun () ->
+        let xs = Array.init 17 (fun i -> Fp.of_int ctx127 (i + 3)) in
+        let invs = Fp.batch_inv ctx127 xs in
+        Array.iteri
+          (fun i x -> Alcotest.check (el ctx127) "inv" (Fp.inv ctx127 x) invs.(i))
+          xs);
+    Alcotest.test_case "batch_inv rejects zero" `Quick (fun () ->
+        Alcotest.check_raises "zero" Division_by_zero (fun () ->
+            ignore (Fp.batch_inv ctx61 [| Fp.one; Fp.zero |])));
+    Alcotest.test_case "dot product" `Quick (fun () ->
+        let a = Array.init 100 (fun i -> Fp.of_int ctx127 (i + 1)) in
+        let b = Array.init 100 (fun i -> Fp.of_int ctx127 (2 * i)) in
+        let expect = ref Fp.zero in
+        for i = 0 to 99 do
+          expect := Fp.add ctx127 !expect (Fp.mul ctx127 a.(i) b.(i))
+        done;
+        Alcotest.check (el ctx127) "dot" !expect (Fp.dot ctx127 a b));
+    Alcotest.test_case "dot with zeros is sparse-safe" `Quick (fun () ->
+        let a = [| Fp.zero; Fp.one; Fp.zero; Fp.of_int ctx61 5 |] in
+        let b = [| Fp.of_int ctx61 9; Fp.of_int ctx61 7; Fp.one; Fp.zero |] in
+        Alcotest.check (el ctx61) "dot" (Fp.of_int ctx61 7) (Fp.dot ctx61 a b));
+    Alcotest.test_case "sample below modulus" `Quick (fun () ->
+        let counter = ref 0 in
+        let fake n =
+          incr counter;
+          Bytes.init n (fun i -> Char.chr ((i * 37 + !counter * 11) land 0xff))
+        in
+        for _ = 1 to 50 do
+          let x = Fp.sample ctx127 fake in
+          Alcotest.(check bool) "in range" true (Nat.compare (Fp.to_nat x) (Fp.modulus ctx127) < 0)
+        done);
+    Alcotest.test_case "known prime moduli" `Slow (fun () ->
+        Alcotest.(check bool) "p61" true (Primes.is_prime Primes.p61);
+        Alcotest.(check bool) "p89" true (Primes.is_prime Primes.p89);
+        Alcotest.(check bool) "p127" true (Primes.is_prime Primes.p127);
+        Alcotest.(check bool) "bls fr" true (Primes.is_prime Primes.bls12_381_fr);
+        Alcotest.(check int) "bls 2-adicity" 32 (Primes.two_adicity Primes.bls12_381_fr));
+    Alcotest.test_case "p128/p220 generation" `Slow (fun () ->
+        let p128 = Primes.p128 () in
+        Alcotest.(check int) "bits" 128 (Nat.num_bits p128);
+        Alcotest.(check bool) "prime" true (Primes.is_prime p128);
+        let p220 = Primes.p220 () in
+        Alcotest.(check int) "bits" 220 (Nat.num_bits p220);
+        Alcotest.(check bool) "prime" true (Primes.is_prime p220));
+    Alcotest.test_case "miller-rabin rejects composites" `Quick (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check bool) (string_of_int n) false (Primes.is_prime (Nat.of_int n)))
+          [ 0; 1; 4; 9; 15; 21; 25; 27; 33; 91; 561; 1105; 41041; 825265 ];
+        (* Carmichael-adjacent large composite: product of two primes. *)
+        let c = Nat.mul Primes.p61 Primes.p89 in
+        Alcotest.(check bool) "p61*p89" false (Primes.is_prime c));
+    Alcotest.test_case "miller-rabin accepts small primes" `Quick (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check bool) (string_of_int n) true (Primes.is_prime (Nat.of_int n)))
+          [ 2; 3; 5; 7; 97; 101; 65537; 2147483647 ]);
+    Alcotest.test_case "root of unity generator (NTT field)" `Quick (fun () ->
+        let ctx = Fp.create Primes.bls12_381_fr in
+        let w = Primes.find_generator_of_two_power_subgroup ctx in
+        (* w has order exactly 2^32: w^(2^32) = 1 and w^(2^31) <> 1. *)
+        let sq n x = let r = ref x in for _ = 1 to n do r := Fp.sqr ctx !r done; !r in
+        let w31 = sq 31 w in
+        Alcotest.(check bool) "w^(2^31) <> 1" false (Fp.equal w31 Fp.one);
+        Alcotest.(check bool) "w^(2^32) = 1" true (Fp.equal (Fp.sqr ctx w31) Fp.one));
+  ]
+
+let suite = unit_tests @ field_laws "F_p61" ctx61 @ field_laws "F_p127" ctx127
+
+(* --- Montgomery-form arithmetic (lib/fieldlib/montgomery.ml) --- *)
+
+let mont_tests =
+  let mctx = Montgomery.create Primes.p127 in
+  let byte_src seed =
+    let p = Chacha.Prg.create ~seed () in
+    fun n -> Chacha.Prg.bytes p n
+  in
+  let sample src = Fp.sample ctx127 src in
+  [
+    Alcotest.test_case "montgomery roundtrip" `Quick (fun () ->
+        let src = byte_src "mont rt" in
+        for _ = 1 to 50 do
+          let x = Fp.to_nat (sample src) in
+          let m = Montgomery.to_mont mctx x in
+          Alcotest.(check bool) "rt" true (Nat.equal (Montgomery.of_mont mctx m) x)
+        done);
+    Alcotest.test_case "montgomery mul matches Fp" `Quick (fun () ->
+        let src = byte_src "mont mul" in
+        for _ = 1 to 50 do
+          let a = sample src and b = sample src in
+          let ma = Montgomery.to_mont mctx (Fp.to_nat a) in
+          let mb = Montgomery.to_mont mctx (Fp.to_nat b) in
+          let prod = Montgomery.of_mont mctx (Montgomery.mul mctx ma mb) in
+          Alcotest.(check bool) "mul" true (Nat.equal prod (Fp.to_nat (Fp.mul ctx127 a b)))
+        done);
+    Alcotest.test_case "montgomery add/sub match Fp" `Quick (fun () ->
+        let src = byte_src "mont addsub" in
+        for _ = 1 to 50 do
+          let a = sample src and b = sample src in
+          let ma = Montgomery.to_mont mctx (Fp.to_nat a) in
+          let mb = Montgomery.to_mont mctx (Fp.to_nat b) in
+          let s = Montgomery.of_mont mctx (Montgomery.add mctx ma mb) in
+          let d = Montgomery.of_mont mctx (Montgomery.sub mctx ma mb) in
+          Alcotest.(check bool) "add" true (Nat.equal s (Fp.to_nat (Fp.add ctx127 a b)));
+          Alcotest.(check bool) "sub" true (Nat.equal d (Fp.to_nat (Fp.sub ctx127 a b)))
+        done);
+    Alcotest.test_case "montgomery pow matches Fp.pow" `Quick (fun () ->
+        let src = byte_src "mont pow" in
+        for _ = 1 to 10 do
+          let b = sample src in
+          let e = Fp.to_nat (sample src) in
+          let got = Montgomery.pow_nat mctx (Fp.to_nat b) e in
+          Alcotest.(check bool) "pow" true (Nat.equal got (Fp.to_nat (Fp.pow ctx127 b e)))
+        done);
+    Alcotest.test_case "montgomery one/zero" `Quick (fun () ->
+        Alcotest.(check bool) "one" true (Nat.is_one (Montgomery.of_mont mctx (Montgomery.one mctx)));
+        Alcotest.(check bool) "zero" true (Nat.is_zero (Montgomery.of_mont mctx (Montgomery.zero mctx))));
+    Alcotest.test_case "montgomery rejects even modulus" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try ignore (Montgomery.create (Nat.of_int 8)); false with Invalid_argument _ -> true));
+  ]
+
+let suite = suite @ mont_tests

@@ -1,0 +1,153 @@
+open Fieldlib
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+(* Random generators kept within the range where int arithmetic is an exact
+   reference. *)
+let small_int = QCheck.Gen.int_range 0 ((1 lsl 30) - 1)
+let arb_small = QCheck.make ~print:string_of_int small_int
+
+let gen_big =
+  QCheck.Gen.(
+    list_size (int_range 1 12) (int_range 0 ((1 lsl 30) - 1)) >|= fun limbs ->
+    List.fold_left (fun acc l -> Nat.add_int (Nat.shift_left acc 30) l) Nat.zero limbs)
+
+let arb_big = QCheck.make ~print:Nat.to_decimal gen_big
+
+let arb_big_pos =
+  QCheck.make ~print:Nat.to_decimal QCheck.Gen.(gen_big >|= fun n -> Nat.add_int n 1)
+
+let qtest name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check int) "roundtrip" n (Nat.to_int (Nat.of_int n)))
+          [ 0; 1; 2; 42; (1 lsl 31) - 1; 1 lsl 31; 1 lsl 45; max_int ]);
+    Alcotest.test_case "decimal roundtrip" `Quick (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "decimal" s (Nat.to_decimal (Nat.of_decimal s)));
+    Alcotest.test_case "hex roundtrip" `Quick (fun () ->
+        let s = "deadbeefcafebabe0123456789abcdef" in
+        Alcotest.(check string) "hex" s (Nat.to_hex (Nat.of_hex s)));
+    Alcotest.test_case "hex accepts 0x prefix and underscores" `Quick (fun () ->
+        Alcotest.check nat "same" (Nat.of_hex "0xff_ff") (Nat.of_int 65535));
+    Alcotest.test_case "sub underflow raises" `Quick (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "Nat.sub: negative result") (fun () ->
+            ignore (Nat.sub (Nat.of_int 3) (Nat.of_int 5))));
+    Alcotest.test_case "divide by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Nat.divmod (Nat.of_int 3) Nat.zero)));
+    Alcotest.test_case "shift identities" `Quick (fun () ->
+        let a = Nat.of_decimal "987654321987654321987654321" in
+        Alcotest.check nat "lr" a (Nat.shift_right (Nat.shift_left a 100) 100);
+        Alcotest.check nat "mul2" (Nat.mul a Nat.two) (Nat.shift_left a 1));
+    Alcotest.test_case "bytes roundtrip" `Quick (fun () ->
+        let a = Nat.of_hex "0102030405060708090a0b0c" in
+        Alcotest.check nat "bytes" a (Nat.of_bytes_le (Nat.to_bytes_le a 16)));
+    Alcotest.test_case "karatsuba vs schoolbook cross" `Quick (fun () ->
+        (* Large enough to trigger the Karatsuba path. *)
+        let mk seed len =
+          let st = ref seed in
+          let limbs = List.init len (fun _ ->
+              st := (!st * 442695040888963407 + 1442695040888963407) land max_int;
+              !st land 0x3fffffff)
+          in
+          List.fold_left (fun acc l -> Nat.add_int (Nat.shift_left acc 30) l) Nat.zero limbs
+        in
+        let a = mk 1 100 and b = mk 2 80 in
+        let ab = Nat.mul a b in
+        (* (a+b)^2 = a^2 + 2ab + b^2 exercises consistency across paths. *)
+        let lhs = Nat.sqr (Nat.add a b) in
+        let rhs = Nat.add (Nat.add (Nat.sqr a) (Nat.shift_left ab 1)) (Nat.sqr b) in
+        Alcotest.check nat "binomial" lhs rhs);
+    Alcotest.test_case "num_bits/testbit" `Quick (fun () ->
+        let a = Nat.shift_left Nat.one 100 in
+        Alcotest.(check int) "bits" 101 (Nat.num_bits a);
+        Alcotest.(check bool) "bit100" true (Nat.testbit a 100);
+        Alcotest.(check bool) "bit99" false (Nat.testbit a 99));
+    Alcotest.test_case "pow_int" `Quick (fun () ->
+        Alcotest.check nat "2^100" (Nat.shift_left Nat.one 100) (Nat.pow_int Nat.two 100);
+        Alcotest.check nat "x^0" Nat.one (Nat.pow_int (Nat.of_int 7) 0));
+  ]
+
+let property_tests =
+  [
+    qtest "add matches int" 500
+      (QCheck.pair arb_small arb_small)
+      (fun (a, b) -> Nat.to_int (Nat.add (Nat.of_int a) (Nat.of_int b)) = a + b);
+    qtest "mul matches int" 500
+      (QCheck.pair arb_small arb_small)
+      (fun (a, b) -> Nat.to_int (Nat.mul (Nat.of_int a) (Nat.of_int b)) = a * b);
+    qtest "add commutative" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a));
+    qtest "mul commutative" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a));
+    qtest "mul distributes over add" 300
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) ->
+        Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    qtest "add then sub roundtrip" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b));
+    qtest "divmod invariant" 500
+      (QCheck.pair arb_big arb_big_pos)
+      (fun (a, b) ->
+        let q, r = Nat.divmod a b in
+        Nat.compare r b < 0 && Nat.equal a (Nat.add (Nat.mul q b) r));
+    qtest "divmod exact on products" 300
+      (QCheck.pair arb_big arb_big_pos)
+      (fun (a, b) ->
+        let q, r = Nat.divmod (Nat.mul a b) b in
+        Nat.is_zero r && Nat.equal q a);
+    qtest "decimal roundtrip" 200 arb_big (fun a -> Nat.equal a (Nat.of_decimal (Nat.to_decimal a)));
+    qtest "hex roundtrip" 200 arb_big (fun a -> Nat.equal a (Nat.of_hex (Nat.to_hex a)));
+    qtest "compare consistent with sub" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        match Nat.compare a b with
+        | 0 -> Nat.equal a b
+        | c when c > 0 -> Nat.equal (Nat.add (Nat.sub a b) b) a
+        | _ -> Nat.equal (Nat.add (Nat.sub b a) a) b);
+    qtest "shift_left is mul by power of two" 200
+      (QCheck.pair arb_big (QCheck.make ~print:string_of_int (QCheck.Gen.int_range 0 70)))
+      (fun (a, s) -> Nat.equal (Nat.shift_left a s) (Nat.mul a (Nat.pow_int Nat.two s)));
+  ]
+
+let suite = unit_tests @ property_tests
+
+(* Regression: the Karatsuba split must return (high, low) even when one
+   operand is shorter than the split point (an early bug produced wrong
+   products for very unbalanced operands). *)
+let regression_tests =
+  [
+    Alcotest.test_case "karatsuba with very unbalanced operands" `Quick (fun () ->
+        let mk seed len =
+          let st = ref seed in
+          let limbs = List.init len (fun _ ->
+              st := (!st * 442695040888963407 + 17) land max_int;
+              !st land 0x3fffffff)
+          in
+          List.fold_left (fun acc l -> Nat.add_int (Nat.shift_left acc 30) l) Nat.zero limbs
+        in
+        (* lengths chosen so that k = (max+1)/2 exceeds the short operand *)
+        List.iter
+          (fun (la, lb) ->
+            let a = mk 3 la and b = mk 4 lb in
+            (* verify against a shift-and-add reference *)
+            let reference =
+              let acc = ref Nat.zero in
+              for i = Nat.num_bits b - 1 downto 0 do
+                acc := Nat.shift_left !acc 1;
+                if Nat.testbit b i then acc := Nat.add !acc a
+              done;
+              !acc
+            in
+            Alcotest.check nat (Printf.sprintf "%dx%d" la lb) reference (Nat.mul a b))
+          [ (120, 30); (30, 120); (100, 26); (64, 25) ]);
+  ]
+
+let suite = suite @ regression_tests

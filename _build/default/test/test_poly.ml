@@ -1,0 +1,143 @@
+open Fieldlib
+open Polylib
+
+let ctx = Fp.create Primes.p61
+let ctx127 = Fp.create Primes.p127
+let prg () = Chacha.Prg.create ~seed:"poly tests" ()
+
+let poly_t c = Alcotest.testable (Poly.pp c) Poly.equal
+
+let qtest name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* Generate random polynomials deterministically from an int seed so qcheck
+   can shrink/print. *)
+let gen_poly ctx =
+  QCheck.Gen.(
+    pair (int_range 0 40) int >|= fun (deg, seed) ->
+    let p = Chacha.Prg.create ~seed:(Printf.sprintf "qpoly %d" seed) () in
+    Poly.random ctx p deg)
+
+let arb_poly c = QCheck.make ~print:(fun p -> Format.asprintf "%a" (Poly.pp c) p) (gen_poly c)
+
+let arb_poly_nonzero c =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" (Poly.pp c) p)
+    QCheck.Gen.(gen_poly c >|= fun p -> if Poly.is_zero p then Poly.one else p)
+
+let unit_tests =
+  [
+    Alcotest.test_case "eval Horner" `Quick (fun () ->
+        (* p(x) = 3 + 2x + x^2 at x = 5 -> 38 *)
+        let p = Poly.of_coeffs [| Fp.of_int ctx 3; Fp.of_int ctx 2; Fp.one |] in
+        Alcotest.(check bool) "38" true (Fp.equal (Poly.eval ctx p (Fp.of_int ctx 5)) (Fp.of_int ctx 38)));
+    Alcotest.test_case "mul matches schoolbook on large inputs" `Quick (fun () ->
+        let p = prg () in
+        let a = Poly.random ctx p 150 and b = Poly.random ctx p 97 in
+        Alcotest.check (poly_t ctx) "karatsuba" (Poly.mul_schoolbook ctx a b) (Poly.mul ctx a b));
+    Alcotest.test_case "derivative product rule" `Quick (fun () ->
+        let p = prg () in
+        let a = Poly.random ctx p 20 and b = Poly.random ctx p 15 in
+        let lhs = Poly.derivative ctx (Poly.mul ctx a b) in
+        let rhs =
+          Poly.add ctx
+            (Poly.mul ctx (Poly.derivative ctx a) b)
+            (Poly.mul ctx a (Poly.derivative ctx b))
+        in
+        Alcotest.check (poly_t ctx) "product rule" lhs rhs);
+    Alcotest.test_case "div_rem_fast matches schoolbook" `Quick (fun () ->
+        let p = prg () in
+        for _ = 1 to 10 do
+          let a = Poly.random ctx p 120 and b = Poly.random ctx p 37 in
+          if not (Poly.is_zero b) then begin
+            let q1, r1 = Poly.div_rem ctx a b in
+            let q2, r2 = Poly.div_rem_fast ctx a b in
+            Alcotest.check (poly_t ctx) "q" q1 q2;
+            Alcotest.check (poly_t ctx) "r" r1 r2
+          end
+        done);
+    Alcotest.test_case "inv_mod_xk" `Quick (fun () ->
+        let p = prg () in
+        let f = Poly.add ctx Poly.one (Poly.shift (Poly.random ctx p 30) 1) in
+        let g = Poly.inv_mod_xk ctx f 50 in
+        let fg = Poly.mul ctx f g in
+        (* f*g = 1 mod x^50 *)
+        Alcotest.(check bool) "const" true (Fp.equal (Poly.coeff fg 0) Fp.one);
+        for i = 1 to 49 do
+          Alcotest.(check bool) "zero" true (Fp.is_zero (Poly.coeff fg i))
+        done);
+    Alcotest.test_case "divide_exact guards remainder" `Quick (fun () ->
+        let a = Poly.of_coeffs [| Fp.one; Fp.one |] in
+        let b = Poly.of_coeffs [| Fp.of_int ctx 2; Fp.one |] in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Poly.divide_exact ctx a b);
+             false
+           with Failure _ -> true));
+    Alcotest.test_case "subproduct multipoint evaluation" `Quick (fun () ->
+        let p = prg () in
+        let f = Poly.random ctx p 40 in
+        let points = Array.init 25 (fun i -> Fp.of_int ctx (i + 1)) in
+        let tree = Subproduct.build ctx points in
+        let vals = Subproduct.eval_all ctx f tree in
+        Array.iteri
+          (fun i v -> Alcotest.(check bool) "agree" true (Fp.equal v (Poly.eval ctx f points.(i))))
+          vals);
+    Alcotest.test_case "interpolation roundtrip" `Quick (fun () ->
+        let p = prg () in
+        let n = 33 in
+        let f = Poly.random ctx127 p (n - 1) in
+        let points = Array.init n (fun i -> Fp.of_int ctx127 i) in
+        let values = Array.map (Poly.eval ctx127 f) points in
+        let g = Subproduct.interpolate_points ctx127 points values in
+        Alcotest.check (poly_t ctx127) "roundtrip" f g);
+    Alcotest.test_case "interpolation through arbitrary values" `Quick (fun () ->
+        let p = prg () in
+        let n = 20 in
+        let points = Array.init n (fun i -> Fp.of_int ctx (2 * i + 1)) in
+        let values = Array.init n (fun _ -> Chacha.Prg.field ctx p) in
+        let g = Subproduct.interpolate_points ctx points values in
+        Alcotest.(check bool) "deg bound" true (Poly.degree g < n);
+        Array.iteri
+          (fun i pt -> Alcotest.(check bool) "hits" true (Fp.equal (Poly.eval ctx g pt) values.(i)))
+          points);
+    Alcotest.test_case "NTT forward/inverse roundtrip" `Quick (fun () ->
+        let f = Fp.create Primes.bls12_381_fr in
+        let t = Ntt.create f in
+        let p = prg () in
+        let a = Array.init 64 (fun _ -> Chacha.Prg.field f p) in
+        let b = Ntt.inverse t (Ntt.forward t a) in
+        Array.iteri (fun i x -> Alcotest.(check bool) "same" true (Fp.equal x b.(i))) a);
+    Alcotest.test_case "NTT multiplication matches Karatsuba" `Quick (fun () ->
+        let f = Fp.create Primes.bls12_381_fr in
+        let t = Ntt.create f in
+        let p = prg () in
+        let a = Poly.random f p 50 and b = Poly.random f p 77 in
+        Alcotest.check (poly_t f) "ntt mul" (Poly.mul f a b) (Ntt.mul t a b));
+  ]
+
+let property_tests =
+  [
+    qtest "mul commutative" 100
+      (QCheck.pair (arb_poly ctx) (arb_poly ctx))
+      (fun (a, b) -> Poly.equal (Poly.mul ctx a b) (Poly.mul ctx b a));
+    qtest "mul distributes" 100
+      (QCheck.triple (arb_poly ctx) (arb_poly ctx) (arb_poly ctx))
+      (fun (a, b, c) ->
+        Poly.equal (Poly.mul ctx a (Poly.add ctx b c))
+          (Poly.add ctx (Poly.mul ctx a b) (Poly.mul ctx a c)));
+    qtest "eval is a ring hom" 100
+      (QCheck.pair (arb_poly ctx) (arb_poly ctx))
+      (fun (a, b) ->
+        let x = Fp.of_int ctx 12345 in
+        Fp.equal (Poly.eval ctx (Poly.mul ctx a b) x) (Fp.mul ctx (Poly.eval ctx a x) (Poly.eval ctx b x)));
+    qtest "div_rem invariant" 100
+      (QCheck.pair (arb_poly ctx) (arb_poly_nonzero ctx))
+      (fun (a, b) ->
+        let q, r = Poly.div_rem_fast ctx a b in
+        Poly.degree r < Poly.degree b && Poly.equal a (Poly.add ctx (Poly.mul ctx b q) r));
+    qtest "degree of product" 100
+      (QCheck.pair (arb_poly_nonzero ctx) (arb_poly_nonzero ctx))
+      (fun (a, b) -> Poly.degree (Poly.mul ctx a b) = Poly.degree a + Poly.degree b);
+  ]
+
+let suite = unit_tests @ property_tests

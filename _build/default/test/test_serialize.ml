@@ -1,0 +1,66 @@
+open Fieldlib
+open Constr
+
+let ctx = Fp.create Primes.p61
+
+let roundtrip_system sys =
+  let s = Serialize.system_to_string sys in
+  let sys' = Serialize.system_of_string s in
+  Alcotest.(check int) "num_vars" sys.R1cs.num_vars sys'.R1cs.num_vars;
+  Alcotest.(check int) "num_z" sys.R1cs.num_z sys'.R1cs.num_z;
+  Alcotest.(check int) "constraints" (R1cs.num_constraints sys) (R1cs.num_constraints sys');
+  Array.iteri
+    (fun j (k : R1cs.constr) ->
+      let k' = sys'.R1cs.constraints.(j) in
+      Alcotest.(check bool) "a" true (Lincomb.equal k.R1cs.a k'.R1cs.a);
+      Alcotest.(check bool) "b" true (Lincomb.equal k.R1cs.b k'.R1cs.b);
+      Alcotest.(check bool) "c" true (Lincomb.equal k.R1cs.c k'.R1cs.c))
+    sys.R1cs.constraints
+
+let unit_tests =
+  [
+    Alcotest.test_case "random system roundtrips" `Quick (fun () ->
+        for seed = 0 to 10 do
+          let sys, w = Test_constr.random_satisfiable_r1cs seed in
+          roundtrip_system sys;
+          (* A satisfying witness of the original satisfies the parsed
+             system too. *)
+          let sys' = Serialize.system_of_string (Serialize.system_to_string sys) in
+          Alcotest.(check bool) "still satisfied" true (R1cs.satisfied ctx sys' w)
+        done);
+    Alcotest.test_case "compiled benchmark roundtrips" `Quick (fun () ->
+        let ctx = Fp.create Primes.p127 in
+        let app = Apps.Lcs.app ~m:4 in
+        let c = Apps.Glue.compile ctx app in
+        roundtrip_system (Zlang.Compile.zaatar_r1cs c));
+    Alcotest.test_case "witness roundtrips" `Quick (fun () ->
+        let prg = Chacha.Prg.create ~seed:"ser wit" () in
+        let w = Array.init 33 (fun _ -> Chacha.Prg.field ctx prg) in
+        let ctx', w' = Serialize.assignment_of_string (Serialize.assignment_to_string ctx w) in
+        Alcotest.(check bool) "modulus" true (Nat.equal (Fp.modulus ctx') (Fp.modulus ctx));
+        Array.iteri (fun i e -> Alcotest.(check bool) "el" true (Fp.equal e w'.(i))) w);
+    Alcotest.test_case "comments and blank lines are skipped" `Quick (fun () ->
+        let sys, _ = Test_constr.random_satisfiable_r1cs 3 in
+        let s = Serialize.system_to_string sys in
+        let s = "# header comment\n\n" ^ s ^ "\n# trailing\n" in
+        roundtrip_system (Serialize.system_of_string s) |> ignore;
+        ignore (Serialize.system_of_string s));
+    Alcotest.test_case "garbage is rejected" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore (Serialize.system_of_string bad);
+                 false
+               with Serialize.Parse_error _ -> true))
+          [ ""; "bogus header"; "r1cs v=1 z=1 c=1 p=3d\nA 1:1\nB 1:1" (* missing row *) ]);
+    Alcotest.test_case "parsed system is wellformed-checked" `Quick (fun () ->
+        let bad = "r1cs v=1 z=1 c=1 p=1fffffffffffffff\nA 9:1\nB 0:1\nC 0:0\n" in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Serialize.system_of_string bad);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite = unit_tests
