@@ -782,12 +782,93 @@ and random_r1cs_for_h ctx nc =
 let usage () =
   print_endline
     "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation]\n\
-    \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick]";
+    \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick]\n\
+    \       [--trace OUT.json] [--metrics] [--json OUT.json]";
   exit 2
+
+(* "all" in paper-figure order (micro first: later figures reuse its
+   measured constants). *)
+let all_experiments =
+  [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
+    "soundness"; "ablation" ]
+
+(* Machine-readable run summary (BENCH_run.json): configuration,
+   per-experiment wall times, and the Zobs counter/histogram/span totals
+   accumulated across the run. Written with the in-house Zobs.Json writer
+   and parsed back with its parser as a self-check — scripts/ci.sh greps
+   for the "parsed back OK" line. *)
+let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
+  let open Zobs.Json in
+  let num x = Num x and int n = Num (float_of_int n) in
+  let config =
+    Obj
+      [
+        ("field_bits", int (Nat.num_bits cfg.field));
+        ("rho", int cfg.rho);
+        ("rho_lin", int cfg.rho_lin);
+        ("p_bits", int cfg.p_bits);
+        ("batch", int cfg.batch);
+        ("scale", int cfg.scale);
+        ("quick", Bool cfg.quick);
+      ]
+  in
+  let experiments =
+    Arr
+      (List.map
+         (fun (name, wall) -> Obj [ ("name", Str name); ("wall_s", num wall) ])
+         experiments)
+  in
+  let counters = Obj (List.map (fun (n, v) -> (n, int v)) (Zobs.Registry.counter_values ())) in
+  let histograms =
+    Obj
+      (List.map
+         (fun (n, buckets) ->
+           (n, Arr (List.map (fun (lo, c) -> Obj [ ("ge", int lo); ("count", int c) ]) buckets)))
+         (Zobs.Registry.histogram_values ()))
+  in
+  let spans =
+    Arr
+      (List.map
+         (fun (name, (s : Zobs.Span.stat)) ->
+           Obj
+             [
+               ("name", Str name);
+               ("count", int s.Zobs.Span.count);
+               ("total_s", num s.Zobs.Span.total);
+               ("exclusive_s", num s.Zobs.Span.exclusive);
+             ])
+         (Zobs.Span.totals ()))
+  in
+  Obj
+    [
+      ("schema", Str "zaatar-bench-run/1");
+      ("config", config);
+      ("experiments", experiments);
+      ("counters", counters);
+      ("histograms", histograms);
+      ("spans", spans);
+    ]
+
+let write_summary cfg path experiments =
+  let oc = open_out path in
+  output_string oc (Zobs.Json.to_string (summary_json cfg experiments));
+  output_char oc '\n';
+  close_out oc;
+  (* Round-trip self-check through our own parser. *)
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Zobs.Json.(member "experiments" (parse s)) with
+  | Some (Zobs.Json.Arr l) ->
+    Printf.printf "\nBENCH summary: wrote %s (%d experiment(s); parsed back OK)\n" path (List.length l)
+  | _ ->
+    Printf.eprintf "BENCH summary: %s failed to parse back\n" path;
+    exit 1
 
 let () =
   let cfg = ref default_cfg in
   let targets = ref [] in
+  let trace = ref None and metrics = ref false and json = ref "BENCH_run.json" in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
     | [] -> ()
@@ -806,6 +887,15 @@ let () =
     | "--quick" :: rest ->
       cfg := { !cfg with quick = true };
       parse rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | "--json" :: v :: rest ->
+      json := v;
+      parse rest
     | t :: rest when String.length t > 0 && t.[0] <> '-' ->
       targets := t :: !targets;
       parse rest
@@ -813,7 +903,11 @@ let () =
   in
   parse args;
   let targets = if !targets = [] then [ "all" ] else List.rev !targets in
+  let targets = List.concat_map (fun t -> if t = "all" then all_experiments else [ t ]) targets in
   let cfg = !cfg in
+  (* The bench always traces: the JSON summary reports counter and span
+     totals, and --trace/--metrics only choose extra output forms. *)
+  Zobs.enable ();
   Printf.printf
     "zaatar bench: field = %d bits, rho = %d, rho_lin = %d, group = %d bits, batch = %d, scale = %d\n"
     (Nat.num_bits cfg.field) cfg.rho cfg.rho_lin cfg.p_bits cfg.batch cfg.scale;
@@ -830,22 +924,22 @@ let () =
     | "baseline" -> run_baseline cfg
     | "soundness" -> run_soundness cfg
     | "ablation" -> run_ablation cfg
-    | "all" ->
-      run_micro cfg;
-      run_bechamel cfg;
-      run_fig9 cfg;
-      run_model cfg;
-      run_fig4 cfg;
-      run_fig5 cfg;
-      run_fig7 cfg;
-      run_fig8 cfg;
-      run_fig6 cfg;
-      run_baseline cfg;
-      run_soundness cfg;
-      run_ablation cfg
     | t ->
       Printf.eprintf "unknown experiment %S\n" t;
       usage ()
   in
-  List.iter run targets;
+  let timed_experiments =
+    List.map
+      (fun name ->
+        let (), wall = time_thunk (fun () -> run name) in
+        (name, wall))
+      targets
+  in
+  write_summary cfg !json timed_experiments;
+  (match !trace with
+  | Some path ->
+    Zobs.write_chrome_trace path;
+    Printf.printf "wrote %s (chrome trace; load in chrome://tracing or ui.perfetto.dev)\n" path
+  | None -> ());
+  if !metrics then Format.printf "@.== telemetry ==@.%a" Zobs.report ();
   print_newline ()

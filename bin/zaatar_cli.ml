@@ -66,6 +66,34 @@ let parse_inputs s =
   |> List.map (fun x -> int_of_string (String.trim x))
   |> Array.of_list
 
+(* Observability: --trace enables Zobs and writes a Chrome-trace-event JSON
+   (load in chrome://tracing or https://ui.perfetto.dev); --metrics prints
+   the span/counter table. ZAATAR_TRACE=out.json does the same without
+   flags. *)
+let obs_args =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:"Enable tracing and write a Chrome-trace-event JSON file (Perfetto-loadable).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Enable tracing and print the Zobs span/counter table.")
+  in
+  Term.(const (fun trace metrics -> (trace, metrics)) $ trace $ metrics)
+
+let with_obs (trace, metrics) f =
+  if trace <> None || metrics then Zobs.enable ();
+  let code = f () in
+  (match trace with
+  | Some path ->
+    Zobs.write_chrome_trace path;
+    Printf.printf "wrote %s (chrome trace; load in chrome://tracing or ui.perfetto.dev)\n" path
+  | None -> ());
+  if metrics then Format.printf "@.== telemetry ==@.%a" Zobs.report ();
+  exit code
+
 let protocol_args =
   let rho = Arg.(value & opt int 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
   let rho_lin = Arg.(value & opt int 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
@@ -102,7 +130,8 @@ let run_cmd =
          & info [ "emit-witness" ] ~docv:"PREFIX"
              ~doc:"Also write each instance's satisfying assignment to PREFIX.<i> (checkable with `zaatar check`).")
   in
-  let run file bits inputs emit_witness config =
+  let run file bits inputs emit_witness config obs =
+    with_obs obs @@ fun () ->
     let ctx = Fp.create (field_of_bits bits) in
     let compiled = Zlang.Compile.compile ~ctx (read_file file) in
     print_stats compiled;
@@ -124,16 +153,17 @@ let run_cmd =
           Printf.printf "wrote %s\n" path)
         batch);
     let prg = Chacha.Prg.create ~seed:"zaatar cli" () in
-    exit (report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch))
+    report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a ZL program, prove and verify a batch of instances")
-    Term.(const run $ file $ field_bits_arg $ inputs $ emit_witness $ protocol_args)
+    Term.(const run $ file $ field_bits_arg $ inputs $ emit_witness $ protocol_args $ obs_args)
 
 let bench_cmd =
   let bname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"pam | bisection | apsp | fannkuch | lcs") in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Input-size multiplier.") in
   let batch = Arg.(value & opt int 2 & info [ "batch" ] ~doc:"Batch size.") in
-  let run name scale batch bits config =
+  let run name scale batch bits config obs =
+    with_obs obs @@ fun () ->
     let ctx = Fp.create (field_of_bits bits) in
     let app = Apps.Registry.by_name name ~scale in
     Printf.printf "benchmark %s (%s)\n" app.Apps.App_def.display app.Apps.App_def.params_desc;
@@ -145,10 +175,10 @@ let bench_cmd =
     let inputs =
       Array.init batch (fun _ -> Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
     in
-    exit (report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs))
+    report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs)
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
-    Term.(const run $ bname $ scale $ batch $ field_bits_arg $ protocol_args)
+    Term.(const run $ bname $ scale $ batch $ field_bits_arg $ protocol_args $ obs_args)
 
 let selftest_cmd =
   let run bits =

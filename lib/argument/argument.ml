@@ -132,31 +132,35 @@ let build_proof_parts ctx comp (qap : Qap.t) strategy prg (x : Fp.el array) (pm 
 
 let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg.t)
     ~(inputs : Fp.el array array) : batch_result =
+  Zobs.Span.with_ ~name:"argument.run_batch"
+    ~attrs:[ ("instances", string_of_int (Array.length inputs)) ]
+  @@ fun () ->
   let ctx = comp.r1cs.R1cs.field in
   let qap = Qap.of_r1cs comp.r1cs in
   let num_z = comp.r1cs.R1cs.num_z in
   let h_len = qap.Qap.nc + 1 in
   let pm = Metrics.create () in
   let v_setup = ref 0.0 and v_per = ref 0.0 in
-  let timed acc f =
+  (* Verifier phases mirror the prover's Metrics spans: setup is amortized
+     over the batch, per-instance work is not (Figure 3's e vs d costs). *)
+  let timed acc name f =
     let t0 = Unix.gettimeofday () in
-    let r = f () in
+    let r = Zobs.Span.with_ ~name f in
     acc := !acc +. (Unix.gettimeofday () -. t0);
     r
   in
+  let setup f = timed v_setup "verifier_setup" f in
   (* ---- Verifier batch setup ---- *)
-  let grp =
-    timed v_setup (fun () -> Group.cached ~field_order:(Fp.modulus ctx) ~p_bits:config.p_bits ())
-  in
-  let queries = timed v_setup (fun () -> Pcp.Pcp_zaatar.gen_queries ~params:config.params qap prg) in
-  let req_z, vs_z = timed v_setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:num_z) in
-  let req_h, vs_h = timed v_setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:h_len) in
+  let grp = setup (fun () -> Group.cached ~field_order:(Fp.modulus ctx) ~p_bits:config.p_bits ()) in
+  let queries = setup (fun () -> Pcp.Pcp_zaatar.gen_queries ~params:config.params qap prg) in
+  let req_z, vs_z = setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:num_z) in
+  let req_h, vs_h = setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:h_len) in
   let ch_z =
-    timed v_setup (fun () ->
+    setup (fun () ->
         Commitment.Commit.decommit_challenge ctx vs_z prg queries.Pcp.Pcp_zaatar.z_queries)
   in
   let ch_h =
-    timed v_setup (fun () ->
+    setup (fun () ->
         Commitment.Commit.decommit_challenge ctx vs_h prg queries.Pcp.Pcp_zaatar.h_queries)
   in
   (* ---- Per instance ---- *)
@@ -193,12 +197,13 @@ let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg
     in
     (* Verifier: consistency then PCP tests. *)
     let commit_ok =
-      timed v_per (fun () ->
+      timed v_per "verifier_per_instance" (fun () ->
           Commitment.Commit.consistency_check vs_z ch_z ~commitment:com_z ans_z
           && Commitment.Commit.consistency_check vs_h ch_h ~commitment:com_h ans_h)
     in
     let pcp_verdict =
-      timed v_per (fun () -> Pcp.Pcp_zaatar.decide qap queries responses ~io:parts.claimed_io)
+      timed v_per "verifier_per_instance" (fun () ->
+          Pcp.Pcp_zaatar.decide qap queries responses ~io:parts.claimed_io)
     in
     {
       claimed_output = parts.claimed_output;

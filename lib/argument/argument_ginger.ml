@@ -37,12 +37,13 @@ type instance_result = {
 
 let run_instance ?(config = test_config) (comp : computation) ~(prg : Chacha.Prg.t)
     ~(x : Fp.el array) : instance_result =
+  Zobs.Span.with_ ~name:"argument_ginger.run_instance" @@ fun () ->
   let ctx = comp.ginger.Quad.field in
   let pm = Metrics.create () in
   let v_time = ref 0.0 in
   let timed f =
     let t0 = Unix.gettimeofday () in
-    let r = f () in
+    let r = Zobs.Span.with_ ~name:"ginger_verifier" f in
     v_time := !v_time +. (Unix.gettimeofday () -. t0);
     r
   in

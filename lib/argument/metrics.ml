@@ -1,7 +1,12 @@
 (* Phase-level CPU accounting. Figure 5 decomposes the prover's end-to-end
    time into: solve constraints, construct proof vector, crypto operations,
    answer queries; the verifier splits setup (amortized over the batch) from
-   per-instance work. Timers accumulate across instances. *)
+   per-instance work. Timers accumulate across instances.
+
+   This module is now a thin shim over Zobs: [time] additionally opens a
+   Zobs span of the same name, so phase timings land in the Chrome trace and
+   in Zobs.Span.totals alongside the local table. Prefer Zobs spans and
+   counters for new instrumentation. *)
 
 type t = { mutable entries : (string * float) list }
 
@@ -16,7 +21,7 @@ let add t name dt =
 
 let time t name f =
   let t0 = Unix.gettimeofday () in
-  let result = f () in
+  let result = Zobs.Span.with_ ~name f in
   add t name (Unix.gettimeofday () -. t0);
   result
 
@@ -24,7 +29,8 @@ let get t name = match List.assoc_opt name t.entries with Some v -> v | None -> 
 
 let total t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.entries
 
-let to_list t = List.rev t.entries
+(* Sorted by key so table and trace output are stable across runs. *)
+let to_list t = List.sort (fun (a, _) (b, _) -> String.compare a b) t.entries
 
 let reset t = t.entries <- []
 

@@ -1,6 +1,11 @@
 (** Phase-level CPU accounting for the Figure 5 decomposition (prover:
     solve constraints / construct u / crypto ops / answer queries; verifier:
-    setup vs per-instance). Timers accumulate across instances. *)
+    setup vs per-instance). Timers accumulate across instances.
+
+    Deprecated as a standalone facility: [time] is now a shim that also
+    opens a {!Zobs.Span} of the same name, and [to_list] returns entries
+    sorted by key. New instrumentation should use [Zobs] spans and counters
+    directly; this module remains only to feed the per-batch phase table. *)
 
 type t
 

@@ -29,8 +29,11 @@ let of_key key ~nonce =
 
 let create ?(nonce = 0) ~seed () = of_key (Chacha20.key_of_bytes (key_bytes_of_seed seed)) ~nonce
 
+let c_bytes = Zobs.Counter.make "prg.bytes"
+
 let refill t =
   t.buf <- Chacha20.block t.key t.nonce t.counter;
+  Zobs.Counter.add c_bytes (Bytes.length t.buf);
   t.counter <- t.counter + 1;
   t.pos <- 0
 

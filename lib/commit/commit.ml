@@ -34,8 +34,14 @@ type verifier_secret = {
   r : Fp.el array; (* never leaves the verifier *)
 }
 
+let c_enc_r = Zobs.Counter.make "commit.enc_r"
+let c_decommit_queries = Zobs.Counter.make "commit.decommit_queries"
+let c_checks = Zobs.Counter.make "commit.consistency_checks"
+
 (* One per batch. [len] is the proof-vector length. *)
 let commit_request ctx grp prg ~len =
+  Zobs.Span.with_ ~name:"commit.request" ~attrs:[ ("len", string_of_int len) ] @@ fun () ->
+  Zobs.Counter.add c_enc_r len;
   let sk, pk = Elgamal.keygen grp prg in
   let r = Array.init len (fun _ -> Chacha.Prg.field ctx prg) in
   let enc_r = Array.map (Elgamal.encrypt pk prg) r in
@@ -43,7 +49,7 @@ let commit_request ctx grp prg ~len =
 
 (* Prover side, one per instance: commit to the linear function <., u>. *)
 let prover_commit (req : request) (u : Fp.el array) : Elgamal.ciphertext =
-  Elgamal.hom_dot req.pk req.enc_r u
+  Zobs.Span.with_ ~name:"commit.prover_commit" (fun () -> Elgamal.hom_dot req.pk req.enc_r u)
 
 (* Decommit challenge, one per batch: the consistency-test vector t and its
    secret coefficients. *)
@@ -53,6 +59,8 @@ type challenge = {
 }
 
 let decommit_challenge ctx (vs : verifier_secret) prg (queries : Fp.el array array) : challenge =
+  Zobs.Span.with_ ~name:"commit.decommit_challenge" @@ fun () ->
+  Zobs.Counter.add c_decommit_queries (Array.length queries);
   let len = Array.length vs.r in
   let alpha = Array.init (Array.length queries) (fun _ -> Chacha.Prg.field ctx prg) in
   let t = Array.copy vs.r in
@@ -77,6 +85,8 @@ let prover_answer ctx (u : Fp.el array) (queries : Fp.el array array) (ch_t : Fp
 (* Verifier side, per instance: the consistency check. *)
 let consistency_check (vs : verifier_secret) (ch : challenge) ~(commitment : Elgamal.ciphertext)
     (ans : answers) : bool =
+  Zobs.Span.with_ ~name:"commit.consistency_check" @@ fun () ->
+  Zobs.Counter.incr c_checks;
   let pk = vs.sk.Elgamal.pk in
   let grp = pk.Elgamal.grp in
   let lhs = Elgamal.encode pk ans.a_t in

@@ -173,7 +173,15 @@ and exec_block b env stmts =
   let after = exec_stmts b env stmts in
   SMap.filter (fun name _ -> SMap.mem name env) after
 
+(* Per-pass output volumes: constraints and variables generated by the
+   flattening front-end (Ginger form) and the §4 transform (Zaatar form). *)
+let c_ginger_constraints = Zobs.Counter.make "compile.ginger_constraints"
+let c_ginger_variables = Zobs.Counter.make "compile.ginger_variables"
+let c_zaatar_constraints = Zobs.Counter.make "compile.zaatar_constraints"
+let c_zaatar_variables = Zobs.Counter.make "compile.zaatar_variables"
+
 let compile ~ctx (src : string) : compiled =
+  Zobs.Span.with_ ~name:"compile" @@ fun () ->
   let prog = Parser.parse_program src in
   let b = Builder.create ctx in
   let env = ref SMap.empty in
@@ -233,6 +241,10 @@ let compile ~ctx (src : string) : compiled =
     prog.Ast.params;
   let ginger, perm = Builder.finalize b in
   let transform = Transform.apply ginger in
+  Zobs.Counter.add c_ginger_constraints (Quad.num_constraints ginger);
+  Zobs.Counter.add c_ginger_variables ginger.Quad.num_z;
+  Zobs.Counter.add c_zaatar_constraints (R1cs.num_constraints transform.Transform.r1cs);
+  Zobs.Counter.add c_zaatar_variables transform.Transform.r1cs.R1cs.num_z;
   let n = ginger.Quad.num_vars in
   let solve_ginger inputs =
     let worig = Builder.solve_original b inputs in

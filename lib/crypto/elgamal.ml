@@ -19,6 +19,10 @@ type public_key = { grp : Group.t; y : Group.element }
 type secret_key = { pk : public_key; x : Nat.t }
 type ciphertext = { c1 : Group.element; c2 : Group.element }
 
+let c_encrypt = Zobs.Counter.make "elgamal.encrypt"
+let c_decrypt = Zobs.Counter.make "elgamal.decrypt"
+let c_hom = Zobs.Counter.make "elgamal.hom_op"
+
 let keygen (grp : Group.t) (prg : Chacha.Prg.t) =
   let qctx = Fp.create grp.Group.q in
   let x = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
@@ -28,6 +32,7 @@ let keygen (grp : Group.t) (prg : Chacha.Prg.t) =
 
 (* Encrypt a field element (exponent encoding). *)
 let encrypt (pk : public_key) (prg : Chacha.Prg.t) (m : Fp.el) : ciphertext =
+  Zobs.Counter.incr c_encrypt;
   let grp = pk.grp in
   let qctx = Fp.create grp.Group.q in
   let k = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
@@ -36,6 +41,7 @@ let encrypt (pk : public_key) (prg : Chacha.Prg.t) (m : Fp.el) : ciphertext =
 
 (* Decrypt to the group encoding g^m of the plaintext. *)
 let decrypt_to_group (sk : secret_key) (c : ciphertext) : Group.element =
+  Zobs.Counter.incr c_decrypt;
   let grp = sk.pk.grp in
   Group.mul grp c.c2 (Group.inv grp (Group.pow grp c.c1 sk.x))
 
@@ -46,9 +52,11 @@ let encode (pk : public_key) (m : Fp.el) : Group.element =
 (* Homomorphic operations. *)
 
 let hom_add (pk : public_key) (a : ciphertext) (b : ciphertext) : ciphertext =
+  Zobs.Counter.incr c_hom;
   { c1 = Group.mul pk.grp a.c1 b.c1; c2 = Group.mul pk.grp a.c2 b.c2 }
 
 let hom_scale (pk : public_key) (c : ciphertext) (s : Fp.el) : ciphertext =
+  Zobs.Counter.incr c_hom;
   { c1 = Group.pow pk.grp c.c1 (Fp.to_nat s); c2 = Group.pow pk.grp c.c2 (Fp.to_nat s) }
 
 let hom_zero (pk : public_key) : ciphertext =

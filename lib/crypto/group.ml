@@ -20,9 +20,17 @@ type t = {
 
 type element = Fp.el (* residue mod p *)
 
-let pow t (base : element) (e : Nat.t) = Montgomery.pow_nat t.mont base e
+(* Modular exponentiations: the dominant prover/verifier cost (§5.1's e, d
+   and h rows all reduce to these). *)
+let c_pow = Zobs.Counter.make "group.pow"
 
-let pow_barrett t (base : element) (e : Nat.t) = Fp.pow t.modp base e
+let pow t (base : element) (e : Nat.t) =
+  Zobs.Counter.incr c_pow;
+  Montgomery.pow_nat t.mont base e
+
+let pow_barrett t (base : element) (e : Nat.t) =
+  Zobs.Counter.incr c_pow;
+  Fp.pow t.modp base e
 let mul t a b = Fp.mul t.modp a b
 let inv t a = Fp.inv t.modp a
 let equal = Fp.equal

@@ -11,6 +11,12 @@ type ctx = {
 
 type el = Nat.t
 
+(* Semantic cost counters (the paper's §5.1 f / f_div rows). Gated inside
+   Zobs by the global flag: one atomic load when tracing is off. *)
+let c_mul = Zobs.Counter.make "fp.mul"
+let c_mul_lazy = Zobs.Counter.make "fp.mul_lazy"
+let c_inv = Zobs.Counter.make "fp.inv"
+
 let create p =
   if Nat.compare p (Nat.of_int 3) < 0 then invalid_arg "Fp.create: modulus too small";
   if Nat.is_even p then invalid_arg "Fp.create: modulus must be odd";
@@ -88,9 +94,17 @@ let add ctx a b =
 
 let sub ctx a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a ctx.p) b
 let neg ctx a = if Nat.is_zero a then Nat.zero else Nat.sub ctx.p a
-let mul ctx a b = reduce ctx (Nat.mul a b)
-let sqr ctx a = reduce ctx (Nat.sqr a)
-let mul_lazy _ctx a b = Nat.mul a b
+let mul ctx a b =
+  Zobs.Counter.incr c_mul;
+  reduce ctx (Nat.mul a b)
+
+let sqr ctx a =
+  Zobs.Counter.incr c_mul;
+  reduce ctx (Nat.sqr a)
+
+let mul_lazy _ctx a b =
+  Zobs.Counter.incr c_mul_lazy;
+  Nat.mul a b
 
 let pow ctx b e =
   let nbits = Nat.num_bits e in
@@ -107,12 +121,14 @@ let pow_int ctx b e =
 
 let inv_fermat ctx a =
   if Nat.is_zero a then raise Division_by_zero;
+  Zobs.Counter.incr c_inv;
   pow ctx a ctx.p_minus_2
 
 (* Extended Euclid with sign-tracked Bezout coefficient for a.
    Invariant: t_i * a = r_i (mod p). *)
 let inv ctx a =
   if Nat.is_zero a then raise Division_by_zero;
+  Zobs.Counter.incr c_inv;
   let sadd (s1, m1) (s2, m2) =
     if s1 = s2 then (s1, Nat.add m1 m2)
     else if Nat.compare m1 m2 >= 0 then (s1, Nat.sub m1 m2)
@@ -160,6 +176,7 @@ let dot ctx a b =
   if Array.length b <> n then invalid_arg "Fp.dot: length mismatch";
   let acc = ref Nat.zero in
   let pending = ref 0 in
+  let nmul = ref 0 in
   for i = 0 to n - 1 do
     if not (Nat.is_zero a.(i) || Nat.is_zero b.(i)) then begin
       if !pending >= ctx.dot_window then begin
@@ -167,9 +184,11 @@ let dot ctx a b =
         pending := 0
       end;
       acc := Nat.add !acc (Nat.mul a.(i) b.(i));
-      incr pending
+      incr pending;
+      incr nmul
     end
   done;
+  Zobs.Counter.add c_mul_lazy !nmul;
   reduce ctx !acc
 
 let sample ctx random_bytes =

@@ -8,6 +8,10 @@ type ctx = {
 
 type el = Nat.t
 
+(* One count per REDC multiplication: the unit the exponentiation-ladder
+   cost model is expressed in. *)
+let c_mul = Zobs.Counter.make "mont.mul"
+
 let modulus ctx = ctx.p
 let equal = Nat.equal
 
@@ -53,8 +57,13 @@ let redc ctx t =
   let u = Nat.shift_right_limbs (Nat.add t (Nat.mul m ctx.p)) ctx.k in
   if Nat.compare u ctx.p >= 0 then Nat.sub u ctx.p else u
 
-let mul ctx a b = redc ctx (Nat.mul a b)
-let sqr ctx a = redc ctx (Nat.sqr a)
+let mul ctx a b =
+  Zobs.Counter.incr c_mul;
+  redc ctx (Nat.mul a b)
+
+let sqr ctx a =
+  Zobs.Counter.incr c_mul;
+  redc ctx (Nat.sqr a)
 
 let to_mont ctx x =
   if Nat.compare x ctx.p >= 0 then invalid_arg "Montgomery.to_mont: input not reduced";

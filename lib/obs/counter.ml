@@ -1,0 +1,16 @@
+(* Named monotonic counters for semantic cost events (field multiplications,
+   group exponentiations, PRG bytes, ...). Increments go through
+   [Atomic.fetch_and_add], so accumulation is exact under Dompool workers;
+   the [Registry.on] check keeps the disabled path to one atomic load. *)
+
+type t = { name : string; v : int Atomic.t }
+
+let make name =
+  let c = { name; v = Atomic.make 0 } in
+  Registry.register_counter name (fun () -> Atomic.get c.v) (fun () -> Atomic.set c.v 0);
+  c
+
+let incr c = if Registry.on () then ignore (Atomic.fetch_and_add c.v 1)
+let add c n = if Registry.on () && n <> 0 then ignore (Atomic.fetch_and_add c.v n)
+let value c = Atomic.get c.v
+let name c = c.name

@@ -1,0 +1,37 @@
+(* Power-of-two bucketed histograms for size-shaped quantities (NTT sizes,
+   query-vector lengths). Bucket i >= 1 counts values v with
+   2^(i-1) <= v < 2^i; bucket 0 counts v <= 0. Snapshots report buckets as
+   (lower bound, count) pairs, omitting empty buckets. *)
+
+type t = { name : string; buckets : int Atomic.t array }
+
+let nbuckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (nbuckets - 1) (bits v 0)
+  end
+
+let lower_bound i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let snapshot h =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    let c = Atomic.get h.buckets.(i) in
+    if c > 0 then out := (lower_bound i, c) :: !out
+  done;
+  !out
+
+let make name =
+  let h = { name; buckets = Array.init nbuckets (fun _ -> Atomic.make 0) } in
+  Registry.register_histogram name
+    (fun () -> snapshot h)
+    (fun () -> Array.iter (fun a -> Atomic.set a 0) h.buckets);
+  h
+
+let observe h v = if Registry.on () then ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1)
+let name h = h.name
+
+let total h = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.buckets

@@ -1,0 +1,47 @@
+(* The global observability switchboard. One atomic [enabled] flag gates
+   every counter increment, histogram observation and span: when tracing is
+   off an instrumented hot path pays a single atomic load and a predictable
+   branch, so production-mode cost is indistinguishable from uninstrumented
+   code. All metric objects self-register here at module-init time so the
+   sinks can enumerate them without a central name list. *)
+
+let enabled = Atomic.make false
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let mu = Mutex.create ()
+
+(* (name, read, reset). Registration replaces an existing entry with the
+   same name so re-created metrics (tests) don't shadow stale readers. *)
+let counters : (string * (unit -> int) * (unit -> unit)) list ref = ref []
+let histograms : (string * (unit -> (int * int) list) * (unit -> unit)) list ref = ref []
+
+let register_counter name read reset =
+  Mutex.lock mu;
+  counters := (name, read, reset) :: List.filter (fun (n, _, _) -> n <> name) !counters;
+  Mutex.unlock mu
+
+let register_histogram name read reset =
+  Mutex.lock mu;
+  histograms := (name, read, reset) :: List.filter (fun (n, _, _) -> n <> name) !histograms;
+  Mutex.unlock mu
+
+let counter_values () =
+  Mutex.lock mu;
+  let l = List.map (fun (n, read, _) -> (n, read ())) !counters in
+  Mutex.unlock mu;
+  List.sort compare l
+
+let histogram_values () =
+  Mutex.lock mu;
+  let l = List.map (fun (n, read, _) -> (n, read ())) !histograms in
+  Mutex.unlock mu;
+  List.sort compare l
+
+let reset () =
+  Mutex.lock mu;
+  List.iter (fun (_, _, r) -> r ()) !counters;
+  List.iter (fun (_, _, r) -> r ()) !histograms;
+  Mutex.unlock mu

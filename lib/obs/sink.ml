@@ -1,0 +1,113 @@
+(* Output sinks: a human-readable table, a Chrome-trace-event JSON file
+   (loadable in chrome://tracing or https://ui.perfetto.dev), and a
+   JSON-lines dump of every metric for machine consumption. *)
+
+let pp_table fmt () =
+  let spans = Span.totals () in
+  if spans <> [] then begin
+    Format.fprintf fmt "spans:@.";
+    Format.fprintf fmt "  %-32s %8s %12s %12s@." "name" "count" "total s" "excl s";
+    List.iter
+      (fun (name, (s : Span.stat)) ->
+        Format.fprintf fmt "  %-32s %8d %12.4f %12.4f@." name s.Span.count s.Span.total
+          s.Span.exclusive)
+      spans
+  end;
+  let counters = List.filter (fun (_, v) -> v <> 0) (Registry.counter_values ()) in
+  if counters <> [] then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter (fun (name, v) -> Format.fprintf fmt "  %-32s %16d@." name v) counters
+  end;
+  let histograms = List.filter (fun (_, buckets) -> buckets <> []) (Registry.histogram_values ()) in
+  if histograms <> [] then begin
+    Format.fprintf fmt "histograms:@.";
+    List.iter
+      (fun (name, buckets) ->
+        Format.fprintf fmt "  %-32s" name;
+        List.iter (fun (lo, c) -> Format.fprintf fmt " [>=%d]:%d" lo c) buckets;
+        Format.fprintf fmt "@.")
+      histograms
+  end;
+  if Span.dropped_events () > 0 then
+    Format.fprintf fmt "(%d span events dropped past the %s-event buffer)@." (Span.dropped_events ())
+      "1M"
+
+let chrome_trace () : Json.t =
+  let evs = Span.events_snapshot () in
+  let t0 = List.fold_left (fun acc (e : Span.event) -> Float.min acc e.Span.ts) infinity evs in
+  let t0 = if evs = [] then 0.0 else t0 in
+  let ev (e : Span.event) =
+    Json.Obj
+      [
+        ("name", Json.Str e.Span.name);
+        ("cat", Json.Str "zobs");
+        ("ph", Json.Str "X");
+        ("pid", Json.Num 0.0);
+        ("tid", Json.Num (float_of_int e.Span.tid));
+        ("ts", Json.Num ((e.Span.ts -. t0) *. 1e6));
+        ("dur", Json.Num (e.Span.dur *. 1e6));
+        ( "args",
+          Json.Obj
+            (("depth", Json.Num (float_of_int e.Span.depth))
+            :: List.map (fun (k, v) -> (k, Json.Str v)) e.Span.attrs) );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map ev evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("producer", Json.Str "zobs") ]);
+    ]
+
+let write_string path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+let write_chrome_trace path = write_string path (Json.to_string (chrome_trace ()))
+
+let jsonl_summary () =
+  let b = Buffer.create 1024 in
+  let line j =
+    Buffer.add_string b (Json.to_string j);
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then
+        line (Json.Obj [ ("kind", Json.Str "counter"); ("name", Json.Str name); ("value", Json.Num (float_of_int v)) ]))
+    (Registry.counter_values ());
+  List.iter
+    (fun (name, buckets) ->
+      if buckets <> [] then
+        line
+          (Json.Obj
+             [
+               ("kind", Json.Str "histogram");
+               ("name", Json.Str name);
+               ( "buckets",
+                 Json.Arr
+                   (List.map
+                      (fun (lo, c) -> Json.Arr [ Json.Num (float_of_int lo); Json.Num (float_of_int c) ])
+                      buckets) );
+             ]))
+    (Registry.histogram_values ());
+  List.iter
+    (fun (name, (s : Span.stat)) ->
+      line
+        (Json.Obj
+           [
+             ("kind", Json.Str "span");
+             ("name", Json.Str name);
+             ("count", Json.Num (float_of_int s.Span.count));
+             ("total_s", Json.Num s.Span.total);
+             ("exclusive_s", Json.Num s.Span.exclusive);
+           ]))
+    (Span.totals ());
+  Buffer.contents b
+
+let write_jsonl path =
+  let oc = open_out path in
+  output_string oc (jsonl_summary ());
+  close_out oc

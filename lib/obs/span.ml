@@ -1,0 +1,106 @@
+(* Hierarchical timing spans. Each domain keeps its own open-span stack in
+   domain-local storage, so worker domains trace independently; completed
+   spans land in one mutex-protected event buffer together with a per-name
+   aggregate (total / exclusive wall time and call count). Exclusive time is
+   a span's duration minus the durations of its direct children — the
+   quantity the Figure 5 phase table needs when phases nest. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  ts : float; (* absolute start, seconds *)
+  dur : float; (* seconds *)
+  tid : int; (* domain id *)
+  depth : int; (* nesting depth at open time, per domain *)
+}
+
+type stat = { total : float; exclusive : float; count : int }
+
+type frame = {
+  fname : string;
+  fattrs : (string * string) list;
+  start : float;
+  mutable child : float; (* accumulated duration of direct children *)
+}
+
+let mu = Mutex.create ()
+let events : event list ref = ref []
+let n_events = ref 0
+let dropped = ref 0
+
+(* Backstop against unbounded growth if someone puts a span on a per-field-op
+   path: beyond this the aggregates keep accumulating but raw events drop. *)
+let max_events = 1_000_000
+
+let aggs : (string, float * float * int) Hashtbl.t = Hashtbl.create 32
+
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let now () = Unix.gettimeofday ()
+
+let record ~name ~attrs ~start ~dur ~excl ~depth =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock mu;
+  if !n_events < max_events then begin
+    events := { name; attrs; ts = start; dur; tid; depth } :: !events;
+    incr n_events
+  end
+  else incr dropped;
+  let t, e, c = match Hashtbl.find_opt aggs name with Some s -> s | None -> (0.0, 0.0, 0) in
+  Hashtbl.replace aggs name (t +. dur, e +. excl, c + 1);
+  Mutex.unlock mu
+
+let with_ ?(attrs = []) ~name f =
+  if not (Registry.on ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let fr = { fname = name; fattrs = attrs; start = now (); child = 0.0 } in
+    let depth = List.length !stack in
+    stack := fr :: !stack;
+    let finish () =
+      let dur = now () -. fr.start in
+      (* Pop down to (and including) our frame; intermediate frames can only
+         appear if an exception skipped a finaliser, which Fun.protect
+         prevents — but recover rather than corrupt the stack. *)
+      let rec pop = function
+        | top :: rest when top == fr -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      (match !stack with parent :: _ -> parent.child <- parent.child +. dur | [] -> ());
+      record ~name ~attrs:fr.fattrs ~start:fr.start ~dur ~excl:(Float.max 0.0 (dur -. fr.child))
+        ~depth
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let events_snapshot () =
+  Mutex.lock mu;
+  let l = List.rev !events in
+  Mutex.unlock mu;
+  l
+
+let totals () =
+  Mutex.lock mu;
+  let l =
+    Hashtbl.fold (fun name (total, exclusive, count) acc -> (name, { total; exclusive; count }) :: acc) aggs []
+  in
+  Mutex.unlock mu;
+  List.sort compare l
+
+let stats name =
+  Mutex.lock mu;
+  let r = Hashtbl.find_opt aggs name in
+  Mutex.unlock mu;
+  Option.map (fun (total, exclusive, count) -> { total; exclusive; count }) r
+
+let dropped_events () = !dropped
+
+let reset () =
+  Mutex.lock mu;
+  events := [];
+  n_events := 0;
+  dropped := 0;
+  Hashtbl.reset aggs;
+  Mutex.unlock mu

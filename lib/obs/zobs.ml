@@ -1,0 +1,36 @@
+(* Zobs: hierarchical tracing, cost counters and machine-readable telemetry
+   for the prover/verifier stack. See DESIGN.md §7 for the span taxonomy and
+   counter names.
+
+   Everything is gated by one atomic flag ([enable]/[disable]): with the
+   flag off, instrumented hot paths cost a single atomic load. Setting the
+   environment variable ZAATAR_TRACE=out.json enables tracing for the whole
+   process and writes a Chrome-trace-event file at exit (load it in
+   chrome://tracing or https://ui.perfetto.dev). *)
+
+module Json = Json
+module Registry = Registry
+module Counter = Counter
+module Histogram = Histogram
+module Span = Span
+module Sink = Sink
+
+let enable = Registry.enable
+let disable = Registry.disable
+let enabled = Registry.on
+
+(* Zero every counter/histogram and drop all recorded spans. *)
+let reset () =
+  Registry.reset ();
+  Span.reset ()
+
+let report fmt = Sink.pp_table fmt
+let write_chrome_trace = Sink.write_chrome_trace
+let write_jsonl = Sink.write_jsonl
+
+let () =
+  match Sys.getenv_opt "ZAATAR_TRACE" with
+  | Some path when path <> "" ->
+    enable ();
+    at_exit (fun () -> Sink.write_chrome_trace path)
+  | _ -> ()

@@ -36,5 +36,13 @@ let map ?(domains = 1) (f : 'a -> 'b) (arr : 'a array) : 'b array =
 (* Wall-clock latency of a parallel map — what Figure 6 reports. *)
 let timed_map ?domains f arr =
   let t0 = Unix.gettimeofday () in
-  let r = map ?domains f arr in
+  let r =
+    Zobs.Span.with_ ~name:"pool.map"
+      ~attrs:
+        [
+          ("domains", string_of_int (Option.value domains ~default:1));
+          ("tasks", string_of_int (Array.length arr));
+        ]
+      (fun () -> map ?domains f arr)
+  in
   (r, Unix.gettimeofday () -. t0)

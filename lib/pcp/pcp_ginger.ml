@@ -91,7 +91,11 @@ type queries = {
 
 let add_vec ctx a b = Array.init (Array.length a) (fun i -> Fp.add ctx a.(i) b.(i))
 
+let c_queries_1 = Zobs.Counter.make "pcp_ginger.queries_1"
+let c_queries_2 = Zobs.Counter.make "pcp_ginger.queries_2"
+
 let gen_queries ?(params = paper_params) ctx (bound : Quad.system) (prg : Chacha.Prg.t) : queries =
+  Zobs.Span.with_ ~name:"pcp_ginger.gen_queries" @@ fun () ->
   if params.rho_lin < 2 then invalid_arg "Pcp_ginger: rho_lin must be >= 2";
   let n = bound.Quad.num_z in
   let nc = Quad.num_constraints bound in
@@ -129,12 +133,16 @@ let gen_queries ?(params = paper_params) ctx (bound : Quad.system) (prg : Chacha
     { lin_1; lin_2; iqa; iqb; iqab; iblind1; iblind1'; iblind2; ig1; ig2; iblind1c; iblind2c; gamma0 }
   in
   let reps = Array.init params.rho (fun _ -> repetition ()) in
-  { q1 = Array.of_list (List.rev !q1); q2 = Array.of_list (List.rev !q2); reps }
+  let q = { q1 = Array.of_list (List.rev !q1); q2 = Array.of_list (List.rev !q2); reps } in
+  Zobs.Counter.add c_queries_1 (Array.length q.q1);
+  Zobs.Counter.add c_queries_2 (Array.length q.q2);
+  q
 
 type responses = { r1 : Fp.el array; r2 : Fp.el array }
 
 let answer (oracle : Oracle.t) (q : queries) : responses =
-  { r1 = Array.map oracle.Oracle.query_z q.q1; r2 = Array.map oracle.Oracle.query_h q.q2 }
+  Zobs.Span.with_ ~name:"pcp_ginger.answer" (fun () ->
+      { r1 = Array.map oracle.Oracle.query_z q.q1; r2 = Array.map oracle.Oracle.query_h q.q2 })
 
 type verdict = Accept | Reject_linearity of int | Reject_quad_correction of int | Reject_circuit of int
 

@@ -47,6 +47,10 @@ type queries = {
 
 let add_vec ctx a b = Array.init (Array.length a) (fun i -> Fp.add ctx a.(i) b.(i))
 
+(* Commit/decommit-side query volumes: what the batch amortizes (§2.2). *)
+let c_queries_z = Zobs.Counter.make "pcp.queries_z"
+let c_queries_h = Zobs.Counter.make "pcp.queries_h"
+
 let fresh_tau ctx qap prg =
   let rec go () =
     let tau = Chacha.Prg.field ctx prg in
@@ -57,6 +61,9 @@ let fresh_tau ctx qap prg =
   go ()
 
 let gen_queries ?(params = paper_params) (qap : Qap.t) (prg : Chacha.Prg.t) : queries =
+  Zobs.Span.with_ ~name:"pcp.gen_queries"
+    ~attrs:[ ("rho", string_of_int params.rho); ("rho_lin", string_of_int params.rho_lin) ]
+  @@ fun () ->
   let ctx = qap.Qap.ctx in
   let n' = qap.Qap.sys.R1cs.num_z in
   let hl = qap.Qap.nc + 1 in
@@ -98,26 +105,33 @@ let gen_queries ?(params = paper_params) (qap : Qap.t) (prg : Chacha.Prg.t) : qu
     { lin_z; lin_h; iq1; iq2; iq3; iq4; iblind_z; iblind_h; qap_q }
   in
   let reps = Array.init params.rho (fun _ -> repetition ()) in
-  {
-    z_queries = Array.of_list (List.rev !zq);
-    h_queries = Array.of_list (List.rev !hq);
-    reps;
-  }
+  let q =
+    {
+      z_queries = Array.of_list (List.rev !zq);
+      h_queries = Array.of_list (List.rev !hq);
+      reps;
+    }
+  in
+  Zobs.Counter.add c_queries_z (Array.length q.z_queries);
+  Zobs.Counter.add c_queries_h (Array.length q.h_queries);
+  q
 
 (* Responses: one field element per query, in query order. *)
 type responses = { z_resp : Fp.el array; h_resp : Fp.el array }
 
 let answer (oracle : Oracle.t) (q : queries) : responses =
-  {
-    z_resp = Array.map oracle.Oracle.query_z q.z_queries;
-    h_resp = Array.map oracle.Oracle.query_h q.h_queries;
-  }
+  Zobs.Span.with_ ~name:"pcp.answer" (fun () ->
+      {
+        z_resp = Array.map oracle.Oracle.query_z q.z_queries;
+        h_resp = Array.map oracle.Oracle.query_h q.h_queries;
+      })
 
 type verdict = Accept | Reject_linearity of int | Reject_divisibility of int
 
 (* [io] holds the bound input/output values (variables n'+1 .. n in
    order). *)
 let decide (qap : Qap.t) (q : queries) (r : responses) ~(io : Fp.el array) : verdict =
+  Zobs.Span.with_ ~name:"pcp.decide" @@ fun () ->
   let ctx = qap.Qap.ctx in
   let rz = r.z_resp and rh = r.h_resp in
   let rec check_reps k =

@@ -44,11 +44,18 @@ let bit_reverse_permute (a : Fp.el array) =
     j := !j lor !bit
   done
 
+let h_size = Zobs.Histogram.make "ntt.size"
+let c_butterfly = Zobs.Counter.make "ntt.butterfly"
+
+let rec log2_floor n = if n <= 1 then 0 else 1 + log2_floor (n lsr 1)
+
 (* In-place iterative radix-2 Cooley-Tukey. [a] must have power-of-two
    length. *)
 let transform t (a : Fp.el array) w =
   let f = t.field in
   let n = Array.length a in
+  Zobs.Histogram.observe h_size n;
+  Zobs.Counter.add c_butterfly (n / 2 * log2_floor n);
   bit_reverse_permute a;
   let len = ref 2 in
   while !len <= n do

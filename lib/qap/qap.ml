@@ -82,23 +82,25 @@ let pw_poly qap (w : Fp.el array) =
 (* Coefficients of H = P_w / D, padded to length |C|+1. Raises [Failure] if
    w does not satisfy the constraints (non-zero remainder, Claim A.1). *)
 let prover_h qap (w : Fp.el array) : Fp.el array =
-  let ctx = qap.ctx in
-  let p = pw_poly qap w in
-  let h = Polylib.Poly.divide_exact ctx p (Lazy.force qap.divisor) in
-  let out = Array.make (qap.nc + 1) Fp.zero in
-  Array.blit (Polylib.Poly.coeffs h) 0 out 0 (Polylib.Poly.degree h + 1);
-  out
+  Zobs.Span.with_ ~name:"qap.prover_h" (fun () ->
+      let ctx = qap.ctx in
+      let p = pw_poly qap w in
+      let h = Polylib.Poly.divide_exact ctx p (Lazy.force qap.divisor) in
+      let out = Array.make (qap.nc + 1) Fp.zero in
+      Array.blit (Polylib.Poly.coeffs h) 0 out 0 (Polylib.Poly.degree h + 1);
+      out)
 
 (* What a cheating prover would do with an unsatisfying assignment: divide
    and silently discard the remainder. Used by the adversarial test suite
    and the soundness bench. *)
 let prover_h_forced qap (w : Fp.el array) : Fp.el array =
-  let ctx = qap.ctx in
-  let p = pw_poly qap w in
-  let q, _r = Polylib.Poly.div_rem_fast ctx p (Lazy.force qap.divisor) in
-  let out = Array.make (qap.nc + 1) Fp.zero in
-  Array.blit (Polylib.Poly.coeffs q) 0 out 0 (min (Polylib.Poly.degree q + 1) (qap.nc + 1));
-  out
+  Zobs.Span.with_ ~name:"qap.prover_h" (fun () ->
+      let ctx = qap.ctx in
+      let p = pw_poly qap w in
+      let q, _r = Polylib.Poly.div_rem_fast ctx p (Lazy.force qap.divisor) in
+      let out = Array.make (qap.nc + 1) Fp.zero in
+      Array.blit (Polylib.Poly.coeffs q) 0 out 0 (min (Polylib.Poly.degree q + 1) (qap.nc + 1));
+      out)
 
 (* ------------------------------------------------------------------ *)
 (* Verifier side                                                       *)

@@ -76,17 +76,18 @@ exception Not_divisible
 (* H = P_w / (t^n - 1) by coefficient folding; raises if the division is
    not exact (Claim A.1 analog: w does not satisfy the constraints). *)
 let prover_h q (w : Fp.el array) : Fp.el array =
-  let ctx = q.ctx in
-  let p = pw_coeffs q w in
-  let h = Array.make q.n Fp.zero in
-  for i = 0 to q.n - 1 do
-    h.(i) <- Polylib.Poly.coeff p (q.n + i)
-  done;
-  (* exactness: c_i + c_{n+i} = 0 for all i < n *)
-  for i = 0 to q.n - 1 do
-    if not (Fp.is_zero (Fp.add ctx (Polylib.Poly.coeff p i) h.(i))) then raise Not_divisible
-  done;
-  h
+  Zobs.Span.with_ ~name:"qap_ntt.prover_h" (fun () ->
+      let ctx = q.ctx in
+      let p = pw_coeffs q w in
+      let h = Array.make q.n Fp.zero in
+      for i = 0 to q.n - 1 do
+        h.(i) <- Polylib.Poly.coeff p (q.n + i)
+      done;
+      (* exactness: c_i + c_{n+i} = 0 for all i < n *)
+      for i = 0 to q.n - 1 do
+        if not (Fp.is_zero (Fp.add ctx (Polylib.Poly.coeff p i) h.(i))) then raise Not_divisible
+      done;
+      h)
 
 let prover_h_forced q (w : Fp.el array) : Fp.el array =
   let p = pw_coeffs q w in

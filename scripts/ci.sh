@@ -1,0 +1,29 @@
+#!/bin/sh
+# Repo CI: formatting gate, build, tests, and a bench smoke test that
+# asserts the machine-readable run summary is emitted and parses back.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== format check =="
+  dune build @fmt
+else
+  echo "== format check skipped (ocamlformat not installed) =="
+fi
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke (summary JSON) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+dune exec bench/main.exe -- micro --quick --json "$tmp/BENCH_run.json" | tee "$tmp/bench.out"
+test -s "$tmp/BENCH_run.json" || { echo "BENCH_run.json missing or empty" >&2; exit 1; }
+grep -q "parsed back OK" "$tmp/bench.out" || { echo "summary did not parse back" >&2; exit 1; }
+grep -q '"schema":"zaatar-bench-run/1"' "$tmp/BENCH_run.json" || { echo "summary schema missing" >&2; exit 1; }
+
+echo "== ci OK =="

@@ -1,0 +1,176 @@
+open Fieldlib
+
+(* The Zobs observability library: span nesting and exclusive-time
+   arithmetic, counter accumulation across domains, Chrome-trace export
+   well-formedness (via the in-house JSON parser), and the guarantee that
+   the disabled path records nothing. *)
+
+(* Every test runs with a clean slate and leaves tracing off so the other
+   suites keep the single-atomic-load fast path. *)
+let with_tracing f =
+  Zobs.reset ();
+  Zobs.enable ();
+  Fun.protect ~finally:(fun () -> Zobs.disable (); Zobs.reset ()) f
+
+let span_tests =
+  [
+    Alcotest.test_case "nested spans: totals, counts and exclusive time" `Quick (fun () ->
+        with_tracing (fun () ->
+            Zobs.Span.with_ ~name:"outer" (fun () ->
+                Unix.sleepf 0.01;
+                Zobs.Span.with_ ~name:"inner" (fun () -> Unix.sleepf 0.02);
+                Zobs.Span.with_ ~name:"inner" (fun () -> Unix.sleepf 0.02));
+            let outer = Option.get (Zobs.Span.stats "outer") in
+            let inner = Option.get (Zobs.Span.stats "inner") in
+            Alcotest.(check int) "outer count" 1 outer.Zobs.Span.count;
+            Alcotest.(check int) "inner count" 2 inner.Zobs.Span.count;
+            Alcotest.(check bool) "inner total >= 2 sleeps" true (inner.Zobs.Span.total >= 0.04);
+            Alcotest.(check bool) "outer total covers children" true
+              (outer.Zobs.Span.total >= inner.Zobs.Span.total +. 0.01);
+            (* exclusive = duration minus direct children, within scheduling
+               slop *)
+            let expected_excl = outer.Zobs.Span.total -. inner.Zobs.Span.total in
+            Alcotest.(check bool) "exclusive math" true
+              (Float.abs (outer.Zobs.Span.exclusive -. expected_excl) < 1e-9);
+            Alcotest.(check bool) "inner exclusive = total (leaf)" true
+              (Float.abs (inner.Zobs.Span.exclusive -. inner.Zobs.Span.total) < 1e-9)));
+    Alcotest.test_case "span returns the body's value and survives exceptions" `Quick (fun () ->
+        with_tracing (fun () ->
+            Alcotest.(check int) "value" 42 (Zobs.Span.with_ ~name:"v" (fun () -> 42));
+            (try Zobs.Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+            (* The frame was popped: a sibling span is recorded at depth 0 and
+               the aggregate for "boom" still exists. *)
+            Alcotest.(check bool) "boom recorded" true (Zobs.Span.stats "boom" <> None);
+            Zobs.Span.with_ ~name:"after" (fun () -> ());
+            let ev =
+              List.find (fun (e : Zobs.Span.event) -> e.Zobs.Span.name = "after") (Zobs.Span.events_snapshot ())
+            in
+            Alcotest.(check int) "depth back to 0" 0 ev.Zobs.Span.depth));
+  ]
+
+let counter_tests =
+  [
+    Alcotest.test_case "counter accumulates across pool domains" `Quick (fun () ->
+        with_tracing (fun () ->
+            let c = Zobs.Counter.make "test.pool" in
+            let arr = Array.init 1000 (fun i -> i) in
+            ignore (Dompool.Pool.map ~domains:4 (fun _ -> Zobs.Counter.incr c) arr);
+            Alcotest.(check int) "1000 increments" 1000 (Zobs.Counter.value c)));
+    Alcotest.test_case "instrumented field ops tick their counters" `Quick (fun () ->
+        with_tracing (fun () ->
+            let ctx = Fp.create Primes.p127 in
+            let a = Fp.of_int ctx 17 and b = Fp.of_int ctx 23 in
+            for _ = 1 to 10 do
+              ignore (Fp.mul ctx a b)
+            done;
+            let v = List.assoc "fp.mul" (Zobs.Registry.counter_values ()) in
+            Alcotest.(check bool) "fp.mul >= 10" true (v >= 10)));
+    Alcotest.test_case "histogram buckets by powers of two" `Quick (fun () ->
+        with_tracing (fun () ->
+            let h = Zobs.Histogram.make "test.hist" in
+            List.iter (Zobs.Histogram.observe h) [ 0; 1; 2; 3; 1024; 1025 ];
+            Alcotest.(check int) "total" 6 (Zobs.Histogram.total h);
+            let snap = Zobs.Histogram.snapshot h in
+            Alcotest.(check int) "1024-bucket holds both" 2 (List.assoc 1024 snap);
+            Alcotest.(check int) "singleton 0 bucket" 1 (List.assoc 0 snap)));
+  ]
+
+let disabled_tests =
+  [
+    Alcotest.test_case "disabled: counters and spans record nothing" `Quick (fun () ->
+        Zobs.disable ();
+        Zobs.reset ();
+        let c = Zobs.Counter.make "test.off" in
+        Zobs.Counter.incr c;
+        Zobs.Counter.add c 100;
+        Alcotest.(check int) "counter stays 0" 0 (Zobs.Counter.value c);
+        let h = Zobs.Histogram.make "test.off.hist" in
+        Zobs.Histogram.observe h 42;
+        Alcotest.(check int) "histogram stays empty" 0 (Zobs.Histogram.total h);
+        Alcotest.(check int) "span body still runs" 7 (Zobs.Span.with_ ~name:"off" (fun () -> 7));
+        Alcotest.(check bool) "no span recorded" true (Zobs.Span.stats "off" = None);
+        (* Instrumented production code records nothing either. *)
+        let ctx = Fp.create Primes.p127 in
+        ignore (Fp.mul ctx (Fp.of_int ctx 3) (Fp.of_int ctx 5));
+        Alcotest.(check int) "fp.mul stays 0" 0 (List.assoc "fp.mul" (Zobs.Registry.counter_values ())));
+  ]
+
+let chrome_trace_tests =
+  [
+    Alcotest.test_case "chrome trace export parses back and is well-formed" `Quick (fun () ->
+        with_tracing (fun () ->
+            Zobs.Span.with_ ~name:"parent" ~attrs:[ ("k", "v") ] (fun () ->
+                Zobs.Span.with_ ~name:"child" (fun () -> Unix.sleepf 0.001));
+            let path = Filename.temp_file "zobs" ".json" in
+            Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+                Zobs.write_chrome_trace path;
+                let ic = open_in_bin path in
+                let s = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                let j = Zobs.Json.parse s in
+                let events =
+                  Option.get (Option.bind (Zobs.Json.member "traceEvents" j) Zobs.Json.to_arr)
+                in
+                Alcotest.(check int) "two events" 2 (List.length events);
+                List.iter
+                  (fun e ->
+                    let field k = Option.get (Zobs.Json.member k e) in
+                    Alcotest.(check bool) "has name" true (Zobs.Json.to_str (field "name") <> None);
+                    Alcotest.(check (option string)) "complete event" (Some "X")
+                      (Zobs.Json.to_str (field "ph"));
+                    Alcotest.(check bool) "ts >= 0" true
+                      (Option.get (Zobs.Json.to_num (field "ts")) >= 0.0);
+                    Alcotest.(check bool) "dur >= 0" true
+                      (Option.get (Zobs.Json.to_num (field "dur")) >= 0.0))
+                  events)));
+  ]
+
+let json_tests =
+  [
+    Alcotest.test_case "JSON writer/parser round trip" `Quick (fun () ->
+        let open Zobs.Json in
+        let v =
+          Obj
+            [
+              ("s", Str "a\"b\\c\n\t");
+              ("n", Num 3.5);
+              ("i", Num 42.0);
+              ("b", Bool true);
+              ("z", Null);
+              ("a", Arr [ Num 1.0; Str "x"; Obj [ ("k", Bool false) ] ]);
+            ]
+        in
+        Alcotest.(check bool) "round trip" true (parse (to_string v) = v));
+    Alcotest.test_case "JSON parser: escapes, unicode, errors" `Quick (fun () ->
+        let open Zobs.Json in
+        Alcotest.(check (option string)) "unicode escape" (Some "A\xc3\xa9")
+          (to_str (parse {|"Aé"|}));
+        Alcotest.(check bool) "whitespace tolerated" true
+          (parse "  [ 1 , 2 ]  " = Arr [ Num 1.0; Num 2.0 ]);
+        let fails s = match parse s with exception Parse_error _ -> true | _ -> false in
+        Alcotest.(check bool) "trailing garbage rejected" true (fails "{} x");
+        Alcotest.(check bool) "bad literal rejected" true (fails "flase");
+        Alcotest.(check bool) "unterminated string rejected" true (fails {|"abc|}));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "Metrics.to_list is sorted by phase name" `Quick (fun () ->
+        let m = Argsys.Metrics.create () in
+        Argsys.Metrics.add m "c" 3.0;
+        Argsys.Metrics.add m "a" 1.0;
+        Argsys.Metrics.add m "b" 2.0;
+        Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+          (List.map fst (Argsys.Metrics.to_list m)));
+    Alcotest.test_case "Metrics.time also opens a Zobs span" `Quick (fun () ->
+        with_tracing (fun () ->
+            let m = Argsys.Metrics.create () in
+            let r = Argsys.Metrics.time m "phase_x" (fun () -> 5) in
+            Alcotest.(check int) "result" 5 r;
+            Alcotest.(check bool) "metrics entry" true (Argsys.Metrics.get m "phase_x" >= 0.0);
+            let s = Option.get (Zobs.Span.stats "phase_x") in
+            Alcotest.(check int) "span recorded" 1 s.Zobs.Span.count));
+  ]
+
+let suite =
+  span_tests @ counter_tests @ disabled_tests @ chrome_trace_tests @ json_tests @ metrics_tests
