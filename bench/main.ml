@@ -29,10 +29,20 @@ type cfg = {
   p_bits : int;
   batch : int;
   quick : bool;
+  domains : int; (* Pool domains for the commitment pipeline (--domains) *)
 }
 
 let default_cfg =
-  { field = Primes.p127; scale = 1; rho = 3; rho_lin = 10; p_bits = 512; batch = 2; quick = false }
+  {
+    field = Primes.p127;
+    scale = 1;
+    rho = 3;
+    rho_lin = 10;
+    p_bits = 512;
+    batch = 2;
+    quick = false;
+    domains = 1;
+  }
 
 let ctx_of cfg = Fp.create cfg.field
 
@@ -111,7 +121,12 @@ let bench_run cfg (app : Apps.App_def.t) : bench_run =
           Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
     in
     let config =
-      { Argsys.Argument.params = protocol cfg; p_bits = cfg.p_bits; strategy = Argsys.Argument.Honest }
+      {
+        Argsys.Argument.params = protocol cfg;
+        p_bits = cfg.p_bits;
+        strategy = Argsys.Argument.Honest;
+        domains = cfg.domains;
+      }
     in
     let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
     if not (Argsys.Argument.all_accepted result) then
@@ -613,6 +628,7 @@ let run_baseline cfg =
           Argsys.Argument_ginger.params = { Pcp.Pcp_ginger.rho = cfg.rho; rho_lin = cfg.rho_lin };
           p_bits = cfg.p_bits;
           cheat = false;
+          domains = cfg.domains;
         }
       in
       let gres = Argsys.Argument_ginger.run_instance ~config:gconfig gcomp ~prg ~x in
@@ -627,7 +643,12 @@ let run_baseline cfg =
       (* Zaatar, measured on the same computation. *)
       let zcomp = Apps.Glue.computation_of compiled in
       let zconfig =
-        { Argsys.Argument.params = protocol cfg; p_bits = cfg.p_bits; strategy = Argsys.Argument.Honest }
+        {
+          Argsys.Argument.params = protocol cfg;
+          p_bits = cfg.p_bits;
+          strategy = Argsys.Argument.Honest;
+          domains = cfg.domains;
+        }
       in
       let zres = Argsys.Argument.run_batch ~config:zconfig zcomp ~prg ~inputs:[| x |] in
       if not (Argsys.Argument.all_accepted zres) then failwith (label ^ ": zaatar run rejected");
@@ -680,7 +701,7 @@ let run_soundness cfg =
         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "sound %s %d" label i) () in
         let inputs = [| Apps.Glue.field_inputs ctx (app_inputs prg) |] in
         let config =
-          { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy }
+          { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy; domains = 1 }
         in
         let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
         if Argsys.Argument.none_accepted r then incr rejected
@@ -695,7 +716,12 @@ let run_soundness cfg =
     let prg = Chacha.Prg.create ~seed:(Printf.sprintf "sound honest %d" i) () in
     let inputs = [| Apps.Glue.field_inputs ctx (app_inputs prg) |] in
     let config =
-      { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Argsys.Argument.Honest }
+      {
+        Argsys.Argument.params = Pcp.Pcp_zaatar.test_params;
+        p_bits = 192;
+        strategy = Argsys.Argument.Honest;
+        domains = 1;
+      }
     in
     let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
     if Argsys.Argument.all_accepted r then incr accepted
@@ -736,10 +762,15 @@ let rec run_ablation cfg =
   Printf.printf "\ngroup exponentiation (%d-bit modulus, 127-bit exponents):\n" cfg.p_bits;
   let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
   let exps = Array.init 16 (fun _ -> Fp.to_nat (Chacha.Prg.field ctx prg)) in
-  bench "Montgomery ladder (production path)" (fun () ->
+  bench "windowed Montgomery ladder (generic path)" (fun () ->
       Array.map (Zcrypto.Group.pow grp grp.Zcrypto.Group.g) exps);
   bench "Barrett ladder" (fun () ->
       Array.map (Zcrypto.Group.pow_barrett grp grp.Zcrypto.Group.g) exps);
+  bench "fixed-base window table (commit path)" (fun () ->
+      Array.map (Zcrypto.Group.fb_pow grp (Zcrypto.Group.fb_g grp)) exps);
+  let bases = Array.map (Zcrypto.Group.pow grp grp.Zcrypto.Group.g) exps in
+  bench "Pippenger multi-exp, 16 terms (hom_dot path)" (fun () ->
+      Zcrypto.Group.multi_pow grp bases exps);
   Printf.printf "\nprover H(t) pipeline at |C| = 511 (interpolate, multiply, divide):\n";
   (* Over the NTT-friendly field so the two sigma_j choices are compared
      like for like: the paper's arithmetic progression + subproduct trees
@@ -776,13 +807,166 @@ and random_r1cs_for_h ctx nc =
   ({ Constr.R1cs.field = ctx; num_vars = n; num_z = n / 2; constraints }, w)
 
 (* ------------------------------------------------------------------ *)
+(* Multiexp: exponentiation-kernel ablation (DESIGN.md §8)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled by run_multiexp and folded into BENCH_run.json under "multiexp".
+   scripts/ci.sh runs this experiment in smoke mode and fails the build if
+   any kernel result diverges from the naive ladder. *)
+let multiexp_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let run_multiexp cfg =
+  banner "Multiexp ablation: naive ladder vs fixed-base window vs Pippenger";
+  let open Zcrypto in
+  let ctx = ctx_of cfg in
+  let prg = Chacha.Prg.create ~seed:"multiexp" () in
+  let agree = ref true in
+  let check label ok =
+    if not ok then begin
+      agree := false;
+      Printf.printf "  DIVERGENCE: %s\n%!" label
+    end
+  in
+  let num x = Zobs.Json.Num x and int n = Zobs.Json.Num (float_of_int n) in
+  (* -- single fixed base: g^e for many e, at the configured group size -- *)
+  let grp = Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+  let fb_lengths = if cfg.quick then [ 32; 128 ] else [ 64; 256; 1024 ] in
+  let _, t_table = time_thunk (fun () -> ignore (Group.fb_g grp)) in
+  Printf.printf "fixed-base g-table build (%d-bit group): %s (one-time, cached on the group)\n"
+    cfg.p_bits (fmt_s t_table);
+  Printf.printf "%-10s %12s %14s %9s\n" "exps" "naive" "fixed-base" "speedup";
+  let fixed_rows =
+    List.map
+      (fun len ->
+        let exps = Array.init len (fun _ -> Fp.to_nat (Chacha.Prg.field ctx prg)) in
+        let naive, t_naive =
+          time_thunk (fun () -> Array.map (Group.pow grp grp.Group.g) exps)
+        in
+        let fixed, t_fixed =
+          time_thunk (fun () -> Array.map (Group.fb_pow grp (Group.fb_g grp)) exps)
+        in
+        check (Printf.sprintf "fixed-base len=%d" len)
+          (Array.for_all2 Group.equal naive fixed);
+        Printf.printf "%-10d %12s %14s %8.2fx\n%!" len (fmt_s t_naive) (fmt_s t_fixed)
+          (t_naive /. t_fixed);
+        Zobs.Json.Obj
+          [ ("len", int len); ("naive_s", num t_naive); ("fixed_base_s", num t_fixed) ])
+      fb_lengths
+  in
+  (* -- Pippenger multi-exponentiation over random bases -- *)
+  Printf.printf "\n%-10s %12s %14s %9s\n" "terms" "naive" "Pippenger" "speedup";
+  let naive_multi bases exps =
+    let acc = ref Group.one in
+    Array.iteri (fun i b -> acc := Group.mul grp !acc (Group.pow grp b exps.(i))) bases;
+    !acc
+  in
+  let pip_rows =
+    List.map
+      (fun len ->
+        let bases =
+          Array.init len (fun _ -> Group.fb_pow grp (Group.fb_g grp) (Fp.to_nat (Chacha.Prg.field ctx prg)))
+        in
+        let exps = Array.init len (fun _ -> Fp.to_nat (Chacha.Prg.field ctx prg)) in
+        let naive, t_naive = time_thunk (fun () -> naive_multi bases exps) in
+        let pip, t_pip = time_thunk (fun () -> Group.multi_pow grp bases exps) in
+        check (Printf.sprintf "pippenger len=%d" len) (Group.equal naive pip);
+        Printf.printf "%-10d %12s %14s %8.2fx\n%!" len (fmt_s t_naive) (fmt_s t_pip)
+          (t_naive /. t_pip);
+        Zobs.Json.Obj [ ("len", int len); ("naive_s", num t_naive); ("pippenger_s", num t_pip) ])
+      fb_lengths
+  in
+  (* -- the commit phase end to end, at the paper's 1024-bit keys --
+     Kernel arm: commit_request (fixed-base tables + parallel Enc(r)) and
+     prover_commit (Pippenger hom_dot). Naive arm: the pre-kernel path —
+     generic ladders per encryption, hom_scale/hom_add fold per commitment
+     — replayed from the same transcript so the ciphertexts must match
+     bit for bit. *)
+  let len = if cfg.quick then 96 else 512 in
+  let domains = min (Dompool.Pool.num_cores ()) 8 in
+  let grp1024 = Group.cached ~field_order:cfg.field ~p_bits:1024 () in
+  Printf.printf "\ncommit phase at 1024-bit keys, |r| = %d (Enc(r) over %d domain(s)):\n" len domains;
+  let (req, _vs), t_enc_kernel =
+    time_thunk (fun () ->
+        Commitment.Commit.commit_request ~domains ctx grp1024
+          (Chacha.Prg.create ~seed:"multiexp commit" ())
+          ~len)
+  in
+  (* Replay the identical transcript for the naive arm. *)
+  let replay = Chacha.Prg.create ~seed:"multiexp commit" () in
+  let _, pk = Elgamal.keygen grp1024 replay in
+  let r = Array.init len (fun _ -> Chacha.Prg.field ctx replay) in
+  let ks = Array.init len (fun _ -> Fp.to_nat (Chacha.Prg.field_nonzero grp1024.Group.modq replay)) in
+  let enc_naive i =
+    let m = r.(i) and k = ks.(i) in
+    let gm = Group.pow grp1024 grp1024.Group.g (Fp.to_nat m) in
+    {
+      Elgamal.c1 = Group.pow grp1024 grp1024.Group.g k;
+      c2 = Group.mul grp1024 gm (Group.pow grp1024 pk.Elgamal.y k);
+    }
+  in
+  let enc_r_naive, t_enc_naive = time_thunk (fun () -> Array.init len enc_naive) in
+  check "commit Enc(r)"
+    (Array.for_all2
+       (fun (a : Elgamal.ciphertext) (b : Elgamal.ciphertext) ->
+         Group.equal a.Elgamal.c1 b.Elgamal.c1 && Group.equal a.Elgamal.c2 b.Elgamal.c2)
+       req.Commitment.Commit.enc_r enc_r_naive);
+  let u =
+    Array.init len (fun i ->
+        if i mod 7 = 0 then Fp.zero
+        else if i mod 5 = 0 then Fp.one
+        else Chacha.Prg.field ctx prg)
+  in
+  let com_kernel, t_com_kernel = time_thunk (fun () -> Commitment.Commit.prover_commit req u) in
+  let com_naive, t_com_naive =
+    time_thunk (fun () -> Elgamal.hom_dot_naive req.Commitment.Commit.pk req.Commitment.Commit.enc_r u)
+  in
+  check "prover_commit"
+    (Group.equal com_kernel.Elgamal.c1 com_naive.Elgamal.c1
+    && Group.equal com_kernel.Elgamal.c2 com_naive.Elgamal.c2);
+  let t_naive = t_enc_naive +. t_com_naive and t_kernel = t_enc_kernel +. t_com_kernel in
+  Printf.printf "  %-24s %12s %12s %9s\n" "" "naive" "kernels" "speedup";
+  Printf.printf "  %-24s %12s %12s %8.2fx\n" "Enc(r)" (fmt_s t_enc_naive) (fmt_s t_enc_kernel)
+    (t_enc_naive /. t_enc_kernel);
+  Printf.printf "  %-24s %12s %12s %8.2fx\n" "prover_commit" (fmt_s t_com_naive)
+    (fmt_s t_com_kernel) (t_com_naive /. t_com_kernel);
+  Printf.printf "  %-24s %12s %12s %8.2fx\n%!" "commit phase total" (fmt_s t_naive)
+    (fmt_s t_kernel) (t_naive /. t_kernel);
+  multiexp_section :=
+    Zobs.Json.Obj
+      [
+        ("p_bits", int cfg.p_bits);
+        ("fixed_base", Zobs.Json.Arr fixed_rows);
+        ("pippenger", Zobs.Json.Arr pip_rows);
+        ( "commit_phase",
+          Zobs.Json.Obj
+            [
+              ("p_bits", int 1024);
+              ("len", int len);
+              ("domains", int domains);
+              ("enc_naive_s", num t_enc_naive);
+              ("enc_kernel_s", num t_enc_kernel);
+              ("commit_naive_s", num t_com_naive);
+              ("commit_kernel_s", num t_com_kernel);
+              ("naive_s", num t_naive);
+              ("kernel_s", num t_kernel);
+              ("speedup", num (t_naive /. t_kernel));
+            ] );
+        ("kernels_agree", Zobs.Json.Bool !agree);
+      ];
+  if !agree then Printf.printf "\nmultiexp kernels agree with the naive ladder\n%!"
+  else begin
+    Printf.eprintf "multiexp: kernel results diverge from the naive ladder\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation]\n\
-    \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp]\n\
+    \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]";
   exit 2
 
@@ -790,7 +974,7 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation" ]
+    "soundness"; "ablation"; "multiexp" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -839,15 +1023,17 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
              ])
          (Zobs.Span.totals ()))
   in
+  let multiexp =
+    match !multiexp_section with Null -> [] | m -> [ ("multiexp", m) ]
+  in
   Obj
-    [
-      ("schema", Str "zaatar-bench-run/1");
-      ("config", config);
-      ("experiments", experiments);
-      ("counters", counters);
-      ("histograms", histograms);
-      ("spans", spans);
-    ]
+    ([
+       ("schema", Str "zaatar-bench-run/1");
+       ("config", config);
+       ("experiments", experiments);
+     ]
+    @ multiexp
+    @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
   let oc = open_out path in
@@ -887,6 +1073,9 @@ let () =
     | "--quick" :: rest ->
       cfg := { !cfg with quick = true };
       parse rest
+    | "--domains" :: v :: rest ->
+      cfg := { !cfg with domains = int_of_string v };
+      parse rest
     | "--trace" :: v :: rest ->
       trace := Some v;
       parse rest
@@ -924,6 +1113,7 @@ let () =
     | "baseline" -> run_baseline cfg
     | "soundness" -> run_soundness cfg
     | "ablation" -> run_ablation cfg
+    | "multiexp" -> run_multiexp cfg
     | t ->
       Printf.eprintf "unknown experiment %S\n" t;
       usage ()

@@ -98,10 +98,18 @@ let protocol_args =
   let rho = Arg.(value & opt int 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
   let rho_lin = Arg.(value & opt int 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
   let pbits = Arg.(value & opt int 256 & info [ "pbits" ] ~doc:"ElGamal group size in bits (paper: 1024).") in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Domains for the parallel commitment pipeline (transcripts are domain-count independent).")
+  in
   Term.(
-    const (fun rho rho_lin pbits ->
-        { Argsys.Argument.params = { Pcp.Pcp_zaatar.rho; rho_lin }; p_bits = pbits; strategy = Argsys.Argument.Honest })
-    $ rho $ rho_lin $ pbits)
+    const (fun rho rho_lin pbits domains ->
+        {
+          Argsys.Argument.params = { Pcp.Pcp_zaatar.rho; rho_lin };
+          p_bits = pbits;
+          strategy = Argsys.Argument.Honest;
+          domains;
+        })
+    $ rho $ rho_lin $ pbits $ domains)
 
 let report_batch ctx (result : Argsys.Argument.batch_result) =
   Array.iteri

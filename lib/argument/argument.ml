@@ -57,11 +57,14 @@ type config = {
   params : Pcp.Pcp_zaatar.params;
   p_bits : int; (* ElGamal group size *)
   strategy : strategy;
+  domains : int; (* Pool domains for the commitment pipeline (Enc(r), prover commits) *)
 }
 
-let default_config = { params = Pcp.Pcp_zaatar.paper_params; p_bits = 1024; strategy = Honest }
+let default_config =
+  { params = Pcp.Pcp_zaatar.paper_params; p_bits = 1024; strategy = Honest; domains = 1 }
 
-let test_config = { params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Honest }
+let test_config =
+  { params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Honest; domains = 1 }
 
 (* The prover's per-instance proof material. *)
 type proof_parts = {
@@ -153,8 +156,12 @@ let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg
   (* ---- Verifier batch setup ---- *)
   let grp = setup (fun () -> Group.cached ~field_order:(Fp.modulus ctx) ~p_bits:config.p_bits ()) in
   let queries = setup (fun () -> Pcp.Pcp_zaatar.gen_queries ~params:config.params qap prg) in
-  let req_z, vs_z = setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:num_z) in
-  let req_h, vs_h = setup (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:h_len) in
+  let req_z, vs_z =
+    setup (fun () -> Commitment.Commit.commit_request ~domains:config.domains ctx grp prg ~len:num_z)
+  in
+  let req_h, vs_h =
+    setup (fun () -> Commitment.Commit.commit_request ~domains:config.domains ctx grp prg ~len:h_len)
+  in
   let ch_z =
     setup (fun () ->
         Commitment.Commit.decommit_challenge ctx vs_z prg queries.Pcp.Pcp_zaatar.z_queries)
@@ -164,15 +171,24 @@ let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg
         Commitment.Commit.decommit_challenge ctx vs_h prg queries.Pcp.Pcp_zaatar.h_queries)
   in
   (* ---- Per instance ---- *)
-  let run_instance x =
-    let parts = build_proof_parts ctx comp qap config.strategy prg x pm in
-    (* Prover: commit. *)
-    let com_z =
-      Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req_z parts.u_z)
-    in
-    let com_h =
-      Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req_h parts.u_h)
-    in
+  (* Proof parts are built sequentially — they consume the transcript PRG,
+     and the transcript must not depend on the domain count. The
+     commitments are pure functions of the request and the proof vectors,
+     so they fan out across instances over the Pool domains (the paper's
+     "crypto hardware" phase, §5.2). *)
+  let parts =
+    Array.map (fun x -> build_proof_parts ctx comp qap config.strategy prg x pm) inputs
+  in
+  let commitments =
+    Metrics.time pm "crypto_ops" (fun () ->
+        Dompool.Pool.map ~domains:config.domains
+          (fun (p : proof_parts) ->
+            ( Commitment.Commit.prover_commit req_z p.u_z,
+              Commitment.Commit.prover_commit req_h p.u_h ))
+          parts)
+  in
+  let run_instance i (parts : proof_parts) =
+    let com_z, com_h = commitments.(i) in
     (* Prover: answer the PCP queries and the consistency vectors. *)
     let oracle =
       let base = Pcp.Oracle.honest ctx parts.answer_u_z parts.answer_u_h in
@@ -212,7 +228,7 @@ let run_batch ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg
       pcp_verdict;
     }
   in
-  let instances = Array.map run_instance inputs in
+  let instances = Array.mapi run_instance parts in
   { instances; verifier_setup_s = !v_setup; verifier_per_instance_s = !v_per; prover = pm }
 
 let all_accepted r = Array.for_all (fun i -> i.accepted) r.instances

@@ -48,13 +48,17 @@ type config = {
   params : Pcp.Pcp_zaatar.params;
   p_bits : int; (** ElGamal group size *)
   strategy : strategy;
+  domains : int;
+      (** Pool domains for the commitment pipeline: Enc(r) generation and
+          the per-instance prover commitments. Transcripts are identical
+          for every domain count (randomness is pre-drawn sequentially). *)
 }
 
 val default_config : config
-(** Paper parameters: rho = 8, rho_lin = 20, 1024-bit group. *)
+(** Paper parameters: rho = 8, rho_lin = 20, 1024-bit group, 1 domain. *)
 
 val test_config : config
-(** rho = 1, rho_lin = 2, 192-bit group: for unit tests. *)
+(** rho = 1, rho_lin = 2, 192-bit group, 1 domain: for unit tests. *)
 
 val run_batch :
   ?config:config -> computation -> prg:Chacha.Prg.t -> inputs:Fp.el array array -> batch_result

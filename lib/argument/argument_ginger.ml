@@ -22,9 +22,14 @@ type computation = {
   solve : Fp.el array -> Fp.el array; (* inputs -> full canonical assignment *)
 }
 
-type config = { params : Pcp.Pcp_ginger.params; p_bits : int; cheat : bool }
+type config = {
+  params : Pcp.Pcp_ginger.params;
+  p_bits : int;
+  cheat : bool;
+  domains : int; (* Pool domains for Enc(r) generation (the quadratic proof vector dominates) *)
+}
 
-let test_config = { params = Pcp.Pcp_ginger.test_params; p_bits = 192; cheat = false }
+let test_config = { params = Pcp.Pcp_ginger.test_params; p_bits = 192; cheat = false; domains = 1 }
 
 type instance_result = {
   claimed_output : Fp.el array;
@@ -65,8 +70,14 @@ let run_instance ?(config = test_config) (comp : computation) ~(prg : Chacha.Prg
   let u1, u2 = Metrics.time pm "construct_u" (fun () -> Pcp.Pcp_ginger.proof_vector ctx z_for_proof) in
   (* Verifier: commitment requests and queries. *)
   let grp = timed (fun () -> Group.cached ~field_order:(Fp.modulus ctx) ~p_bits:config.p_bits ()) in
-  let req1, vs1 = timed (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:(Array.length u1)) in
-  let req2, vs2 = timed (fun () -> Commitment.Commit.commit_request ctx grp prg ~len:(Array.length u2)) in
+  let req1, vs1 =
+    timed (fun () ->
+        Commitment.Commit.commit_request ~domains:config.domains ctx grp prg ~len:(Array.length u1))
+  in
+  let req2, vs2 =
+    timed (fun () ->
+        Commitment.Commit.commit_request ~domains:config.domains ctx grp prg ~len:(Array.length u2))
+  in
   let com1 = Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req1 u1) in
   let com2 = Metrics.time pm "crypto_ops" (fun () -> Commitment.Commit.prover_commit req2 u2) in
   let bound = timed (fun () -> Quad.bind_io ctx comp.ginger io) in

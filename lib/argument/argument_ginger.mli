@@ -22,6 +22,7 @@ type config = {
   params : Pcp.Pcp_ginger.params;
   p_bits : int;
   cheat : bool; (** perturb the witness before building the proof vector *)
+  domains : int; (** Pool domains for Enc(r) generation *)
 }
 
 val test_config : config

@@ -25,8 +25,11 @@ type request = {
 
 type verifier_secret = { sk : Elgamal.secret_key; r : Fp.el array }
 
-val commit_request : Fp.ctx -> Group.t -> Chacha.Prg.t -> len:int -> request * verifier_secret
-(** One per batch; [len] is the proof-vector length. *)
+val commit_request :
+  ?domains:int -> Fp.ctx -> Group.t -> Chacha.Prg.t -> len:int -> request * verifier_secret
+(** One per batch; [len] is the proof-vector length. Enc(r) is computed in
+    parallel over [domains]; the per-element randomness is pre-drawn
+    sequentially, so the transcript is identical for every domain count. *)
 
 val prover_commit : request -> Fp.el array -> Elgamal.ciphertext
 (** Prover, per instance: Enc(<u, r>) by homomorphic evaluation. *)

@@ -11,11 +11,21 @@
 
    Homomorphism: Enc(a) * Enc(b) = Enc(a+b) componentwise, and
    Enc(a)^c = Enc(c*a); the prover evaluates Enc(<u, r>) from Enc(r)
-   without ever seeing r. *)
+   without ever seeing r.
+
+   Both fixed bases (g from the group, y from the key) carry fixed-base
+   window tables, so encryption and encoding are table lookups plus
+   multiplications rather than generic ladders; [hom_dot] is a Pippenger
+   multi-exponentiation (DESIGN.md §8). *)
 
 open Fieldlib
 
-type public_key = { grp : Group.t; y : Group.element }
+type public_key = {
+  grp : Group.t;
+  y : Group.element;
+  y_fb : Group.fb Lazy.t; (* fixed-base table for y; force via [precompute] before parallel use *)
+}
+
 type secret_key = { pk : public_key; x : Nat.t }
 type ciphertext = { c1 : Group.element; c2 : Group.element }
 
@@ -24,20 +34,29 @@ let c_decrypt = Zobs.Counter.make "elgamal.decrypt"
 let c_hom = Zobs.Counter.make "elgamal.hom_op"
 
 let keygen (grp : Group.t) (prg : Chacha.Prg.t) =
-  let qctx = Fp.create grp.Group.q in
-  let x = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
-  let y = Group.pow grp grp.Group.g x in
-  let pk = { grp; y } in
+  let x = Fp.to_nat (Chacha.Prg.field_nonzero grp.Group.modq prg) in
+  let y = Group.fb_pow grp (Group.fb_g grp) x in
+  let pk = { grp; y; y_fb = lazy (Group.fb_precompute grp y) } in
   ({ pk; x }, pk)
+
+let precompute (pk : public_key) =
+  ignore (Group.fb_g pk.grp);
+  ignore (Lazy.force pk.y_fb)
+
+(* Encrypt with caller-supplied randomness k in [1, q): the deterministic
+   core that the parallel commitment pipeline maps over after pre-drawing
+   every k sequentially (transcripts must not depend on the domain count). *)
+let encrypt_with_k (pk : public_key) ~(k : Nat.t) (m : Fp.el) : ciphertext =
+  Zobs.Counter.incr c_encrypt;
+  let grp = pk.grp in
+  let gtab = Group.fb_g grp and ytab = Lazy.force pk.y_fb in
+  let gm = Group.fb_pow grp gtab (Fp.to_nat m) in
+  { c1 = Group.fb_pow grp gtab k; c2 = Group.mul grp gm (Group.fb_pow grp ytab k) }
 
 (* Encrypt a field element (exponent encoding). *)
 let encrypt (pk : public_key) (prg : Chacha.Prg.t) (m : Fp.el) : ciphertext =
-  Zobs.Counter.incr c_encrypt;
-  let grp = pk.grp in
-  let qctx = Fp.create grp.Group.q in
-  let k = Fp.to_nat (Chacha.Prg.field_nonzero qctx prg) in
-  let gm = Group.pow grp grp.Group.g (Fp.to_nat m) in
-  { c1 = Group.pow grp grp.Group.g k; c2 = Group.mul grp gm (Group.pow grp pk.y k) }
+  let k = Fp.to_nat (Chacha.Prg.field_nonzero pk.grp.Group.modq prg) in
+  encrypt_with_k pk ~k m
 
 (* Decrypt to the group encoding g^m of the plaintext. *)
 let decrypt_to_group (sk : secret_key) (c : ciphertext) : Group.element =
@@ -47,7 +66,7 @@ let decrypt_to_group (sk : secret_key) (c : ciphertext) : Group.element =
 
 (* g^m for a known m: what the verifier compares decryptions against. *)
 let encode (pk : public_key) (m : Fp.el) : Group.element =
-  Group.pow pk.grp pk.grp.Group.g (Fp.to_nat m)
+  Group.fb_pow pk.grp (Group.fb_g pk.grp) (Fp.to_nat m)
 
 (* Homomorphic operations. *)
 
@@ -65,12 +84,47 @@ let hom_zero (pk : public_key) : ciphertext =
   ignore pk;
   { c1 = Fp.one; c2 = Fp.one }
 
-(* Enc(<u, r>) from Enc(r): the prover's commitment computation. Skips zero
-   coefficients, matching the sparse proof vectors. *)
-let hom_dot (pk : public_key) (enc_r : ciphertext array) (u : Fp.el array) : ciphertext =
+(* Enc(<u, r>) from Enc(r) as a fold of hom_scale/hom_add: the pre-kernel
+   path, kept as the ablation/CI cross-check baseline for [hom_dot]. *)
+let hom_dot_naive (pk : public_key) (enc_r : ciphertext array) (u : Fp.el array) : ciphertext =
   if Array.length enc_r <> Array.length u then invalid_arg "Elgamal.hom_dot: length mismatch";
   let acc = ref (hom_zero pk) in
   Array.iteri
     (fun i ui -> if not (Fp.is_zero ui) then acc := hom_add pk !acc (hom_scale pk enc_r.(i) ui))
     u;
   !acc
+
+(* Enc(<u, r>) from Enc(r): the prover's commitment computation. Zero
+   coefficients are skipped (sparse proof vectors), unit coefficients are a
+   bare homomorphic add, and everything else feeds one Pippenger
+   multi-exponentiation per ciphertext component. *)
+let hom_dot (pk : public_key) (enc_r : ciphertext array) (u : Fp.el array) : ciphertext =
+  let n = Array.length enc_r in
+  if n <> Array.length u then invalid_arg "Elgamal.hom_dot: length mismatch";
+  let grp = pk.grp in
+  let ones1 = ref Group.one and ones2 = ref Group.one in
+  let idx = ref [] and nidx = ref 0 in
+  for i = n - 1 downto 0 do
+    let ui = u.(i) in
+    if Fp.is_zero ui then ()
+    else if Fp.equal ui Fp.one then begin
+      Zobs.Counter.incr c_hom;
+      ones1 := Group.mul grp !ones1 enc_r.(i).c1;
+      ones2 := Group.mul grp !ones2 enc_r.(i).c2
+    end
+    else begin
+      idx := i :: !idx;
+      incr nidx
+    end
+  done;
+  if !nidx = 0 then { c1 = !ones1; c2 = !ones2 }
+  else begin
+    let idx = Array.of_list !idx in
+    let exps = Array.map (fun i -> Fp.to_nat u.(i)) idx in
+    let b1 = Array.map (fun i -> enc_r.(i).c1) idx in
+    let b2 = Array.map (fun i -> enc_r.(i).c2) idx in
+    {
+      c1 = Group.mul grp !ones1 (Group.multi_pow grp b1 exps);
+      c2 = Group.mul grp !ones2 (Group.multi_pow grp b2 exps);
+    }
+  end

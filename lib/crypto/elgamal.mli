@@ -7,16 +7,35 @@
     Decryption recovers g^m, not m — all the consistency test needs, since
     it compares group elements whose exponents the verifier knows in the
     clear. [hom_add]/[hom_scale] give Enc(a+b) and Enc(c*a); {!hom_dot}
-    evaluates Enc(<u, r>) from Enc(r) without the prover learning r. *)
+    evaluates Enc(<u, r>) from Enc(r) without the prover learning r.
+
+    Encryption and encoding run on fixed-base window tables for g and y;
+    {!hom_dot} is a Pippenger multi-exponentiation (DESIGN.md §8). *)
 
 open Fieldlib
 
-type public_key = { grp : Group.t; y : Group.element }
+type public_key = {
+  grp : Group.t;
+  y : Group.element;
+  y_fb : Group.fb Lazy.t;  (** fixed-base table for [y]; see {!precompute} *)
+}
+
 type secret_key = { pk : public_key; x : Nat.t }
 type ciphertext = { c1 : Group.element; c2 : Group.element }
 
 val keygen : Group.t -> Chacha.Prg.t -> secret_key * public_key
+
+val precompute : public_key -> unit
+(** Force both fixed-base tables. Must be called before sharing the key
+    across domains (lazy forcing is not thread-safe). *)
+
 val encrypt : public_key -> Chacha.Prg.t -> Fp.el -> ciphertext
+
+val encrypt_with_k : public_key -> k:Nat.t -> Fp.el -> ciphertext
+(** Deterministic encryption with caller-supplied randomness [k] in
+    [1, q): the core the parallel commitment pipeline maps over after
+    pre-drawing every [k] sequentially. *)
+
 val decrypt_to_group : secret_key -> ciphertext -> Group.element
 
 val encode : public_key -> Fp.el -> Group.element
@@ -27,4 +46,10 @@ val hom_scale : public_key -> ciphertext -> Fp.el -> ciphertext
 val hom_zero : public_key -> ciphertext
 
 val hom_dot : public_key -> ciphertext array -> Fp.el array -> ciphertext
-(** Skips zero coefficients (sparse proof vectors). *)
+(** Skips zero coefficients, folds unit coefficients in with bare
+    homomorphic adds, and serves the rest with Pippenger {!Group.multi_pow}
+    (one per ciphertext component). *)
+
+val hom_dot_naive : public_key -> ciphertext array -> Fp.el array -> ciphertext
+(** The pre-kernel hom_scale/hom_add fold, kept as the ablation baseline
+    and the CI divergence check for {!hom_dot}. *)

@@ -10,19 +10,29 @@
 
 open Fieldlib
 
+type fb = Montgomery.fb
+
 type t = {
   p : Nat.t; (* group modulus *)
   q : Nat.t; (* subgroup (and PCP field) order *)
   g : Fp.el; (* generator of the order-q subgroup, as a mod-p residue *)
   modp : Fp.ctx; (* arithmetic mod p *)
-  mont : Montgomery.ctx; (* exponentiation ladder (see the ablation bench) *)
+  modq : Fp.ctx; (* arithmetic mod q (exponents); cached, not rebuilt per call *)
+  mont : Montgomery.ctx; (* exponentiation kernels (see the ablation bench) *)
+  g_fb : fb Lazy.t; (* fixed-base window table for g, built on first use *)
 }
 
 type element = Fp.el (* residue mod p *)
 
 (* Modular exponentiations: the dominant prover/verifier cost (§5.1's e, d
-   and h rows all reduce to these). *)
+   and h rows all reduce to these). The counters distinguish the kernels so
+   BENCH_run.json shows which path served each exponentiation: [group.pow]
+   is the generic ladder, the rest are the DESIGN.md §8 kernels. *)
 let c_pow = Zobs.Counter.make "group.pow"
+let c_pow_fb = Zobs.Counter.make "group.pow.fixed_base"
+let c_pow_shamir = Zobs.Counter.make "group.pow.shamir"
+let c_multi = Zobs.Counter.make "group.multi_pow"
+let c_multi_terms = Zobs.Counter.make "group.multi_pow.terms"
 
 let pow t (base : element) (e : Nat.t) =
   Zobs.Counter.incr c_pow;
@@ -31,9 +41,42 @@ let pow t (base : element) (e : Nat.t) =
 let pow_barrett t (base : element) (e : Nat.t) =
   Zobs.Counter.incr c_pow;
   Fp.pow t.modp base e
+
 let mul t a b = Fp.mul t.modp a b
 let inv t a = Fp.inv t.modp a
 let equal = Fp.equal
+let one = Fp.one
+
+(* ---- Exponentiation kernels (DESIGN.md §8) ---- *)
+
+let fb_precompute ?window t (base : element) : fb =
+  let m = t.mont in
+  Montgomery.fb_precompute m ?window ~bits:(Nat.num_bits t.q) (Montgomery.to_mont m base)
+
+let fb_g t = Lazy.force t.g_fb
+
+let fb_pow t (tab : fb) (e : Nat.t) : element =
+  (* Exponents live in Z_q and the tables cover num_bits q, so the generic
+     fallback only triggers for out-of-range callers (reduce mod q first). *)
+  if Nat.num_bits e > Montgomery.fb_bits tab then
+    let base = Montgomery.of_mont t.mont (Montgomery.fb_pow t.mont tab Nat.one) in
+    pow t base e
+  else begin
+    Zobs.Counter.incr c_pow_fb;
+    Montgomery.of_mont t.mont (Montgomery.fb_pow t.mont tab e)
+  end
+
+let pow2 t (b1 : element) (e1 : Nat.t) (b2 : element) (e2 : Nat.t) : element =
+  Zobs.Counter.incr c_pow_shamir;
+  let m = t.mont in
+  Montgomery.of_mont m (Montgomery.pow2 m (Montgomery.to_mont m b1) e1 (Montgomery.to_mont m b2) e2)
+
+let multi_pow ?window t (bases : element array) (exps : Nat.t array) : element =
+  Zobs.Counter.incr c_multi;
+  Zobs.Counter.add c_multi_terms (Array.length bases);
+  let m = t.mont in
+  let mb = Array.map (Montgomery.to_mont m) bases in
+  Montgomery.of_mont m (Montgomery.multi_pow m ?window mb exps)
 
 let generate ?(seed = "zaatar group") ~field_order ~p_bits () =
   let q = field_order in
@@ -72,7 +115,8 @@ let generate ?(seed = "zaatar group") ~field_order ~p_bits () =
     if Fp.equal g Fp.one then find_g (h + 1) else g
   in
   let g = find_g 2 in
-  { p; q; g; modp; mont }
+  let g_fb = lazy (Montgomery.fb_precompute mont ~bits:q_bits (Montgomery.to_mont mont g)) in
+  { p; q; g; modp; modq = Fp.create q; mont; g_fb }
 
 (* Cache of generated groups, keyed by (field bits, p bits): generation
    costs seconds at 1024 bits. *)

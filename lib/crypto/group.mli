@@ -6,22 +6,34 @@
     Pepper/Ginger, the PCP field *is* Z_q: [generate] takes the field
     modulus as the subgroup order and searches for a prime
     p = q*m + 1 of the requested size, so exponent arithmetic coincides
-    with field arithmetic. *)
+    with field arithmetic.
+
+    Exponentiations go through the DESIGN.md §8 kernel layer: a windowed
+    generic ladder ({!pow}), fixed-base window tables ({!fb_pow}), Shamir
+    simultaneous exponentiation ({!pow2}) and Pippenger bucket
+    multi-exponentiation ({!multi_pow}). Zobs counters [group.pow],
+    [group.pow.fixed_base], [group.pow.shamir] and [group.multi_pow]
+    record which kernel served each exponentiation. *)
 
 open Fieldlib
 
+type fb
+(** A fixed-base window table for one group element (kernel state). *)
+
 type t = {
-  p : Nat.t; (** group modulus *)
-  q : Nat.t; (** subgroup (and PCP field) order *)
-  g : Fp.el; (** generator of the order-q subgroup, as a mod-p residue *)
+  p : Nat.t;  (** group modulus *)
+  q : Nat.t;  (** subgroup (and PCP field) order *)
+  g : Fp.el;  (** generator of the order-q subgroup, as a mod-p residue *)
   modp : Fp.ctx;
-  mont : Montgomery.ctx; (** exponentiation ladder *)
+  modq : Fp.ctx;  (** Z_q arithmetic, cached here so per-call contexts are never rebuilt *)
+  mont : Montgomery.ctx;  (** exponentiation kernels *)
+  g_fb : fb Lazy.t;  (** fixed-base table for [g]; force via {!fb_g} before parallel use *)
 }
 
 type element = Fp.el
 
 val pow : t -> element -> Nat.t -> element
-(** Montgomery-ladder exponentiation (see the ablation bench). *)
+(** Generic windowed Montgomery ladder (see the ablation bench). *)
 
 val pow_barrett : t -> element -> Nat.t -> element
 (** The Barrett-reduction ladder, kept for the ablation. *)
@@ -29,6 +41,30 @@ val pow_barrett : t -> element -> Nat.t -> element
 val mul : t -> element -> element -> element
 val inv : t -> element -> element
 val equal : element -> element -> bool
+
+val one : element
+(** The group identity. *)
+
+val fb_precompute : ?window:int -> t -> element -> fb
+(** Build a fixed-base window table covering exponents in Z_q. [window] in
+    [1, 16], default 5. *)
+
+val fb_g : t -> fb
+(** The (lazily built, cached) table for the generator [g]. *)
+
+val fb_pow : t -> fb -> Nat.t -> element
+(** Table-driven exponentiation: one multiplication per nonzero window
+    digit. Falls back to the generic ladder for exponents wider than the
+    table (never the case for exponents in Z_q). *)
+
+val pow2 : t -> element -> Nat.t -> element -> Nat.t -> element
+(** [pow2 t b1 e1 b2 e2 = b1^e1 * b2^e2], Shamir/Straus simultaneous
+    exponentiation in one shared squaring chain. *)
+
+val multi_pow : ?window:int -> t -> element array -> Nat.t array -> element
+(** [multi_pow t bases exps = prod_i bases.(i)^exps.(i)] by Pippenger
+    bucket aggregation; [window] overrides the automatic bucket width
+    (tests). *)
 
 val generate : ?seed:string -> field_order:Nat.t -> p_bits:int -> unit -> t
 (** Deterministic given [seed]; candidates are screened with

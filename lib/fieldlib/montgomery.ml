@@ -89,6 +89,190 @@ let pow ctx b e =
   done;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Exponentiation kernels (DESIGN.md §8)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Read bits [lo, lo+w) of e as an integer (w <= 30). *)
+let digit e ~nbits ~lo ~w =
+  let d = ref 0 in
+  let hi = min (nbits - 1) (lo + w - 1) in
+  for j = hi downto lo do
+    d := (!d lsl 1) lor (if Nat.testbit e j then 1 else 0)
+  done;
+  !d
+
+(* Sliding-window square-and-multiply: one table of odd powers
+   b, b^3, ..., b^(2^w - 1), then ~nbits/(w+1) multiplications instead of
+   nbits/2. Window width grows with the exponent size. *)
+let pow_window ctx b e =
+  let nbits = Nat.num_bits e in
+  if nbits <= 8 then pow ctx b e
+  else begin
+    let w = if nbits < 80 then 3 else if nbits < 240 then 4 else 5 in
+    let b2 = sqr ctx b in
+    let tbl = Array.make (1 lsl (w - 1)) b in
+    for i = 1 to Array.length tbl - 1 do
+      tbl.(i) <- mul ctx tbl.(i - 1) b2
+    done;
+    let acc = ref (one ctx) in
+    let i = ref (nbits - 1) in
+    while !i >= 0 do
+      if not (Nat.testbit e !i) then begin
+        acc := sqr ctx !acc;
+        decr i
+      end
+      else begin
+        (* widest window [l, i] of <= w bits whose low bit is set *)
+        let l = ref (max 0 (!i - w + 1)) in
+        while not (Nat.testbit e !l) do
+          incr l
+        done;
+        let width = !i - !l + 1 in
+        let d = digit e ~nbits ~lo:!l ~w:width in
+        for _ = 1 to width do
+          acc := sqr ctx !acc
+        done;
+        acc := mul ctx !acc tbl.(d lsr 1);
+        i := !l - 1
+      end
+    done;
+    !acc
+  end
+
+(* Fixed-base windowed precomputation: tables.(i).(j-1) = b^(j * 2^(w*i)),
+   so b^e is one multiplication per nonzero base-2^w digit of e — no
+   squarings at all once the table exists. The table costs about
+   (bits/w) * 2^w multiplications and pays for itself after a handful of
+   exponentiations. *)
+type fb = {
+  fb_window : int;
+  fb_digits : int;
+  fb_tables : el array array;
+}
+
+let fb_precompute ctx ?(window = 5) ~bits b =
+  if window < 1 || window > 16 then invalid_arg "Montgomery.fb_precompute: window out of range";
+  if bits < 1 then invalid_arg "Montgomery.fb_precompute: bits must be positive";
+  let digits = (bits + window - 1) / window in
+  let m = (1 lsl window) - 1 in
+  let base = ref b in
+  let tables = Array.make digits [||] in
+  for i = 0 to digits - 1 do
+    let t = Array.make m !base in
+    for j = 1 to m - 1 do
+      t.(j) <- mul ctx t.(j - 1) !base
+    done;
+    tables.(i) <- t;
+    if i < digits - 1 then
+      for _ = 1 to window do
+        base := sqr ctx !base
+      done
+  done;
+  { fb_window = window; fb_digits = digits; fb_tables = tables }
+
+let fb_bits fb = fb.fb_window * fb.fb_digits
+
+let fb_pow ctx fb e =
+  let nbits = Nat.num_bits e in
+  if nbits > fb_bits fb then invalid_arg "Montgomery.fb_pow: exponent wider than the table";
+  let acc = ref (one ctx) in
+  let i = ref 0 in
+  while !i * fb.fb_window < nbits do
+    let d = digit e ~nbits ~lo:(!i * fb.fb_window) ~w:fb.fb_window in
+    if d <> 0 then acc := mul ctx !acc fb.fb_tables.(!i).(d - 1);
+    incr i
+  done;
+  !acc
+
+(* Shamir/Straus simultaneous exponentiation: b1^e1 * b2^e2 in one shared
+   squaring chain with a precomputed b1*b2 — about half the cost of two
+   independent ladders. *)
+let pow2 ctx b1 e1 b2 e2 =
+  let n = max (Nat.num_bits e1) (Nat.num_bits e2) in
+  if n = 0 then one ctx
+  else begin
+    let b12 = mul ctx b1 b2 in
+    let acc = ref (one ctx) in
+    for i = n - 1 downto 0 do
+      acc := sqr ctx !acc;
+      let x1 = Nat.testbit e1 i and x2 = Nat.testbit e2 i in
+      if x1 && x2 then acc := mul ctx !acc b12
+      else if x1 then acc := mul ctx !acc b1
+      else if x2 then acc := mul ctx !acc b2
+    done;
+    !acc
+  end
+
+(* Pippenger bucket multi-exponentiation: prod_i bases.(i)^exps.(i).
+   Exponents are scanned c bits at a time from the top; within a window
+   each base is multiplied into the bucket of its digit, and the weighted
+   bucket sum  sum_j j * bucket_j  is recovered with the running-suffix
+   trick (two multiplications per nonempty-suffix bucket). Cost is about
+   (bits/c) * (n + 2^c) multiplications + bits squarings, against
+   n * 1.5 * bits for n independent ladders. *)
+let multi_pow ctx ?window (bases : el array) (exps : Nat.t array) =
+  let n = Array.length bases in
+  if n <> Array.length exps then invalid_arg "Montgomery.multi_pow: length mismatch";
+  let maxbits = Array.fold_left (fun m e -> max m (Nat.num_bits e)) 0 exps in
+  if n = 0 || maxbits = 0 then one ctx
+  else begin
+    let c =
+      match window with
+      | Some c ->
+        if c < 1 || c > 16 then invalid_arg "Montgomery.multi_pow: window out of range";
+        c
+      | None ->
+        (* ~log2 n, the classical optimum for (bits/c)*(n + 2^c) *)
+        let rec lg k acc = if k <= 1 then acc else lg (k lsr 1) (acc + 1) in
+        min 12 (max 1 (lg n 0 - 1))
+    in
+    let nbuckets = (1 lsl c) - 1 in
+    let buckets : el option array = Array.make nbuckets None in
+    let windows = (maxbits + c - 1) / c in
+    let acc = ref None in
+    for d = windows - 1 downto 0 do
+      (match !acc with
+      | Some a ->
+        let a = ref a in
+        for _ = 1 to c do
+          a := sqr ctx !a
+        done;
+        acc := Some !a
+      | None -> ());
+      Array.fill buckets 0 nbuckets None;
+      let lo = d * c in
+      for i = 0 to n - 1 do
+        let e = exps.(i) in
+        let nbits = Nat.num_bits e in
+        if lo < nbits then begin
+          let dv = digit e ~nbits ~lo ~w:c in
+          if dv <> 0 then
+            buckets.(dv - 1) <-
+              Some
+                (match buckets.(dv - 1) with
+                | None -> bases.(i)
+                | Some x -> mul ctx x bases.(i))
+        end
+      done;
+      (* weighted sum of buckets: running = sum_{k >= j} bucket_k,
+         wsum = sum_j running_j = sum_k k * bucket_k (digit value k = index+1) *)
+      let running = ref None and wsum = ref None in
+      for j = nbuckets - 1 downto 0 do
+        (match buckets.(j) with
+        | Some b -> running := Some (match !running with None -> b | Some r -> mul ctx r b)
+        | None -> ());
+        match !running with
+        | Some r -> wsum := Some (match !wsum with None -> r | Some s -> mul ctx s r)
+        | None -> ()
+      done;
+      match !wsum with
+      | Some s -> acc := Some (match !acc with None -> s | Some a -> mul ctx a s)
+      | None -> ()
+    done;
+    match !acc with None -> one ctx | Some a -> a
+  end
+
 let pow_nat ctx b e =
   let b = snd (Nat.divmod b ctx.p) in
-  of_mont ctx (pow ctx (to_mont ctx b) e)
+  of_mont ctx (pow_window ctx (to_mont ctx b) e)

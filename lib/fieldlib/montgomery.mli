@@ -33,10 +33,45 @@ val add : ctx -> el -> el -> el
 val sub : ctx -> el -> el -> el
 
 val pow : ctx -> el -> t -> el
-(** Square-and-multiply entirely inside Montgomery form. *)
+(** Plain square-and-multiply entirely inside Montgomery form (kept as the
+    ablation baseline; production paths use the kernels below). *)
+
+val pow_window : ctx -> el -> t -> el
+(** Sliding-window square-and-multiply: a table of odd powers up to
+    [2^w - 1] cuts multiplications from [bits/2] to roughly [bits/(w+1)].
+    The window width adapts to the exponent size. *)
+
+(** {2 Exponentiation kernels (DESIGN.md §8)} *)
+
+type fb
+(** A fixed-base window table: precomputed powers [b^(j * 2^(w*i))] so any
+    exponent below the table width costs one multiplication per nonzero
+    base-[2^w] digit — no squarings. *)
+
+val fb_precompute : ctx -> ?window:int -> bits:int -> el -> fb
+(** [fb_precompute ctx ~window ~bits b] builds the table covering exponents
+    of up to [bits] bits. [window] in [1, 16], default 5. Costs about
+    [(bits/window) * 2^window] multiplications. *)
+
+val fb_bits : fb -> int
+(** Widest supported exponent, in bits. *)
+
+val fb_pow : ctx -> fb -> t -> el
+(** Raises [Invalid_argument] if the exponent is wider than the table. *)
+
+val pow2 : ctx -> el -> t -> el -> t -> el
+(** [pow2 ctx b1 e1 b2 e2 = b1^e1 * b2^e2] by Shamir/Straus simultaneous
+    exponentiation: one shared squaring chain, about half the cost of two
+    independent ladders. *)
+
+val multi_pow : ctx -> ?window:int -> el array -> t array -> el
+(** [multi_pow ctx bases exps = prod_i bases.(i)^exps.(i)] by Pippenger
+    bucket aggregation: about [(bits/c) * (n + 2^c)] multiplications for
+    [c ~ log2 n], against [1.5 * n * bits] for independent ladders.
+    [window] overrides the automatic choice of [c] (used by tests). *)
 
 val pow_nat : ctx -> t -> t -> t
 (** [pow_nat ctx b e]: convenience [b^e mod p] over plain naturals
-    (converts in and out). *)
+    (converts in and out; windowed ladder). *)
 
 val equal : el -> el -> bool

@@ -10,9 +10,9 @@
 let num_cores () =
   match Domain.recommended_domain_count () with n when n > 0 -> n | _ -> 1
 
-let map ?(domains = 1) (f : 'a -> 'b) (arr : 'a array) : 'b array =
+let mapi ?(domains = 1) (f : int -> 'a -> 'b) (arr : 'a array) : 'b array =
   let n = Array.length arr in
-  if domains <= 1 || n <= 1 then Array.map f arr
+  if domains <= 1 || n <= 1 then Array.mapi f arr
   else begin
     let nd = min domains n in
     let results : 'b option array = Array.make n None in
@@ -21,7 +21,7 @@ let map ?(domains = 1) (f : 'a -> 'b) (arr : 'a array) : 'b array =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (f arr.(i));
+          results.(i) <- Some (f i arr.(i));
           go ()
         end
       in
@@ -32,6 +32,8 @@ let map ?(domains = 1) (f : 'a -> 'b) (arr : 'a array) : 'b array =
     Array.iter Domain.join spawned;
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+let map ?domains (f : 'a -> 'b) (arr : 'a array) : 'b array = mapi ?domains (fun _ x -> f x) arr
 
 (* Wall-clock latency of a parallel map — what Figure 6 reports. *)
 let timed_map ?domains f arr =

@@ -9,5 +9,9 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving. [domains <= 1] degrades to [Array.map]. The mapped
     function must not force shared lazy values (force them before). *)
 
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** {!map} with the element index, e.g. to pair each element with
+    pre-drawn per-element randomness without allocating a zipped array. *)
+
 val timed_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array * float
 (** Also returns the wall-clock latency — what Figure 6 reports. *)

@@ -26,4 +26,13 @@ test -s "$tmp/BENCH_run.json" || { echo "BENCH_run.json missing or empty" >&2; e
 grep -q "parsed back OK" "$tmp/bench.out" || { echo "summary did not parse back" >&2; exit 1; }
 grep -q '"schema":"zaatar-bench-run/1"' "$tmp/BENCH_run.json" || { echo "summary schema missing" >&2; exit 1; }
 
+echo "== multiexp smoke (kernel vs naive ladder) =="
+# The multiexp experiment cross-checks every exponentiation kernel
+# (fixed-base window, Shamir, Pippenger, the parallel commit pipeline)
+# against the generic ladder and exits non-zero on any divergence.
+dune exec bench/main.exe -- multiexp --quick --json "$tmp/MULTIEXP_run.json" | tee "$tmp/multiexp.out"
+grep -q "multiexp kernels agree" "$tmp/multiexp.out" || { echo "multiexp kernels diverged from the naive ladder" >&2; exit 1; }
+grep -q '"multiexp"' "$tmp/MULTIEXP_run.json" || { echo "multiexp section missing from summary" >&2; exit 1; }
+grep -q '"kernels_agree":true' "$tmp/MULTIEXP_run.json" || { echo "multiexp kernels_agree not recorded" >&2; exit 1; }
+
 echo "== ci OK =="
