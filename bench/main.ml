@@ -960,12 +960,96 @@ let run_multiexp cfg =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Wire: network accounting for the split V/P protocol (Figure 9 vein) *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled by run_wire and folded into BENCH_run.json under "network". The
+   loopback driver encodes and decodes every protocol message, so the
+   wire.* counters measure exactly what `zaatar serve` would move over a
+   socket; sent and received must balance or the run fails. *)
+let wire_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let wire_phases = [ "hello"; "commit"; "query"; "answer"; "verdict" ]
+
+let run_wire cfg =
+  banner "Wire protocol: bytes moved per phase of the split verifier/prover argument";
+  let ctx = ctx_of cfg in
+  let compiled =
+    Zlang.Compile.compile ~ctx
+      "computation sq3(input int32 x, input int32 w, output int32 y) { y = x*x + w*w + 3; }"
+  in
+  let comp = Apps.Glue.computation_of compiled in
+  let prg = Chacha.Prg.create ~seed:"bench wire" () in
+  let batch = max 2 cfg.batch in
+  let inputs =
+    Array.init batch (fun _ ->
+        Apps.Glue.field_inputs ctx
+          [| Chacha.Prg.int_below prg 10000; Chacha.Prg.int_below prg 10000 |])
+  in
+  let config =
+    {
+      Argsys.Argument.params = protocol cfg;
+      p_bits = cfg.p_bits;
+      strategy = Argsys.Argument.Honest;
+      domains = cfg.domains;
+    }
+  in
+  let snapshot () =
+    let vals = Zobs.Registry.counter_values () in
+    fun name -> match List.assoc_opt name vals with Some v -> v | None -> 0
+  in
+  let before = snapshot () in
+  let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+  if not (Argsys.Argument.all_accepted result) then failwith "wire: verification failed";
+  let after = snapshot () in
+  let delta name = after name - before name in
+  let sent = delta "wire.bytes.sent" and recv = delta "wire.bytes.recv" in
+  let msgs = delta "wire.msgs" in
+  Printf.printf "batch of %d instance(s), field %d bits, group %d bits\n\n" batch
+    (Nat.num_bits cfg.field) cfg.p_bits;
+  Printf.printf "%-10s %12s %12s %8s\n" "phase" "sent B" "recv B" "msgs";
+  let per_phase =
+    List.map
+      (fun ph ->
+        let s = delta ("wire.bytes.sent." ^ ph)
+        and r = delta ("wire.bytes.recv." ^ ph)
+        and m = delta ("wire.msgs." ^ ph) in
+        Printf.printf "%-10s %12d %12d %8d\n" ph s r m;
+        (ph, s, r, m))
+      wire_phases
+  in
+  Printf.printf "%-10s %12d %12d %8d\n%!" "total" sent recv msgs;
+  let num n = Zobs.Json.Num (float_of_int n) in
+  wire_section :=
+    Zobs.Json.Obj
+      [
+        ("batch", num batch);
+        ("bytes_sent", num sent);
+        ("bytes_recv", num recv);
+        ("msgs", num msgs);
+        ("balanced", Zobs.Json.Bool (sent = recv));
+        ( "per_phase",
+          Zobs.Json.Obj
+            (List.map
+               (fun (ph, s, r, m) ->
+                 (ph, Zobs.Json.Obj [ ("sent", num s); ("recv", num r); ("msgs", num m) ]))
+               per_phase) );
+      ];
+  (* Cross-check: the loopback driver decodes every byte it encodes, so an
+     imbalance means a codec phase is unaccounted. *)
+  if sent <> recv || sent = 0 then begin
+    Printf.eprintf "wire: sent (%d) and received (%d) bytes do not balance\n" sent recv;
+    exit 1
+  end;
+  Printf.printf "\nsent and received bytes balance (%d B over %d message(s))\n%!" sent msgs
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]";
   exit 2
@@ -974,7 +1058,7 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "multiexp" ]
+    "soundness"; "ablation"; "multiexp"; "wire" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -1026,13 +1110,14 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   let multiexp =
     match !multiexp_section with Null -> [] | m -> [ ("multiexp", m) ]
   in
+  let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
   Obj
     ([
        ("schema", Str "zaatar-bench-run/1");
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp
+    @ multiexp @ network
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -1056,16 +1141,25 @@ let () =
   let targets = ref [] in
   let trace = ref None and metrics = ref false and json = ref "BENCH_run.json" in
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Flag validation: a typo'd value dies with a clear message instead of
+     an int_of_string backtrace mid-run. *)
+  let pos_int flag v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ ->
+      Printf.eprintf "%s expects a positive integer, got %S\n" flag v;
+      exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-      cfg := { !cfg with scale = int_of_string v };
+      cfg := { !cfg with scale = pos_int "--scale" v };
       parse rest
     | "--batch" :: v :: rest ->
-      cfg := { !cfg with batch = int_of_string v };
+      cfg := { !cfg with batch = pos_int "--batch" v };
       parse rest
     | "--pbits" :: v :: rest ->
-      cfg := { !cfg with p_bits = int_of_string v };
+      cfg := { !cfg with p_bits = pos_int "--pbits" v };
       parse rest
     | "--paper-params" :: rest ->
       cfg := { !cfg with rho = 8; rho_lin = 20; p_bits = 1024 };
@@ -1074,7 +1168,7 @@ let () =
       cfg := { !cfg with quick = true };
       parse rest
     | "--domains" :: v :: rest ->
-      cfg := { !cfg with domains = int_of_string v };
+      cfg := { !cfg with domains = pos_int "--domains" v };
       parse rest
     | "--trace" :: v :: rest ->
       trace := Some v;
@@ -1114,6 +1208,7 @@ let () =
     | "soundness" -> run_soundness cfg
     | "ablation" -> run_ablation cfg
     | "multiexp" -> run_multiexp cfg
+    | "wire" -> run_wire cfg
     | t ->
       Printf.eprintf "unknown experiment %S\n" t;
       usage ()

@@ -2,6 +2,8 @@
 
      zaatar compile FILE.zl              constraint/proof encoding statistics
      zaatar run FILE.zl -i 1,2,3 ...     compile, prove and verify a batch
+     zaatar run ... --connect H:P        same, against a remote prover
+     zaatar serve FILE.zl --listen H:P   networked prover service
      zaatar bench NAME [--scale N]       one built-in benchmark, end to end
      zaatar selftest                     differential checks of all benchmarks
      zaatar check SYS.r1cs WITNESS       check a serialized witness
@@ -29,6 +31,32 @@ let field_of_bits = function
 let field_bits_arg =
   let doc = "Field modulus size in bits (61, 127, 128, 192, 220, ...)." in
   Arg.(value & opt int 127 & info [ "field-bits" ] ~doc)
+
+(* Argument validation: bad values are rejected by cmdliner with a usage
+   error instead of surfacing later as a crash mid-protocol. *)
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let addr_conv =
+  let parse s =
+    match Znet.parse_addr s with
+    | _ -> Ok s
+    | exception Znet.Net_error e -> Error (`Msg (Znet.error_to_string e))
+  in
+  Arg.conv ~docv:"HOST:PORT" (parse, Format.pp_print_string)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt pos_int_conv 30000
+    & info [ "timeout-ms" ]
+        ~doc:"Socket connect/read/write timeout in milliseconds (with --listen/--connect).")
 
 let print_stats (c : Zlang.Compile.compiled) =
   let s = Zlang.Compile.stats c in
@@ -95,11 +123,11 @@ let with_obs (trace, metrics) f =
   exit code
 
 let protocol_args =
-  let rho = Arg.(value & opt int 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
-  let rho_lin = Arg.(value & opt int 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
-  let pbits = Arg.(value & opt int 256 & info [ "pbits" ] ~doc:"ElGamal group size in bits (paper: 1024).") in
+  let rho = Arg.(value & opt pos_int_conv 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
+  let rho_lin = Arg.(value & opt pos_int_conv 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
+  let pbits = Arg.(value & opt pos_int_conv 256 & info [ "pbits" ] ~doc:"ElGamal group size in bits (paper: 1024).") in
   let domains =
-    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Domains for the parallel commitment pipeline (transcripts are domain-count independent).")
+    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc:"Domains for the parallel commitment pipeline (transcripts are domain-count independent).")
   in
   Term.(
     const (fun rho rho_lin pbits domains ->
@@ -138,7 +166,15 @@ let run_cmd =
          & info [ "emit-witness" ] ~docv:"PREFIX"
              ~doc:"Also write each instance's satisfying assignment to PREFIX.<i> (checkable with `zaatar check`).")
   in
-  let run file bits inputs emit_witness config obs =
+  let connect =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Verify against a remote prover (`zaatar serve`) instead of the in-process \
+                prover. Both sides must use the same program and --field-bits.")
+  in
+  let run file bits inputs emit_witness connect timeout_ms config obs =
     with_obs obs @@ fun () ->
     let ctx = Fp.create (field_of_bits bits) in
     let compiled = Zlang.Compile.compile ~ctx (read_file file) in
@@ -161,10 +197,55 @@ let run_cmd =
           Printf.printf "wrote %s\n" path)
         batch);
     let prg = Chacha.Prg.create ~seed:"zaatar cli" () in
-    report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch)
+    let result =
+      match connect with
+      | None -> Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch
+      | Some addr ->
+        Printf.printf "remote prover at %s (computation %s)\n%!" addr (Argsys.Argument.digest comp);
+        Argsys.Remote.run_connect ~config ~timeout_ms ~addr comp ~prg ~inputs:batch
+    in
+    report_batch ctx result
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a ZL program, prove and verify a batch of instances")
-    Term.(const run $ file $ field_bits_arg $ inputs $ emit_witness $ protocol_args $ obs_args)
+    Term.(
+      const run $ file $ field_bits_arg $ inputs $ emit_witness $ connect $ timeout_arg
+      $ protocol_args $ obs_args)
+
+let serve_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.zl" ~doc:"ZL programs this prover serves.")
+  in
+  let listen =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Address to listen on; port 0 picks an ephemeral port (printed at startup).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Serve a single connection, then exit (CI smoke).")
+  in
+  let run files listen once timeout_ms bits config obs =
+    with_obs obs @@ fun () ->
+    let ctx = Fp.create (field_of_bits bits) in
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let compiled = Zlang.Compile.compile ~ctx (read_file f) in
+        let comp = Apps.Glue.computation_of compiled in
+        let d = Argsys.Argument.digest comp in
+        Printf.printf "serving %s as computation %s\n%!" f d;
+        Hashtbl.replace table d comp)
+      files;
+    let log s = Printf.printf "%s\n%!" s in
+    Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms ~log listen;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a networked prover: accept verifier connections and prove batches on demand")
+    Term.(
+      const run $ files $ listen $ once $ timeout_arg $ field_bits_arg $ protocol_args $ obs_args)
 
 let bench_cmd =
   let bname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"pam | bisection | apsp | fannkuch | lcs") in
@@ -237,4 +318,7 @@ let micro_cmd =
 
 let () =
   let info = Cmd.info "zaatar" ~doc:"Verified computation with QAP-based linear PCPs (EuroSys'13)" in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; serve_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd ]))

@@ -60,8 +60,88 @@ val default_config : config
 val test_config : config
 (** rho = 1, rho_lin = 2, 192-bit group, 1 domain: for unit tests. *)
 
+(** {1 Sessions}
+
+    The protocol as two message-driven state machines exchanging only
+    {!Zwire.msg} values (DESIGN.md §9):
+
+    {v
+    V: Hello            ->  P
+    V  <-  Hello_ok         P   (digest echo)
+    V: Commit_request   ->  P   (group params, public keys, Enc(r))
+    V  <-  Commitments      P   ((com_z, com_h) per instance)
+    V: Queries          ->  P   (PCP queries + decommit vectors)
+    V  <-  Answers          P   (responses + pi(t) per instance)
+    V: Verdicts         ->  P   (final; both sides close)
+    v}
+
+    A driver — the in-process loopback ({!run_batch}) or the socket pair in
+    {!Remote} — owns the transport and pumps messages between the two. *)
+
+exception Session_error of string
+(** Protocol violation: unexpected message for the state, length or digest
+    mismatch, or a peer's [Error_msg]. *)
+
+val digest : computation -> string
+(** {!Constr.Serialize.system_digest} of the constraint system: how Hello
+    names the computation. *)
+
+type step = [ `Send of Zwire.msg | `Finished of Zwire.msg option ]
+(** What the driver does with a state machine's reply: forward a message
+    and keep pumping, or forward the optional last message and stop. *)
+
+module Verifier_session : sig
+  type t
+
+  val create :
+    ?config:config -> computation -> prg:Chacha.Prg.t -> inputs:Fp.el array array -> t
+  (** Draws all batch randomness (queries, Enc(r), decommit challenges) —
+      in the transcript order of the original monolithic [run_batch]. *)
+
+  val initial : t -> Zwire.msg
+  (** The opening [Hello]. *)
+
+  val codec : t -> Zwire.codec
+  (** Field and group context for {!Zwire.encode}/[decode]; fixed at
+      creation on the verifier side. *)
+
+  val on_msg : t -> Zwire.msg -> step
+  (** Feed one prover message; raises {!Session_error} on violations. *)
+
+  val result : ?prover:Metrics.t -> t -> batch_result
+  (** After the final step; [prover] supplies the prover-side metrics when
+      the driver has them (loopback). Raises {!Session_error} if the
+      session has not finished. *)
+end
+
+module Prover_session : sig
+  type t
+
+  val create :
+    ?config:config ->
+    lookup:(string -> computation option) ->
+    prg:Chacha.Prg.t ->
+    unit ->
+    t
+  (** [lookup] resolves a Hello digest to a computation this prover is
+      willing to serve; unknown digests are refused with an [Error_msg].
+      [config] supplies the strategy (adversarial provers) and the domain
+      count for the commitment pipeline. *)
+
+  val codec : t -> Zwire.codec option
+  (** [None] until the Hello established the field; the group modulus is
+      added once the commit request arrives. *)
+
+  val on_msg : t -> Zwire.msg -> step
+  val metrics : t -> Metrics.t
+end
+
 val run_batch :
   ?config:config -> computation -> prg:Chacha.Prg.t -> inputs:Fp.el array array -> batch_result
+(** The in-process loopback driver: both sessions in one process, every
+    message still encoded and decoded through {!Zwire} (so wire.* counters
+    account the full exchange), one shared PRG — transcripts are
+    bit-identical to the historical monolithic implementation. *)
 
 val all_accepted : batch_result -> bool
 val none_accepted : batch_result -> bool

@@ -1,0 +1,109 @@
+(* Socket drivers for the split verifier/prover argument: the same
+   Verifier_session/Prover_session state machines as the in-process
+   loopback, pumped over a Znet connection instead of a function call.
+   `zaatar serve` wraps [serve]; `zaatar run --connect` wraps
+   [run_connect]. *)
+
+open Fieldlib
+open Argument
+
+let send conn codec msg = Znet.send conn (Zwire.encode ?codec msg)
+
+(* ---- Verifier (client) side ---- *)
+
+let run_conn ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg.t)
+    ~(inputs : Fp.el array array) (conn : Znet.conn) : batch_result =
+  Zobs.Span.with_ ~name:"argument.run_remote"
+    ~attrs:[ ("instances", string_of_int (Array.length inputs)) ]
+  @@ fun () ->
+  let vs = Verifier_session.create ~config comp ~prg ~inputs in
+  let codec = Some (Verifier_session.codec vs) in
+  let recv () = Zwire.decode ?codec (Znet.recv conn) in
+  send conn codec (Verifier_session.initial vs);
+  let rec pump () =
+    match Verifier_session.on_msg vs (recv ()) with
+    | `Send m ->
+      send conn codec m;
+      pump ()
+    | `Finished (Some m) -> send conn codec m
+    | `Finished None -> ()
+  in
+  pump ();
+  Verifier_session.result vs
+
+let run_connect ?config ?timeout_ms ~addr (comp : computation) ~prg ~inputs : batch_result =
+  let conn = Znet.connect ?timeout_ms addr in
+  Fun.protect
+    ~finally:(fun () -> Znet.close conn)
+    (fun () -> run_conn ?config comp ~prg ~inputs conn)
+
+(* ---- Prover (server) side ---- *)
+
+(* Serve one connection to completion. Anything the wire or the session
+   objects to — malformed frames, protocol violations, invalid group
+   parameters — is reported to the peer as an Error_msg before giving up;
+   transport failures (peer already gone) are swallowed, there is nobody
+   left to tell. *)
+let handle_conn ?(config = default_config) ~lookup ~(prg : Chacha.Prg.t) (conn : Znet.conn) :
+    unit =
+  let ps = Prover_session.create ~config ~lookup ~prg () in
+  let step () =
+    match Prover_session.on_msg ps (Zwire.decode ?codec:(Prover_session.codec ps) (Znet.recv conn)) with
+    | `Send m ->
+      (* Fetch the codec after on_msg: the transition may have extended it
+         (Hello fixes the field, Commit_request the group). *)
+      send conn (Prover_session.codec ps) m;
+      true
+    | `Finished (Some m) ->
+      send conn (Prover_session.codec ps) m;
+      false
+    | `Finished None -> false
+  in
+  let report msg =
+    try send conn (Prover_session.codec ps) (Zwire.Error_msg msg) with Znet.Net_error _ -> ()
+  in
+  try
+    while step () do
+      ()
+    done
+  with
+  | Session_error m ->
+    report m;
+    raise (Session_error m)
+  | Zwire.Decode_error e ->
+    let m = "malformed message: " ^ Zwire.error_to_string e in
+    report m;
+    raise (Session_error m)
+  | Invalid_argument m ->
+    let m = "invalid parameters: " ^ m in
+    report m;
+    raise (Session_error m)
+
+type log = string -> unit
+
+let serve ?(config = default_config) ~lookup ?(seed = "zaatar prover") ?(once = false)
+    ?timeout_ms ?(log : log = prerr_endline) (addr : string) : unit =
+  let srv = Znet.listen addr in
+  log (Printf.sprintf "listening on %s" (Znet.bound_addr srv));
+  let serve_one () =
+    let conn = Znet.accept srv in
+    (match timeout_ms with Some ms -> Znet.set_timeout conn ms | None -> ());
+    (* A fresh PRG per connection: only adversarial strategies draw from
+       it, and each session's transcript must not depend on its
+       predecessors. *)
+    let prg = Chacha.Prg.create ~seed () in
+    (try
+       handle_conn ~config ~lookup ~prg conn;
+       log "session complete"
+     with
+    | Session_error m -> log ("session error: " ^ m)
+    | Znet.Net_error e -> log ("connection error: " ^ Znet.error_to_string e));
+    Znet.close conn
+  in
+  Fun.protect
+    ~finally:(fun () -> Znet.close_server srv)
+    (fun () ->
+      serve_one ();
+      while not once do
+        serve_one ()
+      done)

@@ -1,0 +1,58 @@
+(** Socket drivers for the split verifier/prover argument: the
+    {!Argument.Verifier_session}/{!Argument.Prover_session} state machines
+    pumped over a {!Znet} connection (DESIGN.md §9). The CLI's
+    [zaatar serve] / [zaatar run --connect] are thin wrappers. *)
+
+open Fieldlib
+
+val run_conn :
+  ?config:Argument.config ->
+  Argument.computation ->
+  prg:Chacha.Prg.t ->
+  inputs:Fp.el array array ->
+  Znet.conn ->
+  Argument.batch_result
+(** Drive a verifier session over an existing connection (tests use this
+    with a socketpair). The prover-side metrics in the result are empty —
+    they live in the remote process. *)
+
+val run_connect :
+  ?config:Argument.config ->
+  ?timeout_ms:int ->
+  addr:string ->
+  Argument.computation ->
+  prg:Chacha.Prg.t ->
+  inputs:Fp.el array array ->
+  Argument.batch_result
+(** Connect to a prover at ["HOST:PORT"] and run the batch. The connection
+    is closed on all paths. Raises [Znet.Net_error] on transport failure
+    and {!Argument.Session_error} on protocol violations (including an
+    [Error_msg] from the prover). *)
+
+val handle_conn :
+  ?config:Argument.config ->
+  lookup:(string -> Argument.computation option) ->
+  prg:Chacha.Prg.t ->
+  Znet.conn ->
+  unit
+(** Serve one prover session to completion on an existing connection.
+    Malformed input and protocol violations are reported to the peer as an
+    [Error_msg], then re-raised as {!Argument.Session_error}. *)
+
+type log = string -> unit
+
+val serve :
+  ?config:Argument.config ->
+  lookup:(string -> Argument.computation option) ->
+  ?seed:string ->
+  ?once:bool ->
+  ?timeout_ms:int ->
+  ?log:log ->
+  string ->
+  unit
+(** Accept loop: bind ["HOST:PORT"] (port 0 picks an ephemeral port), log
+    ["listening on HOST:PORT"], and serve connections sequentially — one
+    prover session each, with a fresh per-connection PRG derived from
+    [seed]. [once] stops after the first connection (CI); [timeout_ms]
+    bounds per-connection reads and writes. Session and connection errors
+    are logged, not fatal to the loop. *)

@@ -49,44 +49,59 @@ exception Parse_error of string
 
 let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* Split into (line_number, content) pairs, dropping blanks and comments.
+   Each line is trimmed first, which both strips trailing whitespace and
+   eats the '\r' of CRLF files — exported systems survive a round-trip
+   through Windows editors and git autocrlf. Numbers are 1-based positions
+   in the original input, so errors point at the real line. *)
+let numbered_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
 let split_ws s = String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
 
-let parse_kv line expected_key =
-  match String.split_on_char '=' line with
-  | [ k; v ] when k = expected_key -> v
-  | _ -> parse_error "expected %s=<value>, got %S" expected_key line
+let parse_int ~line what v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> parse_error "line %d: %s is not an integer: %S" line what v
 
-let parse_row ctx prefix line =
-  match split_ws line with
+let parse_hex ~line what v =
+  try Nat.of_hex v
+  with Invalid_argument _ -> parse_error "line %d: %s is not a hex value: %S" line what v
+
+let parse_kv ~line field expected_key =
+  match String.split_on_char '=' field with
+  | [ k; v ] when k = expected_key -> v
+  | _ -> parse_error "line %d: expected %s=<value>, got %S" line expected_key field
+
+let parse_row ctx prefix (line, content) =
+  match split_ws content with
   | p :: terms when p = prefix ->
     List.fold_left
       (fun acc term ->
         match String.index_opt term ':' with
-        | None -> parse_error "bad term %S" term
+        | None -> parse_error "line %d: bad term %S (expected <var>:<coef-hex>)" line term
         | Some i ->
-          let v = int_of_string (String.sub term 0 i) in
-          let c = Fp.of_nat ctx (Nat.of_hex (String.sub term (i + 1) (String.length term - i - 1))) in
+          let v = parse_int ~line "variable index" (String.sub term 0 i) in
+          let c =
+            Fp.of_nat ctx
+              (parse_hex ~line "coefficient" (String.sub term (i + 1) (String.length term - i - 1)))
+          in
           Lincomb.add_term ctx acc v c)
       Lincomb.zero terms
-  | _ -> parse_error "expected row %S, got %S" prefix line
+  | _ -> parse_error "line %d: expected row %S, got %S" line prefix content
 
 let system_of_string (s : string) : R1cs.system =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.filter (fun l ->
-           let t = String.trim l in
-           t <> "" && t.[0] <> '#')
-  in
-  match lines with
+  match numbered_lines s with
   | [] -> parse_error "empty input"
-  | header :: rest ->
-    let fields = split_ws header in
-    (match fields with
+  | (hline, header) :: rest ->
+    (match split_ws header with
     | [ "r1cs"; v; z; c; p ] ->
-      let num_vars = int_of_string (parse_kv v "v") in
-      let num_z = int_of_string (parse_kv z "z") in
-      let nc = int_of_string (parse_kv c "c") in
-      let modulus = Nat.of_hex (parse_kv p "p") in
+      let num_vars = parse_int ~line:hline "v" (parse_kv ~line:hline v "v") in
+      let num_z = parse_int ~line:hline "z" (parse_kv ~line:hline z "z") in
+      let nc = parse_int ~line:hline "c" (parse_kv ~line:hline c "c") in
+      let modulus = parse_hex ~line:hline "p" (parse_kv ~line:hline p "p") in
       let ctx = Fp.create modulus in
       let rest = Array.of_list rest in
       if Array.length rest <> 3 * nc then
@@ -102,7 +117,7 @@ let system_of_string (s : string) : R1cs.system =
       let sys = { R1cs.field = ctx; num_vars; num_z; constraints } in
       R1cs.check_wellformed sys;
       sys
-    | _ -> parse_error "bad header %S" header)
+    | _ -> parse_error "line %d: bad header %S" hline header)
 
 let assignment_to_string ctx (w : Fp.el array) =
   let b = Buffer.create 1024 in
@@ -115,16 +130,30 @@ let assignment_to_string ctx (w : Fp.el array) =
   Buffer.contents b
 
 let assignment_of_string (s : string) : Fp.ctx * Fp.el array =
-  let lines =
-    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
-  in
-  match lines with
+  match numbered_lines s with
   | [] -> parse_error "empty witness"
-  | header :: rest ->
+  | (hline, header) :: rest ->
     (match split_ws header with
     | [ "witness"; n; p ] ->
-      let len = int_of_string (parse_kv n "n") in
-      let ctx = Fp.create (Nat.of_hex (parse_kv p "p")) in
-      if List.length rest <> len then parse_error "expected %d elements" len;
-      (ctx, Array.of_list (List.map (fun l -> Fp.of_nat ctx (Nat.of_hex (String.trim l))) rest))
-    | _ -> parse_error "bad witness header %S" header)
+      let len = parse_int ~line:hline "n" (parse_kv ~line:hline n "n") in
+      let ctx = Fp.create (parse_hex ~line:hline "p" (parse_kv ~line:hline p "p")) in
+      if List.length rest <> len then
+        parse_error "expected %d elements, found %d" len (List.length rest);
+      ( ctx,
+        Array.of_list
+          (List.map (fun (line, l) -> Fp.of_nat ctx (parse_hex ~line "element" l)) rest) )
+    | _ -> parse_error "line %d: bad witness header %S" hline header)
+
+(* FNV-1a over the canonical text form: a stable 64-bit identifier for a
+   constraint system, used by the wire protocol's Hello so verifier and
+   prover agree on *which* computation they are arguing about. This is
+   identification, not collision resistance — a malicious prover gains
+   nothing from a collision it could not get by simply lying in its
+   answers, which the PCP checks catch. *)
+let system_digest (sys : R1cs.system) : string =
+  let s = system_to_string sys in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h

@@ -4,7 +4,8 @@
     `zaatar check`).
 
     Line-oriented, hex field elements; `#` comments and blank lines are
-    ignored:
+    ignored, lines are trimmed (so CRLF endings and trailing whitespace
+    parse cleanly) and {!Parse_error} messages carry 1-based line numbers:
 
     {v
     r1cs v=<num_vars> z=<num_z> c=<num_constraints> p=<modulus-hex>
@@ -24,3 +25,9 @@ val system_of_string : string -> R1cs.system
 
 val assignment_to_string : Fp.ctx -> Fp.el array -> string
 val assignment_of_string : string -> Fp.ctx * Fp.el array
+
+val system_digest : R1cs.system -> string
+(** FNV-1a 64-bit hash of {!system_to_string}, as 16 hex digits: the
+    computation identifier in the wire protocol's [Hello]. Identification
+    only — no collision resistance is needed or claimed (see the
+    implementation comment). *)

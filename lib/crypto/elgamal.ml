@@ -39,6 +39,14 @@ let keygen (grp : Group.t) (prg : Chacha.Prg.t) =
   let pk = { grp; y; y_fb = lazy (Group.fb_precompute grp y) } in
   ({ pk; x }, pk)
 
+(* Codec hook (lib/wire): rebuild a public key from a transmitted y. The
+   table for y stays lazy — the prover's hom_dot path is all multi_pow and
+   never forces it. *)
+let public_key_of (grp : Group.t) ~(y : Group.element) =
+  if Nat.is_zero y || Nat.compare y grp.Group.p >= 0 then
+    invalid_arg "Elgamal.public_key_of: y out of range";
+  { grp; y; y_fb = lazy (Group.fb_precompute grp y) }
+
 let precompute (pk : public_key) =
   ignore (Group.fb_g pk.grp);
   ignore (Lazy.force pk.y_fb)

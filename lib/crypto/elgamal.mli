@@ -25,6 +25,11 @@ type ciphertext = { c1 : Group.element; c2 : Group.element }
 
 val keygen : Group.t -> Chacha.Prg.t -> secret_key * public_key
 
+val public_key_of : Group.t -> y:Group.element -> public_key
+(** Rebuild a public key from a wire-transmitted [y] (Zwire
+    [Commit_request]); raises [Invalid_argument] unless [0 < y < p]. The
+    fixed-base table for [y] is built lazily on first use. *)
+
 val precompute : public_key -> unit
 (** Force both fixed-base tables. Must be called before sharing the key
     across domains (lazy forcing is not thread-safe). *)

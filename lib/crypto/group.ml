@@ -118,6 +118,30 @@ let generate ?(seed = "zaatar group") ~field_order ~p_bits () =
   let g_fb = lazy (Montgomery.fb_precompute mont ~bits:q_bits (Montgomery.to_mont mont g)) in
   { p; q; g; modp; modq = Fp.create q; mont; g_fb }
 
+(* Codec hook (lib/wire): rebuild a group from transmitted (p, q, g). The
+   prover must not trust the wire, so every structural property [generate]
+   guarantees is re-checked here — q | p - 1, g != 1 and g^q = 1 — before
+   any exponent arithmetic runs on the parameters. Primality of p and q is
+   NOT re-verified (seconds at 1024 bits); a composite modulus degrades
+   soundness for the verifier who chose it, not for the prover. *)
+let of_params ~p ~q ~g =
+  if Nat.compare p (Nat.of_int 3) < 0 || Nat.is_even p then
+    invalid_arg "Group.of_params: p must be odd and >= 3";
+  if Nat.compare q (Nat.of_int 3) < 0 || Nat.is_even q then
+    invalid_arg "Group.of_params: q must be odd and >= 3";
+  let _, r = Nat.divmod (Nat.sub p Nat.one) q in
+  if not (Nat.is_zero r) then invalid_arg "Group.of_params: q does not divide p - 1";
+  if Nat.is_zero g || Nat.compare g p >= 0 then invalid_arg "Group.of_params: g out of range";
+  if Nat.equal g Nat.one then invalid_arg "Group.of_params: g = 1 generates nothing";
+  let modp = Fp.create p in
+  if not (Fp.equal (Fp.pow modp g q) Fp.one) then
+    invalid_arg "Group.of_params: g is not in the order-q subgroup";
+  let mont = Montgomery.create p in
+  let g_fb =
+    lazy (Montgomery.fb_precompute mont ~bits:(Nat.num_bits q) (Montgomery.to_mont mont g))
+  in
+  { p; q; g; modp; modq = Fp.create q; mont; g_fb }
+
 (* Cache of generated groups, keyed by (field bits, p bits): generation
    costs seconds at 1024 bits. *)
 let cache : (string, t) Hashtbl.t = Hashtbl.create 4

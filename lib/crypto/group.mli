@@ -73,3 +73,10 @@ val generate : ?seed:string -> field_order:Nat.t -> p_bits:int -> unit -> t
 
 val cached : field_order:Nat.t -> p_bits:int -> unit -> t
 (** Memoized {!generate}: parameter search costs seconds at 1024 bits. *)
+
+val of_params : p:Nat.t -> q:Nat.t -> g:element -> t
+(** Rebuild a group from wire-transmitted parameters (the prover side of a
+    Zwire [Commit_request]). Re-checks the structure [generate] guarantees
+    — q | p - 1, 1 < g < p, g^q = 1 — and raises [Invalid_argument]
+    otherwise; primality is not re-verified (a composite modulus only hurts
+    the party who chose it). *)

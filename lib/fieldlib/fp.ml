@@ -40,6 +40,7 @@ let create p =
 
 let modulus ctx = ctx.p
 let bits ctx = ctx.p_bits
+let num_bytes ctx = (ctx.p_bits + 7) / 8
 let zero = Nat.zero
 let one = Nat.one
 let equal = Nat.equal
@@ -70,6 +71,11 @@ let reduce ctx x =
 let of_nat ctx n =
   if Nat.num_limbs n <= 2 * ctx.k then reduce ctx n
   else snd (Nat.divmod n ctx.p)
+
+(* Codec hook (lib/wire): accept only canonical residues — a transmitted
+   element at or above the modulus is a protocol violation, not something
+   to reduce silently. *)
+let of_nat_opt ctx n = if Nat.compare n ctx.p < 0 then Some n else None
 
 let of_int ctx n =
   if n >= 0 then of_nat ctx (Nat.of_int n)

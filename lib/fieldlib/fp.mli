@@ -18,6 +18,10 @@ val modulus : ctx -> Nat.t
 val bits : ctx -> int
 (** Bit length of the modulus. *)
 
+val num_bytes : ctx -> int
+(** Bytes needed to hold any canonical element — the fixed element width of
+    the Zwire codec. *)
+
 val zero : el
 val one : el
 val two : ctx -> el
@@ -27,6 +31,10 @@ val of_nat : ctx -> Nat.t -> el
 
 val of_int : ctx -> int -> el
 (** Accepts negative integers (mapped to [p - |n| mod p]). *)
+
+val of_nat_opt : ctx -> Nat.t -> el option
+(** [None] unless [n] is already a canonical residue in [0, p). The wire
+    codec's range check: transmitted elements are rejected, never reduced. *)
 
 val to_nat : el -> Nat.t
 val to_int_opt : el -> int option

@@ -1,0 +1,68 @@
+(** Znet: blocking TCP transport for the split verifier/prover argument
+    (DESIGN.md §9).
+
+    Frames are length-prefixed (u32 BE length, then the payload — a full
+    Zwire message); reads and writes loop over partial transfers.
+    [connect] retries transient connection failures (refused, unreachable)
+    with exponential backoff, and both directions honour a per-connection
+    timeout. Every failure mode maps to a {!Net_error} with an explicit
+    taxonomy — connection refused, peer crash mid-frame, timeout — rather
+    than a raw [Unix.Unix_error]. *)
+
+type error =
+  | Timeout of string
+  | Refused of string  (** connect failed after all retries *)
+  | Closed of string  (** peer closed or crashed (EOF/reset, possibly mid-frame) *)
+  | Bad_addr of string  (** malformed HOST:PORT *)
+  | Frame_too_large of int
+
+exception Net_error of error
+
+val error_to_string : error -> string
+
+val parse_addr : string -> Unix.sockaddr
+(** ["HOST:PORT"] with a numeric or resolvable host; raises
+    [Net_error (Bad_addr _)] on malformed input. *)
+
+(** {1 Connections} *)
+
+type conn
+
+val of_fd : Unix.file_descr -> conn
+(** Wrap an existing stream socket (tests, [accept]). *)
+
+val connect : ?timeout_ms:int -> ?retries:int -> ?backoff_ms:int -> string -> conn
+(** Connect to ["HOST:PORT"]. Each attempt is bounded by [timeout_ms]
+    (default 5000); refused/unreachable attempts are retried [retries]
+    times (default 5) with doubling [backoff_ms] (default 50) sleeps.
+    Raises [Net_error (Refused _)] once the budget is exhausted. The
+    timeout also applies to subsequent reads and writes. *)
+
+val set_timeout : conn -> int -> unit
+(** Set the read/write timeout (milliseconds) on an accepted connection. *)
+
+val send : conn -> bytes -> unit
+(** Write one frame. Raises [Net_error (Closed _)] if the peer went away,
+    [Net_error (Timeout _)] if the write stalls past the timeout. *)
+
+val recv : ?max_frame:int -> conn -> bytes
+(** Read one frame (default [max_frame] 1 GiB guards the length prefix).
+    Raises [Net_error (Closed _)] on EOF — including mid-frame peer
+    crashes, which are reported distinctly — and [Net_error (Timeout _)]
+    on an idle wire. *)
+
+val close : conn -> unit
+
+(** {1 Servers} *)
+
+type server
+
+val listen : ?backlog:int -> string -> server
+(** Bind and listen on ["HOST:PORT"]; port 0 picks an ephemeral port (read
+    it back with {!bound_addr}). *)
+
+val bound_addr : server -> string
+(** The actual ["HOST:PORT"] after binding. *)
+
+val accept : server -> conn
+val close_server : server -> unit

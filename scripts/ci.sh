@@ -35,4 +35,44 @@ grep -q "multiexp kernels agree" "$tmp/multiexp.out" || { echo "multiexp kernels
 grep -q '"multiexp"' "$tmp/MULTIEXP_run.json" || { echo "multiexp section missing from summary" >&2; exit 1; }
 grep -q '"kernels_agree":true' "$tmp/MULTIEXP_run.json" || { echo "multiexp kernels_agree not recorded" >&2; exit 1; }
 
+echo "== wire smoke (loopback byte accounting) =="
+# The wire experiment runs a batch through the split V/P session machinery
+# and exits non-zero if sent and received bytes do not balance.
+dune exec bench/main.exe -- wire --quick --json "$tmp/WIRE_run.json" | tee "$tmp/wire.out"
+grep -q "sent and received bytes balance" "$tmp/wire.out" || { echo "wire bytes did not balance" >&2; exit 1; }
+grep -q '"network"' "$tmp/WIRE_run.json" || { echo "network section missing from summary" >&2; exit 1; }
+grep -q '"balanced":true' "$tmp/WIRE_run.json" || { echo "network balance not recorded" >&2; exit 1; }
+
+echo "== socket smoke (zaatar serve / run --connect) =="
+# Start a one-shot prover on an ephemeral port, verify a batch against it
+# over TCP, and require every instance to verify.
+dune build bin/zaatar_cli.exe
+: > "$tmp/serve.log"
+dune exec bin/zaatar_cli.exe -- serve examples/payroll.zl --listen 127.0.0.1:0 --once \
+  > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$tmp/serve.log")"
+  [ -n "$addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "prover never reported its address; server log:" >&2
+  cat "$tmp/serve.log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! dune exec bin/zaatar_cli.exe -- run examples/payroll.zl -i 38,45,40,52,31 \
+    --connect "$addr" | tee "$tmp/remote.out"; then
+  echo "remote verification failed; server log:" >&2
+  cat "$tmp/serve.log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+grep -q "verified" "$tmp/remote.out" || { echo "remote run did not verify" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+wait "$serve_pid" || { echo "prover exited non-zero; server log:" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q "session complete" "$tmp/serve.log" || { echo "prover did not complete the session" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+
 echo "== ci OK =="

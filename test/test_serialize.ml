@@ -61,6 +61,55 @@ let unit_tests =
              ignore (Serialize.system_of_string bad);
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "CRLF and trailing whitespace tolerated" `Quick (fun () ->
+        let sys, w = Test_constr.random_satisfiable_r1cs 5 in
+        let s = Serialize.system_to_string sys in
+        (* Re-join with DOS line endings and pad lines with trailing blanks,
+           as a file edited on Windows or mangled by a mailer would be. *)
+        let dos =
+          String.split_on_char '\n' s |> List.map (fun l -> l ^ "  \r") |> String.concat "\n"
+        in
+        let sys' = Serialize.system_of_string dos in
+        roundtrip_system sys';
+        Alcotest.(check bool) "still satisfied" true (R1cs.satisfied ctx sys' w);
+        let prg = Chacha.Prg.create ~seed:"ser crlf" () in
+        let wit = Array.init 9 (fun _ -> Chacha.Prg.field ctx prg) in
+        let wos =
+          String.split_on_char '\n' (Serialize.assignment_to_string ctx wit)
+          |> List.map (fun l -> l ^ "\r")
+          |> String.concat "\n"
+        in
+        let _, wit' = Serialize.assignment_of_string wos in
+        Array.iteri (fun i e -> Alcotest.(check bool) "el" true (Fp.equal e wit'.(i))) wit);
+    Alcotest.test_case "parse errors carry line numbers" `Quick (fun () ->
+        let line_of msg =
+          try
+            Scanf.sscanf msg "line %d" (fun n -> Some n)
+          with Scanf.Scan_failure _ | End_of_file -> None
+        in
+        let expect_line n input =
+          match Serialize.system_of_string input with
+          | _ -> Alcotest.failf "parsed: %S" input
+          | exception Serialize.Parse_error msg ->
+            Alcotest.(check (option int)) (Printf.sprintf "line in %S" msg) (Some n) (line_of msg)
+        in
+        (* Bad term on physical line 3 (the A row); a comment on line 2 must
+           not shift the reported number. *)
+        expect_line 3 "r1cs v=1 z=1 c=1 p=3d\n# comment\nA nonsense\nB 0:1\nC 0:0\n";
+        expect_line 4 "r1cs v=1 z=1 c=1 p=3d\nA 1:1\nB 0:1\nC 0:zz\n";
+        expect_line 1 "bogus header\n");
+    Alcotest.test_case "system digest is stable and discriminating" `Quick (fun () ->
+        let sys, _ = Test_constr.random_satisfiable_r1cs 1 in
+        let sys2, _ = Test_constr.random_satisfiable_r1cs 2 in
+        let d = Serialize.system_digest sys in
+        Alcotest.(check int) "16 hex chars" 16 (String.length d);
+        String.iter
+          (fun c ->
+            Alcotest.(check bool) "hex" true
+              (match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+          d;
+        Alcotest.(check string) "deterministic" d (Serialize.system_digest sys);
+        Alcotest.(check bool) "distinct systems differ" true (d <> Serialize.system_digest sys2));
   ]
 
 let suite = unit_tests

@@ -1,0 +1,299 @@
+(* Zwire codec and socket-driver tests: round-trip properties per message
+   type, decode-error taxonomy on truncated/corrupted frames, and an
+   end-to-end fork+socketpair run checked against the in-process loopback. *)
+
+open Fieldlib
+open Zcrypto
+open Argsys
+
+let fctx = Fp.create Primes.p61
+let gp = Primes.p89
+let gctx = Fp.create gp
+let wcodec = Zwire.codec ~group_p:gp fctx
+let qtest name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_range 0 (1 lsl 20))
+let prg_of seed = Chacha.Prg.create ~seed:(Printf.sprintf "wire-%d" seed) ()
+let fel = Chacha.Prg.field fctx
+let gel = Chacha.Prg.field gctx
+
+(* Plant the edge elements 0, 1 and p-1 at the front of longer vectors so
+   every round-trip run also exercises the width boundaries. *)
+let vec prg n =
+  Array.init n (fun i ->
+      match i with
+      | 0 when n > 3 -> Fp.zero
+      | 1 when n > 3 -> Fp.one
+      | 2 when n > 3 -> Fp.sub fctx Fp.zero Fp.one
+      | _ -> fel prg)
+
+let ct prg = { Elgamal.c1 = gel prg; c2 = gel prg }
+let hex prg = Printf.sprintf "%016x" (Chacha.Prg.bits64 prg)
+
+let rt ?(codec = wcodec) msg = Zwire.msg_equal msg (Zwire.decode ~codec (Zwire.encode ~codec msg))
+
+let gen_hello prg =
+  let batch = Chacha.Prg.int_below prg 4 in
+  let width = Chacha.Prg.int_below prg 5 in
+  Zwire.Hello
+    {
+      digest = hex prg;
+      modulus = Primes.p61;
+      rho = 1 + Chacha.Prg.int_below prg 10;
+      rho_lin = 1 + Chacha.Prg.int_below prg 10;
+      p_bits = 61;
+      inputs = Array.init batch (fun _ -> vec prg width);
+    }
+
+let gen_commit_request prg =
+  let nz = Chacha.Prg.int_below prg 5 and nh = Chacha.Prg.int_below prg 5 in
+  Zwire.Commit_request
+    {
+      group_p = gp;
+      group_q = Primes.p61;
+      group_g = gel prg;
+      y_z = gel prg;
+      y_h = gel prg;
+      enc_r_z = Array.init nz (fun _ -> ct prg);
+      enc_r_h = Array.init nh (fun _ -> ct prg);
+    }
+
+let gen_queries prg =
+  let nq = Chacha.Prg.int_below prg 4 in
+  Zwire.Queries
+    {
+      z_queries = Array.init nq (fun _ -> vec prg (Chacha.Prg.int_below prg 6));
+      h_queries = Array.init nq (fun _ -> vec prg (Chacha.Prg.int_below prg 6));
+      t_z = vec prg (Chacha.Prg.int_below prg 6);
+      t_h = vec prg (Chacha.Prg.int_below prg 6);
+    }
+
+let gen_answers prg =
+  let batch = Chacha.Prg.int_below prg 4 in
+  Zwire.Answers
+    (Array.init batch (fun _ ->
+         {
+           Zwire.claimed_io = vec prg (Chacha.Prg.int_below prg 5);
+           claimed_output = vec prg (Chacha.Prg.int_below prg 3);
+           z_resp = vec prg (Chacha.Prg.int_below prg 6);
+           h_resp = vec prg (Chacha.Prg.int_below prg 6);
+           a_t_z = fel prg;
+           a_t_h = fel prg;
+         }))
+
+let roundtrip_tests =
+  [
+    qtest "hello round-trips" 50 arb_seed (fun s -> rt (gen_hello (prg_of s)));
+    qtest "hello_ok round-trips" 20 arb_seed (fun s -> rt (Zwire.Hello_ok (hex (prg_of s))));
+    qtest "commit_request round-trips" 50 arb_seed (fun s -> rt (gen_commit_request (prg_of s)));
+    qtest "commitments round-trip" 50 arb_seed (fun s ->
+        let prg = prg_of s in
+        let n = Chacha.Prg.int_below prg 5 in
+        rt (Zwire.Commitments (Array.init n (fun _ -> (ct prg, ct prg)))));
+    qtest "queries round-trip" 50 arb_seed (fun s -> rt (gen_queries (prg_of s)));
+    qtest "answers round-trip" 50 arb_seed (fun s -> rt (gen_answers (prg_of s)));
+    qtest "verdicts round-trip" 20 arb_seed (fun s ->
+        let prg = prg_of s in
+        let n = Chacha.Prg.int_below prg 9 in
+        rt (Zwire.Verdicts (Array.init n (fun _ -> Chacha.Prg.bool prg))));
+    qtest "error_msg round-trips" 20 arb_seed (fun s ->
+        rt (Zwire.Error_msg ("boom " ^ hex (prg_of s))));
+  ]
+
+(* ---- Malformed frames ---- *)
+
+let decode_fails ?codec b =
+  match Zwire.decode ?codec b with
+  | _ -> None
+  | exception Zwire.Decode_error e -> Some e
+
+let check_error what expected got =
+  match got with
+  | Some e when e = expected -> ()
+  | Some e -> Alcotest.failf "%s: expected %s, got %s" what (Zwire.error_to_string expected) (Zwire.error_to_string e)
+  | None -> Alcotest.failf "%s: decoded successfully" what
+
+let sample_msg () =
+  let prg = prg_of 7 in
+  Zwire.Queries
+    { z_queries = [| vec prg 5 |]; h_queries = [| vec prg 5 |]; t_z = vec prg 5; t_h = vec prg 5 }
+
+let corruption_tests =
+  [
+    Alcotest.test_case "every truncation is a Decode_error" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (gen_hello (prg_of 3)) in
+        for k = 0 to Bytes.length b - 1 do
+          match decode_fails ~codec:wcodec (Bytes.sub b 0 k) with
+          | Some _ -> ()
+          | None -> Alcotest.failf "prefix of %d bytes decoded" k
+        done);
+    Alcotest.test_case "bad magic" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 0 'X';
+        check_error "magic" Zwire.Bad_magic (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "bad version" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 2 '\042';
+        check_error "version" (Zwire.Bad_version 42) (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "bad tag" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 3 '\099';
+        check_error "tag" (Zwire.Bad_tag 99) (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "out-of-range element rejected, not reduced" `Quick (fun () ->
+        (* The final 8 bytes of a one-instance Answers frame are a_t_h; all
+           0xff exceeds p61 and must be refused. *)
+        let prg = prg_of 11 in
+        let msg =
+          Zwire.Answers
+            [|
+              {
+                Zwire.claimed_io = vec prg 2;
+                claimed_output = vec prg 1;
+                z_resp = vec prg 3;
+                h_resp = vec prg 3;
+                a_t_z = fel prg;
+                a_t_h = fel prg;
+              };
+            |]
+        in
+        let b = Zwire.encode ~codec:wcodec msg in
+        Bytes.fill b (Bytes.length b - 8) 8 '\255';
+        check_error "element" (Zwire.Out_of_range "answers.a_t_h") (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "non-boolean verdict byte rejected" `Quick (fun () ->
+        let b = Zwire.encode (Zwire.Verdicts [| true; false; true |]) in
+        Bytes.set b (Bytes.length b - 1) '\007';
+        check_error "verdict" (Zwire.Out_of_range "verdicts (not 0/1)") (decode_fails b));
+    Alcotest.test_case "trailing junk rejected" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        let b' = Bytes.cat b (Bytes.make 3 'x') in
+        check_error "junk" (Zwire.Trailing_bytes 3) (decode_fails ~codec:wcodec b'));
+    Alcotest.test_case "oversized payload length is truncation" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 4 '\255';
+        (match decode_fails ~codec:wcodec b with
+        | Some (Zwire.Truncated _) -> ()
+        | Some e -> Alcotest.failf "expected Truncated, got %s" (Zwire.error_to_string e)
+        | None -> Alcotest.fail "decoded with absurd length"));
+    Alcotest.test_case "queries without a codec need context" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        match decode_fails b with
+        | Some (Zwire.Missing_context _) -> ()
+        | Some e -> Alcotest.failf "expected Missing_context, got %s" (Zwire.error_to_string e)
+        | None -> Alcotest.fail "decoded without codec");
+    Alcotest.test_case "commitments without group context" `Quick (fun () ->
+        let prg = prg_of 13 in
+        let b = Zwire.encode ~codec:wcodec (Zwire.Commitments [| (ct prg, ct prg) |]) in
+        match decode_fails ~codec:(Zwire.codec fctx) b with
+        | Some (Zwire.Missing_context _) -> ()
+        | Some e -> Alcotest.failf "expected Missing_context, got %s" (Zwire.error_to_string e)
+        | None -> Alcotest.fail "decoded without group modulus");
+  ]
+
+(* ---- End-to-end: socketpair vs loopback ---- *)
+
+let fi = Fp.of_int fctx
+
+(* Same y = x^2 + 3 computation as test_argument.ml. *)
+let square_plus_3 : Argument.computation =
+  let c1 =
+    { Constr.R1cs.a = Constr.Lincomb.of_var 2; b = Constr.Lincomb.of_var 2; c = Constr.Lincomb.of_var 1 }
+  in
+  let c2 =
+    {
+      Constr.R1cs.a = Constr.Lincomb.add fctx (Constr.Lincomb.of_var 1) (Constr.Lincomb.of_const (fi 3));
+      b = Constr.Lincomb.of_const Fp.one;
+      c = Constr.Lincomb.of_var 3;
+    }
+  in
+  let r1cs = { Constr.R1cs.field = fctx; num_vars = 3; num_z = 1; constraints = [| c1; c2 |] } in
+  let solve x =
+    let x0 = x.(0) in
+    let sq = Fp.mul fctx x0 x0 in
+    [| Fp.one; sq; x0; Fp.add fctx sq (fi 3) |]
+  in
+  { Argument.r1cs; num_inputs = 1; num_outputs = 1; solve }
+
+(* Run a batch against a prover living in its own domain, over a Unix
+   socketpair. The protocol is strict request/response ping-pong, so two
+   blocking endpoints in one process cannot deadlock. (Unix.fork is off
+   limits here: earlier suites in the runner already spawned domains.)
+   Returns the verifier-side batch result. *)
+let with_prover_domain ~lookup ~server_config (body : Znet.conn -> 'a) : 'a =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server_conn = Znet.of_fd b and client_conn = Znet.of_fd a in
+  let server =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> try Znet.close server_conn with _ -> ())
+          (fun () ->
+            try
+              Remote.handle_conn ~config:server_config ~lookup
+                ~prg:(Chacha.Prg.create ~seed:"wire e2e prover" ())
+                server_conn
+            with Argument.Session_error _ | Znet.Net_error _ -> ()))
+  in
+  let finish () =
+    (try Znet.close client_conn with _ -> ());
+    Domain.join server
+  in
+  let res = try body client_conn with e -> finish (); raise e in
+  finish ();
+  res
+
+let run_over_socketpair ~server_config ~seed inputs =
+  let d = Argument.digest square_plus_3 in
+  with_prover_domain ~server_config
+    ~lookup:(fun d' -> if String.equal d' d then Some square_plus_3 else None)
+    (fun conn ->
+      Remote.run_conn ~config:Argument.test_config square_plus_3
+        ~prg:(Chacha.Prg.create ~seed ())
+        ~inputs conn)
+
+let verdicts (r : Argument.batch_result) =
+  Array.map (fun (i : Argument.instance_result) -> i.accepted) r.Argument.instances
+
+let outputs (r : Argument.batch_result) =
+  Array.map
+    (fun (i : Argument.instance_result) -> Array.map Nat.to_decimal i.claimed_output)
+    r.Argument.instances
+
+let e2e_tests =
+  [
+    Alcotest.test_case "socket session matches loopback" `Quick (fun () ->
+        let seed = "wire e2e verifier" in
+        let inputs = Array.map (fun x -> [| fi x |]) [| 2; 5; 11 |] in
+        let sock =
+          run_over_socketpair ~server_config:Argument.test_config ~seed inputs
+        in
+        let loop =
+          Argument.run_batch ~config:Argument.test_config square_plus_3
+            ~prg:(Chacha.Prg.create ~seed ())
+            ~inputs
+        in
+        Alcotest.(check bool) "socket all accepted" true (Argument.all_accepted sock);
+        Alcotest.(check (array bool)) "same verdicts" (verdicts loop) (verdicts sock);
+        Alcotest.(check (array (array string))) "same outputs" (outputs loop) (outputs sock));
+    Alcotest.test_case "cheating remote prover rejected" `Quick (fun () ->
+        let inputs = Array.map (fun x -> [| fi x |]) [| 3; 4; 9 |] in
+        let r =
+          run_over_socketpair
+            ~server_config:{ Argument.test_config with Argument.strategy = Argument.Wrong_output }
+            ~seed:"wire e2e cheat" inputs
+        in
+        Alcotest.(check bool) "none accepted" true (Argument.none_accepted r));
+    Alcotest.test_case "unknown computation refused with Error_msg" `Quick (fun () ->
+        let raised =
+          with_prover_domain ~server_config:Argument.test_config ~lookup:(fun _ -> None)
+            (fun conn ->
+              try
+                ignore
+                  (Remote.run_conn ~config:Argument.test_config square_plus_3
+                     ~prg:(Chacha.Prg.create ~seed:"wire e2e refuse v" ())
+                     ~inputs:[| [| fi 2 |] |] conn);
+                false
+              with Argument.Session_error m -> String.length m > 0)
+        in
+        Alcotest.(check bool) "session error raised" true raised);
+  ]
+
+let suite =
+  roundtrip_tests @ corruption_tests @ e2e_tests
