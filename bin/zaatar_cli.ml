@@ -4,6 +4,8 @@
      zaatar run FILE.zl -i 1,2,3 ...     compile, prove and verify a batch
      zaatar run ... --connect H:P        same, against a remote prover
      zaatar serve FILE.zl --listen H:P   networked prover service
+     zaatar stats H:P                    scrape a prover's metrics endpoint
+     zaatar trace-merge A B -o OUT       one Perfetto view of a split run
      zaatar bench NAME [--scale N]       one built-in benchmark, end to end
      zaatar selftest                     differential checks of all benchmarks
      zaatar check SYS.r1cs WITNESS       check a serialized witness
@@ -111,12 +113,14 @@ let obs_args =
   in
   Term.(const (fun trace metrics -> (trace, metrics)) $ trace $ metrics)
 
-let with_obs (trace, metrics) f =
+(* [process] names this side of a split run in the exported trace
+   ("verifier"/"prover"); merged files keep the two distinguishable. *)
+let with_obs ?(process = "zaatar") (trace, metrics) f =
   if trace <> None || metrics then Zobs.enable ();
   let code = f () in
   (match trace with
   | Some path ->
-    Zobs.write_chrome_trace path;
+    Zobs.write_chrome_trace ~process_name:process path;
     Printf.printf "wrote %s (chrome trace; load in chrome://tracing or ui.perfetto.dev)\n" path
   | None -> ());
   if metrics then Format.printf "@.== telemetry ==@.%a" Zobs.report ();
@@ -175,7 +179,7 @@ let run_cmd =
                 prover. Both sides must use the same program and --field-bits.")
   in
   let run file bits inputs emit_witness connect timeout_ms config obs =
-    with_obs obs @@ fun () ->
+    with_obs ~process:(if connect = None then "zaatar" else "verifier") obs @@ fun () ->
     let ctx = Fp.create (field_of_bits bits) in
     let compiled = Zlang.Compile.compile ~ctx (read_file file) in
     print_stats compiled;
@@ -202,7 +206,17 @@ let run_cmd =
       | None -> Argsys.Argument.run_batch ~config comp ~prg ~inputs:batch
       | Some addr ->
         Printf.printf "remote prover at %s (computation %s)\n%!" addr (Argsys.Argument.digest comp);
-        Argsys.Remote.run_connect ~config ~timeout_ms ~addr comp ~prg ~inputs:batch
+        (* Only mint a distributed trace id when tracing is on: an untraced
+           run keeps its v2 Hello bit-identical across invocations. *)
+        let trace_id =
+          if Zobs.enabled () then begin
+            let id = Zobs.mint_trace_id () in
+            Printf.printf "trace id %s\n%!" id;
+            Some id
+          end
+          else None
+        in
+        Argsys.Remote.run_connect ~config ?trace_id ~timeout_ms ~addr comp ~prg ~inputs:batch
     in
     report_batch ctx result
   in
@@ -225,8 +239,39 @@ let serve_cmd =
   let once =
     Arg.(value & flag & info [ "once" ] ~doc:"Serve a single connection, then exit (CI smoke).")
   in
-  let run files listen once timeout_ms bits config obs =
-    with_obs obs @@ fun () ->
+  let metrics_listen =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+          ~doc:"Expose live metrics over HTTP: Prometheus text at /metrics, a JSON snapshot \
+                at /json (scrape with `zaatar stats`). Port 0 picks an ephemeral port \
+                (printed at startup).")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"With tracing enabled (--trace/--metrics/ZAATAR_TRACE), write one Chrome-trace \
+                sidecar per connection (prover_connN.json), mergeable with `zaatar \
+                trace-merge`.")
+  in
+  let log_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"SINK"
+          ~doc:"Emit structured JSONL logs (per-connection peer/digest/phase fields) to \
+                'stderr', 'stdout' or a file path.")
+  in
+  let run files listen once metrics_listen trace_dir log_json timeout_ms bits config obs =
+    with_obs ~process:"prover" obs @@ fun () ->
+    (match log_json with
+    | Some "stderr" -> Zobs.Log.set_sink (`Channel stderr)
+    | Some "stdout" -> Zobs.Log.set_sink (`Channel stdout)
+    | Some path -> Zobs.Log.set_sink (`File path)
+    | None -> ());
     let ctx = Fp.create (field_of_bits bits) in
     let table = Hashtbl.create 8 in
     List.iter
@@ -238,14 +283,106 @@ let serve_cmd =
         Hashtbl.replace table d comp)
       files;
     let log s = Printf.printf "%s\n%!" s in
-    Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms ~log listen;
+    Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms
+      ?metrics_listen ?trace_dir ~log listen;
     0
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run a networked prover: accept verifier connections and prove batches on demand")
     Term.(
-      const run $ files $ listen $ once $ timeout_arg $ field_bits_arg $ protocol_args $ obs_args)
+      const run $ files $ listen $ once $ metrics_listen $ trace_dir $ log_json $ timeout_arg
+      $ field_bits_arg $ protocol_args $ obs_args)
+
+let stats_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some addr_conv) None
+      & info [] ~docv:"HOST:PORT" ~doc:"A `zaatar serve --metrics-listen` endpoint.")
+  in
+  let raw =
+    Arg.(value & flag & info [ "raw" ] ~doc:"Dump the raw Prometheus text exposition (/metrics).")
+  in
+  let jnum j k = match Option.bind (Zobs.Json.member k j) Zobs.Json.to_num with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let jstr j k = match Option.bind (Zobs.Json.member k j) Zobs.Json.to_str with
+    | Some s -> s
+    | None -> ""
+  in
+  let run addr raw =
+    exit
+    @@
+    match Znet.Metrics_http.get addr (if raw then "/metrics" else "/json") with
+    | exception Failure m ->
+      Printf.eprintf "stats: %s\n" m;
+      1
+    | code, _ when code <> 200 ->
+      Printf.eprintf "stats: %s answered HTTP %d\n" addr code;
+      1
+    | _, body when raw ->
+      print_string body;
+      0
+    | _, body ->
+      let j = Zobs.Json.parse body in
+      let server = Option.value (Zobs.Json.member "server" j) ~default:(Zobs.Json.Obj []) in
+      Printf.printf "server %s:\n" addr;
+      List.iter
+        (fun k -> Printf.printf "  %-16s %10.0f\n" k (jnum server k))
+        [ "accepted"; "active"; "completed"; "failed"; "decode_errors"; "timeouts" ];
+      let conns =
+        Option.value (Option.bind (Zobs.Json.member "connections" j) Zobs.Json.to_arr)
+          ~default:[]
+      in
+      if conns <> [] then begin
+        Printf.printf "connections:\n";
+        Printf.printf "  %4s %-21s %-16s %-7s %9s %10s %10s %6s\n" "id" "peer" "digest"
+          "status" "secs" "sent B" "recv B" "msgs";
+        List.iter
+          (fun c ->
+            Printf.printf "  %4.0f %-21s %-16s %-7s %9.3f %10.0f %10.0f %6.0f\n" (jnum c "id")
+              (jstr c "peer") (jstr c "digest") (jstr c "status") (jnum c "duration_s")
+              (jnum c "bytes_sent") (jnum c "bytes_recv") (jnum c "msgs"))
+          conns
+      end;
+      0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Scrape and pretty-print a prover's live metrics endpoint")
+    Term.(const run $ addr $ raw)
+
+let trace_merge_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE.json"
+          ~doc:"Chrome-trace files from one distributed run (e.g. the verifier's --trace \
+                output and the prover's --trace-dir sidecar).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"OUT.json" ~doc:"Merged Chrome-trace output file.")
+  in
+  let run files out =
+    exit
+    @@
+    match Zobs.Sink.merge_chrome_trace_files ~out files with
+    | () ->
+      Printf.printf "wrote %s (merged %d trace file(s); load in ui.perfetto.dev)\n" out
+        (List.length files);
+      0
+    | exception Invalid_argument m ->
+      Printf.eprintf "trace-merge: %s\n" m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Merge per-process Chrome traces (one pid each) into a single Perfetto view")
+    Term.(const run $ files $ out)
 
 let bench_cmd =
   let bname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"pam | bisection | apsp | fannkuch | lcs") in
@@ -321,4 +458,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; serve_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd ]))
+          [
+            compile_cmd; run_cmd; serve_cmd; stats_cmd; trace_merge_cmd; bench_cmd;
+            selftest_cmd; check_cmd; micro_cmd;
+          ]))

@@ -168,6 +168,7 @@ module Verifier_session = struct
     qap : Qap.t;
     ctx : Fp.ctx;
     digest : string;
+    trace_id : string;
     inputs : Fp.el array array;
     grp : Group.t;
     queries : Pcp.Pcp_zaatar.queries;
@@ -186,8 +187,11 @@ module Verifier_session = struct
      monolithic run_batch (group, queries, Enc(r) x2, challenges x2), so a
      loopback run sharing one PRG with the prover replays the historical
      transcript bit for bit. *)
-  let create ?(config = default_config) (comp : computation) ~(prg : Chacha.Prg.t)
-      ~(inputs : Fp.el array array) : t =
+  (* [trace_id] never touches [prg]: minting it from wall clock keeps the
+     protocol transcript bit-identical to an untraced run. *)
+  let create ?(config = default_config) ?(trace_id = "") (comp : computation)
+      ~(prg : Chacha.Prg.t) ~(inputs : Fp.el array array) : t =
+    if trace_id <> "" then Zobs.set_trace_id trace_id;
     let ctx = comp.r1cs.R1cs.field in
     let qap = Qap.of_r1cs comp.r1cs in
     let num_z = comp.r1cs.R1cs.num_z in
@@ -214,8 +218,8 @@ module Verifier_session = struct
       setup (fun () ->
           Commitment.Commit.decommit_challenge ctx vs_h prg queries.Pcp.Pcp_zaatar.h_queries)
     in
-    { config; comp; qap; ctx; digest = digest comp; inputs; grp; queries; req_z; vs_z; req_h;
-      vs_h; ch_z; ch_h; v_setup; v_per; state = Expect_hello_ok }
+    { config; comp; qap; ctx; digest = digest comp; trace_id; inputs; grp; queries; req_z;
+      vs_z; req_h; vs_h; ch_z; ch_h; v_setup; v_per; state = Expect_hello_ok }
 
   let codec t = Zwire.codec ~group_p:t.grp.Group.p t.ctx
 
@@ -228,6 +232,7 @@ module Verifier_session = struct
         rho_lin = t.config.params.Pcp.Pcp_zaatar.rho_lin;
         p_bits = t.config.p_bits;
         inputs = t.inputs;
+        trace_id = t.trace_id;
       }
 
   let check_answers t (a : Zwire.instance_answers) i =
@@ -362,6 +367,9 @@ module Prover_session = struct
           Array.exists (fun x -> Array.length x <> comp.num_inputs) h.Zwire.inputs
         then refuse t (Printf.sprintf "input vectors must have %d entries" comp.num_inputs)
         else begin
+          (* Adopt the verifier's distributed trace id so both processes'
+             Chrome-trace exports can be merged into one view. *)
+          if h.Zwire.trace_id <> "" then Zobs.set_trace_id h.Zwire.trace_id;
           let qap = Qap.of_r1cs comp.r1cs in
           (* Sequential on purpose: proof parts consume the transcript PRG
              (cheating strategies draw perturbations from it). *)

@@ -94,9 +94,18 @@ module Verifier_session : sig
   type t
 
   val create :
-    ?config:config -> computation -> prg:Chacha.Prg.t -> inputs:Fp.el array array -> t
+    ?config:config ->
+    ?trace_id:string ->
+    computation ->
+    prg:Chacha.Prg.t ->
+    inputs:Fp.el array array ->
+    t
   (** Draws all batch randomness (queries, Enc(r), decommit challenges) —
-      in the transcript order of the original monolithic [run_batch]. *)
+      in the transcript order of the original monolithic [run_batch].
+      [trace_id] (default [""] = untraced) is carried to the prover in the
+      Hello and stamped on both sides' Zobs exports; it is minted from wall
+      clock ({!Zobs.mint_trace_id}), never from [prg], so transcripts do
+      not shift. *)
 
   val initial : t -> Zwire.msg
   (** The opening [Hello]. *)

@@ -1,12 +1,19 @@
 (** Socket drivers for the split verifier/prover argument: the
     {!Argument.Verifier_session}/{!Argument.Prover_session} state machines
     pumped over a {!Znet} connection (DESIGN.md §9). The CLI's
-    [zaatar serve] / [zaatar run --connect] are thin wrappers. *)
+    [zaatar serve] / [zaatar run --connect] are thin wrappers.
+
+    Wire operations run under [net.send]/[net.recv] Zobs spans and feed
+    per-phase [wire.latency_us.<phase>] histograms; the serve path keeps
+    always-on per-connection {!Znet.Svcstats}, optionally exposes them over
+    a live HTTP metrics endpoint, and can write one prover-side
+    Chrome-trace sidecar per connection (DESIGN.md §10). *)
 
 open Fieldlib
 
 val run_conn :
   ?config:Argument.config ->
+  ?trace_id:string ->
   Argument.computation ->
   prg:Chacha.Prg.t ->
   inputs:Fp.el array array ->
@@ -14,10 +21,12 @@ val run_conn :
   Argument.batch_result
 (** Drive a verifier session over an existing connection (tests use this
     with a socketpair). The prover-side metrics in the result are empty —
-    they live in the remote process. *)
+    they live in the remote process. [trace_id] is carried to the prover
+    in the Hello (see {!Argument.Verifier_session.create}). *)
 
 val run_connect :
   ?config:Argument.config ->
+  ?trace_id:string ->
   ?timeout_ms:int ->
   addr:string ->
   Argument.computation ->
@@ -31,13 +40,29 @@ val run_connect :
 
 val handle_conn :
   ?config:Argument.config ->
+  ?stats:Znet.Svcstats.conn ->
   lookup:(string -> Argument.computation option) ->
   prg:Chacha.Prg.t ->
   Znet.conn ->
   unit
 (** Serve one prover session to completion on an existing connection.
     Malformed input and protocol violations are reported to the peer as an
-    [Error_msg], then re-raised as {!Argument.Session_error}. *)
+    [Error_msg], then re-raised as {!Argument.Session_error}. [stats]
+    receives per-phase bytes, message counts and wall time. *)
+
+(** {1 Metrics endpoint} *)
+
+val metrics_render : unit -> string
+(** Prometheus text exposition: per-connection Svcstats series followed by
+    every global Zobs counter/histogram/span aggregate. *)
+
+val metrics_json : unit -> string
+(** JSON snapshot of the server + per-connection Svcstats. *)
+
+val start_metrics : string -> Znet.Metrics_http.t
+(** Start the metrics HTTP server on ["HOST:PORT"] (port 0 picks an
+    ephemeral port — read it back with {!Znet.Metrics_http.bound_addr}).
+    Serves [/metrics] (Prometheus text, also at [/]) and [/json]. *)
 
 type log = string -> unit
 
@@ -47,6 +72,8 @@ val serve :
   ?seed:string ->
   ?once:bool ->
   ?timeout_ms:int ->
+  ?metrics_listen:string ->
+  ?trace_dir:string ->
   ?log:log ->
   string ->
   unit
@@ -55,4 +82,10 @@ val serve :
     prover session each, with a fresh per-connection PRG derived from
     [seed]. [once] stops after the first connection (CI); [timeout_ms]
     bounds per-connection reads and writes. Session and connection errors
-    are logged, not fatal to the loop. *)
+    are logged, not fatal to the loop.
+
+    [metrics_listen] starts {!start_metrics} alongside the accept loop
+    (logged as ["metrics on HOST:PORT"]). [trace_dir], when tracing is
+    enabled, writes [prover_connN.json] — a Chrome-trace sidecar of just
+    connection N's spans, stamped [pid 1]/["prover"] and with the
+    verifier's trace id, ready for [zaatar trace-merge]. *)

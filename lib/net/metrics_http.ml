@@ -1,0 +1,207 @@
+(* Metrics_http: a deliberately minimal HTTP/1.0 server for the
+   `--metrics-listen` endpoint, plus the matching one-shot GET client used
+   by `zaatar stats` and the tests. Text responses only, one request per
+   connection, no keep-alive, no external dependencies — the whole point is
+   that a Prometheus scraper, curl, or the bundled client can read the
+   prover's counters while a batch is in flight.
+
+   The server runs in its own Domain so the blocking argument serve loop
+   keeps the main thread; [stop] shuts the listening socket down, which
+   pops the accept loop out of its syscall. *)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg (Printf.sprintf "Metrics_http: bad address %s (expected HOST:PORT)" s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found | Invalid_argument _ ->
+            invalid_arg (Printf.sprintf "Metrics_http: cannot resolve %s" host))
+      in
+      Unix.ADDR_INET (addr, p)
+    | _ -> invalid_arg (Printf.sprintf "Metrics_http: bad port in %s" s))
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+type t = {
+  sfd : Unix.file_descr;
+  addr : string;
+  stopping : bool Atomic.t;
+  mutable worker : unit Domain.t option;
+}
+
+let bound_addr t = t.addr
+
+(* Read until the blank line ending the request head, bounded so a hostile
+   client cannot grow the buffer without limit. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with Unix.Unix_error _ -> 0 in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let have_terminator i sub = i + String.length sub <= String.length s
+            && String.sub s i (String.length sub) = sub in
+        let rec find i =
+          if i >= String.length s then false
+          else if have_terminator i "\r\n\r\n" || have_terminator i "\n\n" then true
+          else find (i + 1)
+        in
+        if find 0 then s else go ()
+      end
+  in
+  go ()
+
+let request_path head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.trim (String.sub head 0 i) in
+    (match String.split_on_char ' ' line with
+    | meth :: path :: _ when String.uppercase_ascii meth = "GET" -> Some path
+    | _ -> None)
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status content_type (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  try
+    while !off < len do
+      match Unix.write fd payload !off (len - !off) with
+      | 0 -> off := len
+      | n -> off := !off + n
+    done
+  with Unix.Unix_error _ -> ()
+
+let handle render fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0 with Unix.Unix_error _ -> ());
+  (match request_path (read_head fd) with
+  | None -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+  | Some path -> (
+    match render path with
+    | Some (content_type, body) -> respond fd ~status:"200 OK" ~content_type body
+    | None -> respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t render =
+  let rec go () =
+    match Unix.accept t.sfd with
+    | fd, _ ->
+      if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else handle render fd;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> () (* listening socket closed: exit *)
+  in
+  go ()
+
+(* [render path] returns [(content_type, body)] for the paths the caller
+   serves, [None] for anything else (a 404). *)
+let start ~render addr =
+  let sa = parse_addr addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sa;
+     Unix.listen fd 16
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     invalid_arg (Printf.sprintf "Metrics_http: listen %s: %s" addr (Unix.error_message e)));
+  let t =
+    {
+      sfd = fd;
+      addr = string_of_sockaddr (Unix.getsockname fd);
+      stopping = Atomic.make false;
+      worker = None;
+    }
+  in
+  t.worker <- Some (Domain.spawn (fun () -> accept_loop t render));
+  t
+
+let stop t =
+  Atomic.set t.stopping true;
+  (try Unix.shutdown t.sfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.sfd with Unix.Unix_error _ -> ());
+  match t.worker with
+  | Some d ->
+    Domain.join d;
+    t.worker <- None
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot GET. Returns [(status_code, body)]; raises [Failure] on
+   connect/parse problems so callers surface a readable message. *)
+let get addr path =
+  let sa = parse_addr addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect fd sa
+       with Unix.Unix_error (e, _, _) ->
+         failwith (Printf.sprintf "connect %s: %s" addr (Unix.error_message e)));
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with Unix.Unix_error _ -> ());
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path addr in
+      let rb = Bytes.of_string req in
+      let len = Bytes.length rb in
+      let off = ref 0 in
+      while !off < len do
+        match Unix.write fd rb !off (len - !off) with
+        | 0 -> failwith "short write"
+        | n -> off := !off + n
+      done;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          failwith ("timed out reading from " ^ addr)
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      let code =
+        match String.index_opt s ' ' with
+        | Some i when String.length s >= i + 4 -> (
+          match int_of_string_opt (String.sub s (i + 1) 3) with
+          | Some c -> c
+          | None -> failwith "malformed HTTP status line")
+        | _ -> failwith "malformed HTTP response"
+      in
+      let body =
+        let rec find i =
+          if i + 4 > String.length s then None
+          else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> String.sub s i (String.length s - i)
+        | None -> ""
+      in
+      (code, body))

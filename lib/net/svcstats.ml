@@ -1,0 +1,235 @@
+(* Svcstats: per-connection accounting for the serve path. Unlike the Zobs
+   registry — process-global, gated by the tracing flag — these stats are
+   always on (the server operator wants them regardless of tracing) and
+   keyed by connection, so one scrape distinguishes a slow peer from a slow
+   prover. The global Zobs counters keep the cumulative totals; this module
+   adds the per-connection breakdown the `--metrics-listen` endpoint and
+   `zaatar stats` expose.
+
+   All state lives behind one mutex: the serve loop mutates from its
+   accept thread while the metrics HTTP domain renders snapshots. *)
+
+type phase_stats = {
+  mutable p_sent : int; (* bytes *)
+  mutable p_recv : int;
+  mutable p_msgs : int;
+  mutable p_seconds : float; (* wall time attributed to the phase *)
+}
+
+type conn = {
+  id : int;
+  peer : string;
+  mutable digest : string; (* computation digest, once the Hello names it *)
+  started : float;
+  mutable finished : float option;
+  mutable status : string; (* "active" | "ok" | "error" *)
+  mutable error : string;
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable msgs : int;
+  mutable phases : (string * phase_stats) list; (* insertion order *)
+}
+
+let mu = Mutex.create ()
+let next_id = ref 0
+let accepted = ref 0
+let failed = ref 0
+let completed = ref 0
+let decode_errors = ref 0
+let timeouts = ref 0
+let active : conn list ref = ref []
+let recent : conn list ref = ref [] (* finished connections, newest first *)
+let recent_cap = 64
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let reset () =
+  locked (fun () ->
+      next_id := 0;
+      accepted := 0;
+      failed := 0;
+      completed := 0;
+      decode_errors := 0;
+      timeouts := 0;
+      active := [];
+      recent := [])
+
+let begin_conn ~peer =
+  locked (fun () ->
+      incr accepted;
+      let c =
+        {
+          id = !next_id;
+          peer;
+          digest = "";
+          started = Unix.gettimeofday ();
+          finished = None;
+          status = "active";
+          error = "";
+          bytes_sent = 0;
+          bytes_recv = 0;
+          msgs = 0;
+          phases = [];
+        }
+      in
+      incr next_id;
+      active := c :: !active;
+      c)
+
+let phase_of c name =
+  match List.assoc_opt name c.phases with
+  | Some p -> p
+  | None ->
+    let p = { p_sent = 0; p_recv = 0; p_msgs = 0; p_seconds = 0.0 } in
+    c.phases <- c.phases @ [ (name, p) ];
+    p
+
+let set_digest c d = locked (fun () -> c.digest <- d)
+
+let record_sent c ~phase n =
+  locked (fun () ->
+      c.bytes_sent <- c.bytes_sent + n;
+      c.msgs <- c.msgs + 1;
+      let p = phase_of c phase in
+      p.p_sent <- p.p_sent + n;
+      p.p_msgs <- p.p_msgs + 1)
+
+let record_recv c ~phase n =
+  locked (fun () ->
+      c.bytes_recv <- c.bytes_recv + n;
+      let p = phase_of c phase in
+      p.p_recv <- p.p_recv + n)
+
+let record_phase_time c ~phase s =
+  locked (fun () ->
+      let p = phase_of c phase in
+      p.p_seconds <- p.p_seconds +. s)
+
+let record_decode_error () = locked (fun () -> incr decode_errors)
+let record_timeout () = locked (fun () -> incr timeouts)
+
+let end_conn c outcome =
+  locked (fun () ->
+      c.finished <- Some (Unix.gettimeofday ());
+      (match outcome with
+      | `Ok ->
+        c.status <- "ok";
+        incr completed
+      | `Error msg ->
+        c.status <- "error";
+        c.error <- msg;
+        incr failed);
+      active := List.filter (fun x -> x.id <> c.id) !active;
+      recent := c :: !recent;
+      if List.length !recent > recent_cap then
+        recent := List.filteri (fun i _ -> i < recent_cap) !recent)
+
+let duration_s c =
+  match c.finished with Some t -> t -. c.started | None -> Unix.gettimeofday () -. c.started
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-connection Prometheus series, labelled by connection id, peer,
+   digest and phase. Prepended to the global Zobs exposition by the
+   metrics endpoint via [Zobs.Prometheus.render ~extra]. *)
+let prometheus () =
+  locked (fun () ->
+      let b = Buffer.create 2048 in
+      let open Zobs.Prometheus in
+      typ b "zaatar_server_connections_accepted_total" "counter";
+      int_metric b ~name:"zaatar_server_connections_accepted_total" !accepted;
+      typ b "zaatar_server_connections_active" "gauge";
+      int_metric b ~name:"zaatar_server_connections_active" (List.length !active);
+      typ b "zaatar_server_connections_completed_total" "counter";
+      int_metric b ~name:"zaatar_server_connections_completed_total" !completed;
+      typ b "zaatar_server_connections_failed_total" "counter";
+      int_metric b ~name:"zaatar_server_connections_failed_total" !failed;
+      typ b "zaatar_server_decode_errors_total" "counter";
+      int_metric b ~name:"zaatar_server_decode_errors_total" !decode_errors;
+      typ b "zaatar_server_timeouts_total" "counter";
+      int_metric b ~name:"zaatar_server_timeouts_total" !timeouts;
+      let conns = !active @ !recent in
+      if conns <> [] then begin
+        List.iter
+          (fun (n, k) -> typ b n k)
+          [
+            ("zaatar_conn_bytes_sent_total", "counter");
+            ("zaatar_conn_bytes_recv_total", "counter");
+            ("zaatar_conn_msgs_total", "counter");
+            ("zaatar_conn_phase_seconds_total", "counter");
+            ("zaatar_conn_duration_seconds", "gauge");
+          ];
+        List.iter
+          (fun c ->
+            let base =
+              [ ("conn", string_of_int c.id); ("peer", c.peer); ("digest", c.digest) ]
+            in
+            float_metric b ~labels:(base @ [ ("status", c.status) ])
+              ~name:"zaatar_conn_duration_seconds" (duration_s c);
+            List.iter
+              (fun (phase, p) ->
+                let labels = base @ [ ("phase", phase) ] in
+                int_metric b ~labels ~name:"zaatar_conn_bytes_sent_total" p.p_sent;
+                int_metric b ~labels ~name:"zaatar_conn_bytes_recv_total" p.p_recv;
+                int_metric b ~labels ~name:"zaatar_conn_msgs_total" p.p_msgs;
+                float_metric b ~labels ~name:"zaatar_conn_phase_seconds_total" p.p_seconds)
+              c.phases)
+          conns
+      end;
+      Buffer.contents b)
+
+let conn_json c =
+  let open Zobs.Json in
+  Obj
+    [
+      ("id", Num (float_of_int c.id));
+      ("peer", Str c.peer);
+      ("digest", Str c.digest);
+      ("status", Str c.status);
+      ("error", Str c.error);
+      ("started_s", Num c.started);
+      ("duration_s", Num (duration_s c));
+      ("bytes_sent", Num (float_of_int c.bytes_sent));
+      ("bytes_recv", Num (float_of_int c.bytes_recv));
+      ("msgs", Num (float_of_int c.msgs));
+      ( "phases",
+        Obj
+          (List.map
+             (fun (name, p) ->
+               ( name,
+                 Obj
+                   [
+                     ("sent", Num (float_of_int p.p_sent));
+                     ("recv", Num (float_of_int p.p_recv));
+                     ("msgs", Num (float_of_int p.p_msgs));
+                     ("seconds", Num p.p_seconds);
+                   ] ))
+             c.phases) );
+    ]
+
+let json () =
+  locked (fun () ->
+      let open Zobs.Json in
+      Obj
+        [
+          ( "server",
+            Obj
+              [
+                ("accepted", Num (float_of_int !accepted));
+                ("active", Num (float_of_int (List.length !active)));
+                ("completed", Num (float_of_int !completed));
+                ("failed", Num (float_of_int !failed));
+                ("decode_errors", Num (float_of_int !decode_errors));
+                ("timeouts", Num (float_of_int !timeouts));
+              ] );
+          ("connections", Arr (List.map conn_json (!active @ !recent)));
+        ])
+
+(* Quick snapshot for tests and the serve summary line. *)
+let totals () =
+  locked (fun () ->
+      (!accepted, List.length !active, !completed, !failed, !decode_errors, !timeouts))

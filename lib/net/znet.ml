@@ -2,6 +2,9 @@
    timeouts and bounded retry. See znet.mli for the contract; DESIGN.md §9
    for how the argument layer drives it. *)
 
+module Svcstats = Svcstats
+module Metrics_http = Metrics_http
+
 type error =
   | Timeout of string
   | Refused of string
@@ -48,6 +51,7 @@ let string_of_sockaddr = function
 type conn = { fd : Unix.file_descr; mutable peer : string }
 
 let of_fd fd = { fd; peer = "fd" }
+let peer conn = conn.peer
 
 let set_timeout conn ms =
   let s = float_of_int ms /. 1000.0 in
@@ -91,6 +95,15 @@ let connect ?(timeout_ms = 5000) ?(retries = 5) ?(backoff_ms = 50) addr =
       set_timeout conn timeout_ms;
       conn
     | exception Net_error e when transient e && n < retries ->
+      Zobs.Log.warn
+        ~fields:
+          [
+            Zobs.Log.str "peer" addr;
+            Zobs.Log.int "attempt" (n + 1);
+            Zobs.Log.int "backoff_ms" backoff;
+            Zobs.Log.str "cause" (error_to_string e);
+          ]
+        "connect retry";
       Unix.sleepf (float_of_int backoff /. 1000.0);
       attempt (n + 1) (backoff * 2)
     | exception Net_error e ->

@@ -9,6 +9,14 @@
     taxonomy — connection refused, peer crash mid-frame, timeout — rather
     than a raw [Unix.Unix_error]. *)
 
+module Svcstats = Svcstats
+(** Per-connection accounting for the serve path (always on, mutex
+    protected); rendered by the [--metrics-listen] endpoint. *)
+
+module Metrics_http = Metrics_http
+(** Minimal HTTP/1.0 text server (own Domain) + one-shot GET client for
+    the metrics endpoint and [zaatar stats]. *)
+
 type error =
   | Timeout of string
   | Refused of string  (** connect failed after all retries *)
@@ -30,6 +38,10 @@ type conn
 
 val of_fd : Unix.file_descr -> conn
 (** Wrap an existing stream socket (tests, [accept]). *)
+
+val peer : conn -> string
+(** Peer name: the ["HOST:PORT"] given to {!connect}, the remote address
+    for accepted connections, ["fd"] for {!of_fd}. *)
 
 val connect : ?timeout_ms:int -> ?retries:int -> ?backoff_ms:int -> string -> conn
 (** Connect to ["HOST:PORT"]. Each attempt is bounded by [timeout_ms]

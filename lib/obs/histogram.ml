@@ -35,3 +35,23 @@ let observe h v = if Registry.on () then ignore (Atomic.fetch_and_add h.buckets.
 let name h = h.name
 
 let total h = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.buckets
+
+(* Approximate percentile from a snapshot: the lower bound of the bucket
+   holding the ceil(p% * total)-th sample, so the answer is exact up to the
+   power-of-two bucket resolution. [None] on an empty histogram. Operating
+   on snapshots keeps one read consistent across p50/p95/p99 and lets the
+   sinks compute percentiles from registry values they already hold. *)
+let percentile_of_snapshot (snap : (int * int) list) (p : float) : int option =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 snap in
+  if total = 0 then None
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+    let rank = min total (max 1 rank) in
+    let rec go acc = function
+      | [] -> None
+      | (lo, c) :: rest -> if acc + c >= rank then Some lo else go (acc + c) rest
+    in
+    go 0 snap
+  end
+
+let percentile h p = percentile_of_snapshot (snapshot h) p

@@ -1,0 +1,101 @@
+(* Leveled structured logging: one JSON object per line (JSONL), suitable
+   for shipping to a log pipeline or grepping with jq. Sits next to the
+   metric registry because the server paths (Remote, Znet) want the same
+   per-connection fields — peer, digest, phase — on both their counters and
+   their log lines.
+
+   Disabled by default: with no sink configured a log call is one mutex-free
+   load and a branch. Configure with [set_sink]/[set_level], or through the
+   environment: ZAATAR_LOG=stderr|PATH enables JSONL output for the whole
+   process, ZAATAR_LOG_LEVEL=debug|info|warn|error picks the threshold
+   (default info). *)
+
+type level = Debug | Info | Warn | Error
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type sink = [ `Off | `Channel of out_channel | `File of string ]
+
+let mu = Mutex.create ()
+let threshold = ref Info
+let chan : out_channel option ref = ref None
+let owns_chan = ref false (* close on replacement only if we opened it *)
+
+(* Cheap enabled check outside the mutex: a [None] sink never logs. *)
+let active = Atomic.make false
+
+let set_level l =
+  Mutex.lock mu;
+  threshold := l;
+  Mutex.unlock mu
+
+let set_sink (s : sink) =
+  Mutex.lock mu;
+  (match !chan with
+  | Some oc when !owns_chan -> ( try close_out oc with Sys_error _ -> ())
+  | _ -> ());
+  (match s with
+  | `Off ->
+    chan := None;
+    owns_chan := false
+  | `Channel oc ->
+    chan := Some oc;
+    owns_chan := false
+  | `File path ->
+    chan := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path);
+    owns_chan := true);
+  Atomic.set active (!chan <> None);
+  Mutex.unlock mu
+
+let enabled l = Atomic.get active && rank l >= rank !threshold
+
+(* Field helpers so call sites stay one line. *)
+let str k v = (k, Json.Str v)
+let int k v = (k, Json.Num (float_of_int v))
+let float k v = (k, Json.Num v)
+let bool k v = (k, Json.Bool v)
+
+let log ?(fields = []) l msg =
+  if enabled l then begin
+    let line =
+      Json.Obj
+        ([
+           ("ts", Json.Num (Unix.gettimeofday ()));
+           ("level", Json.Str (level_name l));
+           ("msg", Json.Str msg);
+         ]
+        @ fields)
+    in
+    Mutex.lock mu;
+    (match !chan with
+    | Some oc ->
+      output_string oc (Json.to_string line);
+      output_char oc '\n';
+      flush oc
+    | None -> ());
+    Mutex.unlock mu
+  end
+
+let debug ?fields msg = log ?fields Debug msg
+let info ?fields msg = log ?fields Info msg
+let warn ?fields msg = log ?fields Warn msg
+let error ?fields msg = log ?fields Error msg
+
+let () =
+  (match Sys.getenv_opt "ZAATAR_LOG_LEVEL" with
+  | Some s -> ( match level_of_string s with Some l -> set_level l | None -> ())
+  | None -> ());
+  match Sys.getenv_opt "ZAATAR_LOG" with
+  | Some "" | None -> ()
+  | Some "stderr" -> set_sink (`Channel stderr)
+  | Some "stdout" -> set_sink (`Channel stdout)
+  | Some path -> set_sink (`File path)

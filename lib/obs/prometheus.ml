@@ -1,0 +1,112 @@
+(* Prometheus text exposition (format 0.0.4) of the Zobs registry: every
+   counter, histogram (with cumulative le-buckets and approximate
+   p50/p95/p99 gauges) and span aggregate, rendered on demand by the
+   `--metrics-listen` endpoint. Metric names are the Zobs dotted names with
+   a `zaatar_` prefix and dots mapped to underscores, so
+   `wire.bytes.sent.hello` scrapes as `zaatar_wire_bytes_sent_hello`. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+(* Label values need backslash, double-quote and newline escaped per the
+   exposition format. *)
+let escape_label v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let metric b ?(labels = []) ~name v =
+  Buffer.add_string b name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, lv) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%s=\"%s\"" k (escape_label lv)))
+      labels;
+    Buffer.add_char b '}');
+  Buffer.add_string b (Printf.sprintf " %s\n" v)
+
+let typ b name kind = Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let int_metric b ?labels ~name v = metric b ?labels ~name (string_of_int v)
+let float_metric b ?labels ~name v = metric b ?labels ~name (Printf.sprintf "%.9g" v)
+
+let render_counters b =
+  List.iter
+    (fun (name, v) ->
+      let n = "zaatar_" ^ sanitize name in
+      typ b n "counter";
+      int_metric b ~name:n v)
+    (Registry.counter_values ())
+
+(* Bucket i of a Zobs histogram counts values in [lo, 2*lo), so the
+   inclusive upper bound Prometheus wants for `le` is 2*lo - 1 (and 0 for
+   the v <= 0 bucket). *)
+let render_histograms b =
+  List.iter
+    (fun (name, buckets) ->
+      if buckets <> [] then begin
+        let n = "zaatar_" ^ sanitize name in
+        typ b n "histogram";
+        let total =
+          List.fold_left
+            (fun acc (lo, c) ->
+              let acc = acc + c in
+              let le = if lo = 0 then "0" else string_of_int ((2 * lo) - 1) in
+              int_metric b ~labels:[ ("le", le) ] ~name:(n ^ "_bucket") acc;
+              acc)
+            0 buckets
+        in
+        int_metric b ~labels:[ ("le", "+Inf") ] ~name:(n ^ "_bucket") total;
+        int_metric b ~name:(n ^ "_count") total;
+        List.iter
+          (fun (suffix, p) ->
+            match Histogram.percentile_of_snapshot buckets p with
+            | Some v -> int_metric b ~name:(n ^ "_" ^ suffix) v
+            | None -> ())
+          [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0) ]
+      end)
+    (Registry.histogram_values ())
+
+let render_spans b =
+  let spans = Span.totals () in
+  if spans <> [] then begin
+    List.iter
+      (fun (tname, kind) -> typ b tname kind)
+      [
+        ("zaatar_span_seconds_total", "counter");
+        ("zaatar_span_exclusive_seconds_total", "counter");
+        ("zaatar_span_calls_total", "counter");
+      ];
+    List.iter
+      (fun (name, (s : Span.stat)) ->
+        let labels = [ ("name", name) ] in
+        float_metric b ~labels ~name:"zaatar_span_seconds_total" s.Span.total;
+        float_metric b ~labels ~name:"zaatar_span_exclusive_seconds_total" s.Span.exclusive;
+        int_metric b ~labels ~name:"zaatar_span_calls_total" s.Span.count)
+      spans
+  end
+
+(* [extra] lets a caller (the serve metrics endpoint) prepend its own
+   already-rendered exposition lines — per-connection series the global
+   registry does not know about. *)
+let render ?(extra = "") () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b extra;
+  render_counters b;
+  render_histograms b;
+  render_spans b;
+  Buffer.contents b

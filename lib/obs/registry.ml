@@ -13,6 +13,23 @@ let disable () = Atomic.set enabled false
 
 let mu = Mutex.create ()
 
+(* The distributed trace id: minted by the verifier, carried to the prover
+   in the wire Hello, stamped into every Chrome-trace export so the merge
+   step (Sink.merge_chrome_trace_files) can correlate the two processes.
+   Empty means "no distributed trace". *)
+let trace_id_v = ref ""
+
+let set_trace_id id =
+  Mutex.lock mu;
+  trace_id_v := id;
+  Mutex.unlock mu
+
+let trace_id () =
+  Mutex.lock mu;
+  let id = !trace_id_v in
+  Mutex.unlock mu;
+  id
+
 (* (name, read, reset). Registration replaces an existing entry with the
    same name so re-created metrics (tests) don't shadow stale readers. *)
 let counters : (string * (unit -> int) * (unit -> unit)) list ref = ref []

@@ -25,6 +25,14 @@ let pp_table fmt () =
       (fun (name, buckets) ->
         Format.fprintf fmt "  %-32s" name;
         List.iter (fun (lo, c) -> Format.fprintf fmt " [>=%d]:%d" lo c) buckets;
+        let p tag v =
+          match Histogram.percentile_of_snapshot buckets v with
+          | Some x -> Format.fprintf fmt " %s:%d" tag x
+          | None -> ()
+        in
+        p "p50" 50.0;
+        p "p95" 95.0;
+        p "p99" 99.0;
         Format.fprintf fmt "@.")
       histograms
   end;
@@ -32,17 +40,23 @@ let pp_table fmt () =
     Format.fprintf fmt "(%d span events dropped past the %s-event buffer)@." (Span.dropped_events ())
       "1M"
 
-let chrome_trace () : Json.t =
-  let evs = Span.events_snapshot () in
+(* Chrome-trace export. [pid]/[process_name] distinguish processes when
+   verifier- and prover-side traces are merged into one Perfetto view;
+   otherData records the distributed trace id and the absolute start time
+   [t0_s] so [merge_chrome_trace_files] can rebase the files onto a common
+   timeline (each file's event timestamps are relative to its own t0). *)
+let chrome_trace ?(pid = 0) ?(process_name = "zaatar") ?events () : Json.t =
+  let evs = match events with Some evs -> evs | None -> Span.events_snapshot () in
   let t0 = List.fold_left (fun acc (e : Span.event) -> Float.min acc e.Span.ts) infinity evs in
   let t0 = if evs = [] then 0.0 else t0 in
+  let fpid = float_of_int pid in
   let ev (e : Span.event) =
     Json.Obj
       [
         ("name", Json.Str e.Span.name);
         ("cat", Json.Str "zobs");
         ("ph", Json.Str "X");
-        ("pid", Json.Num 0.0);
+        ("pid", Json.Num fpid);
         ("tid", Json.Num (float_of_int e.Span.tid));
         ("ts", Json.Num ((e.Span.ts -. t0) *. 1e6));
         ("dur", Json.Num (e.Span.dur *. 1e6));
@@ -52,11 +66,28 @@ let chrome_trace () : Json.t =
             :: List.map (fun (k, v) -> (k, Json.Str v)) e.Span.attrs) );
       ]
   in
+  let name_meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num fpid);
+        ("tid", Json.Num 0.0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (List.map ev evs));
+      ("traceEvents", Json.Arr (name_meta :: List.map ev evs));
       ("displayTimeUnit", Json.Str "ms");
-      ("otherData", Json.Obj [ ("producer", Json.Str "zobs") ]);
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.Str "zobs");
+            ("process", Json.Str process_name);
+            ("trace_id", Json.Str (Registry.trace_id ()));
+            ("t0_s", Json.Num t0);
+          ] );
     ]
 
 let write_string path s =
@@ -65,7 +96,82 @@ let write_string path s =
   output_char oc '\n';
   close_out oc
 
-let write_chrome_trace path = write_string path (Json.to_string (chrome_trace ()))
+let write_chrome_trace ?pid ?process_name ?events path =
+  write_string path (Json.to_string (chrome_trace ?pid ?process_name ?events ()))
+
+(* Merge per-process Chrome traces (verifier + prover sidecar) into one
+   file: file i's events land under pid i, rebased from that file's t0_s
+   onto the earliest t0 across all inputs, so the merged Perfetto view
+   shows compute vs. network wait side by side on one timeline. All inputs
+   carrying a non-empty trace id must agree on it. *)
+let merge_chrome_trace_files ~out paths =
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (path, Json.parse s)
+  in
+  let files = List.map read paths in
+  let t0_of j =
+    match Option.bind (Json.member "otherData" j) (Json.member "t0_s") with
+    | Some (Json.Num t) -> t
+    | _ -> 0.0
+  in
+  let id_of j =
+    match Option.bind (Json.member "otherData" j) (Json.member "trace_id") with
+    | Some (Json.Str s) -> s
+    | _ -> ""
+  in
+  let ids = List.filter (fun id -> id <> "") (List.map (fun (_, j) -> id_of j) files) in
+  let trace_id =
+    match ids with
+    | [] -> ""
+    | id :: rest ->
+      if List.for_all (String.equal id) rest then id
+      else invalid_arg "merge_chrome_trace_files: trace ids differ across inputs"
+  in
+  let base_t0 = List.fold_left (fun acc (_, j) -> Float.min acc (t0_of j)) infinity files in
+  let base_t0 = if files = [] then 0.0 else base_t0 in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (path, j) ->
+           let shift = (t0_of j -. base_t0) *. 1e6 in
+           let evs =
+             match Option.bind (Json.member "traceEvents" j) Json.to_arr with
+             | Some evs -> evs
+             | None -> invalid_arg (path ^ ": no traceEvents array")
+           in
+           List.map
+             (fun ev ->
+               match ev with
+               | Json.Obj kvs ->
+                 Json.Obj
+                   (List.map
+                      (fun (k, v) ->
+                        match (k, v) with
+                        | "pid", _ -> (k, Json.Num (float_of_int i))
+                        | "ts", Json.Num t -> (k, Json.Num (t +. shift))
+                        | kv -> kv)
+                      kvs)
+               | ev -> ev)
+             evs)
+         files)
+  in
+  write_string out
+    (Json.to_string
+       (Json.Obj
+          [
+            ("traceEvents", Json.Arr events);
+            ("displayTimeUnit", Json.Str "ms");
+            ( "otherData",
+              Json.Obj
+                [
+                  ("producer", Json.Str "zobs-merge");
+                  ("trace_id", Json.Str trace_id);
+                  ("merged_from", Json.Arr (List.map (fun (p, _) -> Json.Str p) files));
+                ] );
+          ]))
 
 let jsonl_summary () =
   let b = Buffer.create 1024 in
@@ -81,17 +187,23 @@ let jsonl_summary () =
   List.iter
     (fun (name, buckets) ->
       if buckets <> [] then
+        let pct tag p =
+          match Histogram.percentile_of_snapshot buckets p with
+          | Some v -> [ (tag, Json.Num (float_of_int v)) ]
+          | None -> []
+        in
         line
           (Json.Obj
-             [
-               ("kind", Json.Str "histogram");
-               ("name", Json.Str name);
-               ( "buckets",
-                 Json.Arr
-                   (List.map
-                      (fun (lo, c) -> Json.Arr [ Json.Num (float_of_int lo); Json.Num (float_of_int c) ])
-                      buckets) );
-             ]))
+             ([
+                ("kind", Json.Str "histogram");
+                ("name", Json.Str name);
+                ( "buckets",
+                  Json.Arr
+                    (List.map
+                       (fun (lo, c) -> Json.Arr [ Json.Num (float_of_int lo); Json.Num (float_of_int c) ])
+                       buckets) );
+              ]
+             @ pct "p50" 50.0 @ pct "p95" 95.0 @ pct "p99" 99.0)))
     (Registry.histogram_values ());
   List.iter
     (fun (name, (s : Span.stat)) ->

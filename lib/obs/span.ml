@@ -81,6 +81,20 @@ let events_snapshot () =
   Mutex.unlock mu;
   l
 
+(* Number of events recorded so far: a mark taken before a unit of work
+   (one served connection) lets [events_since] slice out just that unit's
+   spans for a per-connection sidecar trace. *)
+let event_count () =
+  Mutex.lock mu;
+  let n = !n_events in
+  Mutex.unlock mu;
+  n
+
+let events_since mark =
+  let l = events_snapshot () in
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+  drop mark l
+
 let totals () =
   Mutex.lock mu;
   let l =

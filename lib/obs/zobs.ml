@@ -14,6 +14,8 @@ module Counter = Counter
 module Histogram = Histogram
 module Span = Span
 module Sink = Sink
+module Log = Log
+module Prometheus = Prometheus
 
 let enable = Registry.enable
 let disable = Registry.disable
@@ -22,11 +24,36 @@ let enabled = Registry.on
 (* Zero every counter/histogram and drop all recorded spans. *)
 let reset () =
   Registry.reset ();
-  Span.reset ()
+  Span.reset ();
+  Registry.set_trace_id ""
 
 let report fmt = Sink.pp_table fmt
 let write_chrome_trace = Sink.write_chrome_trace
 let write_jsonl = Sink.write_jsonl
+
+(* {2 Distributed trace ids}
+
+   The verifier mints an id, carries it to the prover in the wire Hello,
+   and both sides stamp their Chrome-trace exports with it; the merge step
+   then produces one Perfetto view spanning both processes. *)
+
+let set_trace_id = Registry.set_trace_id
+let trace_id = Registry.trace_id
+
+(* 16 hex chars from an FNV-1a 64 hash of wall clock + pid: unique enough
+   to correlate one verifier run with its prover sidecar, and deliberately
+   not drawn from any protocol PRG (transcripts must not shift). *)
+let mint_trace_id () =
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    for i = 0 to 7 do
+      h := Int64.mul (Int64.logxor !h (Int64.of_int ((v lsr (8 * i)) land 0xff))) fnv_prime
+    done
+  in
+  mix (int_of_float (Unix.gettimeofday () *. 1e6));
+  mix (Unix.getpid ());
+  Printf.sprintf "%016Lx" !h
 
 let () =
   match Sys.getenv_opt "ZAATAR_TRACE" with

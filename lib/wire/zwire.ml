@@ -14,7 +14,14 @@ open Fieldlib
 open Zcrypto
 
 let magic = "ZW"
-let version = 1
+
+(* Version 2 extends Hello with the distributed trace id. Version 1 frames
+   are still accepted (the Hello payload just lacks the trailing trace_id
+   field, decoded as ""), so old verifiers interoperate with new provers;
+   anything newer than [version] is rejected with Bad_version, which the
+   serve path reports to the peer as an Error_msg before closing. *)
+let version = 2
+let min_version = 1
 
 type error =
   | Truncated of string
@@ -45,6 +52,7 @@ type hello = {
   rho_lin : int;
   p_bits : int;
   inputs : Fp.el array array;
+  trace_id : string; (* v2+: distributed trace id; "" = no trace *)
 }
 
 type commit_request = {
@@ -269,7 +277,7 @@ let group_width codec what =
   | Some { group_p = Some p; _ } -> (nat_bytes p, p)
   | _ -> fail (Missing_context what)
 
-let encode_payload ?codec b = function
+let encode_payload ?codec ~version:v b = function
   | Hello h ->
     let width = nat_bytes h.modulus in
     put_str b h.digest;
@@ -277,7 +285,8 @@ let encode_payload ?codec b = function
     put_u16 b h.rho;
     put_u16 b h.rho_lin;
     put_u16 b h.p_bits;
-    put_vecs b ~width h.inputs
+    put_vecs b ~width h.inputs;
+    if v >= 2 then put_str b h.trace_id
   | Hello_ok digest -> put_str b digest
   | Commit_request cr ->
     let width = nat_bytes cr.group_p in
@@ -335,7 +344,7 @@ let encode_payload ?codec b = function
     let s = if String.length s > 0xffff then String.sub s 0 0xffff else s in
     put_str b s
 
-let decode_payload ?codec r tag =
+let decode_payload ?codec ~version:v r tag =
   match tag with
   | 1 ->
     let digest = get_str r "hello.digest" in
@@ -349,7 +358,8 @@ let decode_payload ?codec r tag =
     let rho_lin = get_u16 r "hello.rho_lin" in
     let p_bits = get_u16 r "hello.p_bits" in
     let inputs = get_vecs r ~width:(nat_bytes modulus) ~ctx "hello.inputs" in
-    Hello { digest; modulus; rho; rho_lin; p_bits; inputs }
+    let trace_id = if v >= 2 then get_str r "hello.trace_id" else "" in
+    Hello { digest; modulus; rho; rho_lin; p_bits; inputs; trace_id }
   | 2 -> Hello_ok (get_str r "hello_ok.digest")
   | 3 ->
     let group_p = get_nat r "commit.group_p" in
@@ -409,13 +419,15 @@ let decode_payload ?codec r tag =
 
 let header_len = 2 + 1 + 1 + 4
 
-let encode ?codec m =
+let encode ?codec ?(version = version) m =
+  if version < min_version || version > 2 then
+    invalid_arg (Printf.sprintf "Zwire.encode: cannot speak version %d" version);
   let b = Buffer.create 256 in
   Buffer.add_string b magic;
   put_u8 b version;
   put_u8 b (tag_of_msg m);
   put_u32 b 0 (* payload length backpatched below *);
-  encode_payload ?codec b m;
+  encode_payload ?codec ~version b m;
   let out = Buffer.to_bytes b in
   let plen = Bytes.length out - header_len in
   Bytes.set_uint8 out 4 ((plen lsr 24) land 0xff);
@@ -431,14 +443,14 @@ let decode ?codec (buf : bytes) =
   if Bytes.get r.buf 0 <> magic.[0] || Bytes.get r.buf 1 <> magic.[1] then fail Bad_magic;
   r.pos <- 2;
   let v = get_u8 r "version" in
-  if v <> version then fail (Bad_version v);
+  if v < min_version || v > version then fail (Bad_version v);
   let tag = get_u8 r "tag" in
   let plen = get_u32 r "payload length" in
   if plen > remaining r then fail (Truncated "payload");
   let stop = r.pos + plen in
   if Bytes.length buf > stop then fail (Trailing_bytes (Bytes.length buf - stop));
   let r = { r with stop } in
-  let m = decode_payload ?codec r tag in
+  let m = decode_payload ?codec ~version:v r tag in
   if remaining r <> 0 then fail (Trailing_bytes (remaining r));
   count_recv (phase_of_tag tag) (Bytes.length buf);
   m
@@ -460,6 +472,7 @@ let msg_equal a b =
   | Hello x, Hello y ->
     x.digest = y.digest && Nat.equal x.modulus y.modulus && x.rho = y.rho
     && x.rho_lin = y.rho_lin && x.p_bits = y.p_bits && vecs_eq x.inputs y.inputs
+    && x.trace_id = y.trace_id
   | Hello_ok x, Hello_ok y -> x = y
   | Commit_request x, Commit_request y ->
     Nat.equal x.group_p y.group_p && Nat.equal x.group_q y.group_q

@@ -28,6 +28,13 @@ val magic : string
 (** ["ZW"] — the two header magic bytes. *)
 
 val version : int
+(** Current wire version (2). Version 2 extends Hello with a distributed
+    trace id; frames from [min_version] up are still decoded. *)
+
+val min_version : int
+(** Oldest wire version this peer still decodes (1). A frame whose version
+    byte is below [min_version] or above [version] raises
+    [Decode_error (Bad_version _)]. *)
 
 (** {1 Decode errors} *)
 
@@ -53,6 +60,9 @@ type hello = {
   rho_lin : int;
   p_bits : int;
   inputs : Fp.el array array;  (** one input vector per batch instance *)
+  trace_id : string;
+      (** v2+: distributed trace id minted by the verifier; [""] = no trace.
+          Absent on the wire in version-1 frames (decoded as [""]). *)
 }
 
 type commit_request = {
@@ -105,12 +115,14 @@ type codec = {
 
 val codec : ?group_p:Nat.t -> Fp.ctx -> codec
 
-val encode : ?codec:codec -> msg -> bytes
+val encode : ?codec:codec -> ?version:int -> msg -> bytes
 (** Encode one framed message. [Hello], [Hello_ok], [Commit_request],
     [Verdicts] and [Error_msg] are self-contained; [Queries] and [Answers]
     need [codec.field], [Commitments] needs [codec.group_p]. Raises
     [Invalid_argument] when the needed context is missing (a programming
-    error on the sending side). Records [wire.bytes.sent]. *)
+    error on the sending side), or when [version] is outside
+    [[min_version, version]] (useful in tests to emit downlevel frames).
+    Records [wire.bytes.sent]. *)
 
 val decode : ?codec:codec -> bytes -> msg
 (** Decode one framed message; raises {!Decode_error} on malformed input

@@ -43,12 +43,33 @@ grep -q "sent and received bytes balance" "$tmp/wire.out" || { echo "wire bytes 
 grep -q '"network"' "$tmp/WIRE_run.json" || { echo "network section missing from summary" >&2; exit 1; }
 grep -q '"balanced":true' "$tmp/WIRE_run.json" || { echo "network balance not recorded" >&2; exit 1; }
 
-echo "== socket smoke (zaatar serve / run --connect) =="
-# Start a one-shot prover on an ephemeral port, verify a batch against it
-# over TCP, and require every instance to verify.
+echo "== cost model gate (bench --check-model) =="
+# The model experiment records predicted vs. measured prover seconds per
+# phase into the summary; --check-model turns a total outside the band
+# into a non-zero exit. Run it once expecting a pass, once with an absurd
+# band expecting the breach to be fatal.
+dune exec bench/main.exe -- model --quick --check-model --json "$tmp/MODEL_run.json" | tee "$tmp/model.out"
+grep -q "cost model check OK" "$tmp/model.out" || { echo "check-model did not report OK" >&2; exit 1; }
+grep -q '"model"' "$tmp/MODEL_run.json" || { echo "model section missing from summary" >&2; exit 1; }
+grep -q '"delta"' "$tmp/MODEL_run.json" || { echo "model deltas missing from summary" >&2; exit 1; }
+if dune exec bench/main.exe -- model --quick --check-model --model-band 1000:1001 \
+    --json "$tmp/MODEL_fail.json" > "$tmp/model_fail.out" 2>&1; then
+  echo "check-model did not exit non-zero on tolerance breach" >&2
+  exit 1
+fi
+grep -q "cost model breach" "$tmp/model_fail.out" || { echo "breach message missing" >&2; cat "$tmp/model_fail.out" >&2; exit 1; }
+
+echo "== socket smoke (zaatar serve / run --connect, metrics + traces) =="
+# Start a one-shot prover on an ephemeral port with the live metrics
+# endpoint and per-connection trace sidecars, scrape the endpoint with
+# `zaatar stats`, verify a traced batch against it over TCP, and merge the
+# two Chrome traces into one two-pid view.
 dune build bin/zaatar_cli.exe
+mkdir -p "$tmp/traces"
 : > "$tmp/serve.log"
 dune exec bin/zaatar_cli.exe -- serve examples/payroll.zl --listen 127.0.0.1:0 --once \
+  --metrics-listen 127.0.0.1:0 --trace "$tmp/prover_proc.json" --trace-dir "$tmp/traces" \
+  --log-json "$tmp/serve_log.jsonl" \
   > "$tmp/serve.log" 2>&1 &
 serve_pid=$!
 addr=""
@@ -64,15 +85,30 @@ if [ -z "$addr" ]; then
   kill "$serve_pid" 2>/dev/null || true
   exit 1
 fi
+maddr="$(sed -n 's/^metrics on //p' "$tmp/serve.log")"
+[ -n "$maddr" ] || { echo "prover never reported its metrics address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+dune exec bin/zaatar_cli.exe -- stats "$maddr" | tee "$tmp/stats.out"
+grep -q "accepted" "$tmp/stats.out" || { echo "stats scrape missing server counters" >&2; exit 1; }
+dune exec bin/zaatar_cli.exe -- stats "$maddr" --raw | tee "$tmp/stats_raw.out"
+grep -q "zaatar_server_connections_accepted_total" "$tmp/stats_raw.out" \
+  || { echo "Prometheus exposition missing accepted counter" >&2; exit 1; }
 if ! dune exec bin/zaatar_cli.exe -- run examples/payroll.zl -i 38,45,40,52,31 \
-    --connect "$addr" | tee "$tmp/remote.out"; then
+    --connect "$addr" --trace "$tmp/verifier.json" | tee "$tmp/remote.out"; then
   echo "remote verification failed; server log:" >&2
   cat "$tmp/serve.log" >&2
   kill "$serve_pid" 2>/dev/null || true
   exit 1
 fi
 grep -q "verified" "$tmp/remote.out" || { echo "remote run did not verify" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q "trace id " "$tmp/remote.out" || { echo "verifier did not mint a trace id" >&2; exit 1; }
 wait "$serve_pid" || { echo "prover exited non-zero; server log:" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 grep -q "session complete" "$tmp/serve.log" || { echo "prover did not complete the session" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q '"peer"' "$tmp/serve_log.jsonl" || { echo "structured log lines missing peer field" >&2; exit 1; }
+test -s "$tmp/traces/prover_conn0.json" || { echo "prover trace sidecar missing" >&2; exit 1; }
+dune exec bin/zaatar_cli.exe -- trace-merge "$tmp/verifier.json" "$tmp/traces/prover_conn0.json" \
+  -o "$tmp/merged.json"
+grep -q '"pid":0' "$tmp/merged.json" || { echo "merged trace missing verifier pid" >&2; exit 1; }
+grep -q '"pid":1' "$tmp/merged.json" || { echo "merged trace missing prover pid" >&2; exit 1; }
+grep -q '"producer":"zobs-merge"' "$tmp/merged.json" || { echo "merged trace malformed" >&2; exit 1; }
 
 echo "== ci OK =="

@@ -111,7 +111,16 @@ let chrome_trace_tests =
                 let events =
                   Option.get (Option.bind (Zobs.Json.member "traceEvents" j) Zobs.Json.to_arr)
                 in
-                Alcotest.(check int) "two events" 2 (List.length events);
+                (* process_name metadata event + the two recorded spans *)
+                Alcotest.(check int) "three events" 3 (List.length events);
+                let meta, spans =
+                  List.partition
+                    (fun e ->
+                      Zobs.Json.to_str (Option.get (Zobs.Json.member "ph" e)) = Some "M")
+                    events
+                in
+                Alcotest.(check int) "one metadata event" 1 (List.length meta);
+                Alcotest.(check int) "two span events" 2 (List.length spans);
                 List.iter
                   (fun e ->
                     let field k = Option.get (Zobs.Json.member k e) in
@@ -122,7 +131,7 @@ let chrome_trace_tests =
                       (Option.get (Zobs.Json.to_num (field "ts")) >= 0.0);
                     Alcotest.(check bool) "dur >= 0" true
                       (Option.get (Zobs.Json.to_num (field "dur")) >= 0.0))
-                  events)));
+                  spans)));
   ]
 
 let json_tests =
@@ -172,5 +181,123 @@ let metrics_tests =
             Alcotest.(check int) "span recorded" 1 s.Zobs.Span.count));
   ]
 
+let percentile_tests =
+  [
+    Alcotest.test_case "percentiles: empty, singleton, all-equal" `Quick (fun () ->
+        with_tracing (fun () ->
+            let pct = Zobs.Histogram.percentile_of_snapshot in
+            Alcotest.(check (option int)) "empty histogram" None (pct [] 50.0);
+            let one = Zobs.Histogram.make "test.pct.one" in
+            Zobs.Histogram.observe one 100;
+            let snap = Zobs.Histogram.snapshot one in
+            (* 100 lands in the [64, 128) bucket; every percentile of a
+               single sample reports that bucket's lower bound. *)
+            List.iter
+              (fun p -> Alcotest.(check (option int)) (Printf.sprintf "p%.0f" p) (Some 64) (pct snap p))
+              [ 0.0; 50.0; 99.0; 100.0 ];
+            let eq = Zobs.Histogram.make "test.pct.eq" in
+            for _ = 1 to 1000 do
+              Zobs.Histogram.observe eq 7
+            done;
+            let snap = Zobs.Histogram.snapshot eq in
+            Alcotest.(check (option int)) "p50 of all-equal" (Some 4) (pct snap 50.0);
+            Alcotest.(check (option int)) "p99 of all-equal" (Some 4) (pct snap 99.0)));
+    Alcotest.test_case "percentiles split a bimodal distribution" `Quick (fun () ->
+        with_tracing (fun () ->
+            let h = Zobs.Histogram.make "test.pct.bimodal" in
+            for _ = 1 to 90 do
+              Zobs.Histogram.observe h 3
+            done;
+            for _ = 1 to 10 do
+              Zobs.Histogram.observe h 5000
+            done;
+            let snap = Zobs.Histogram.snapshot h in
+            let pct = Zobs.Histogram.percentile_of_snapshot in
+            Alcotest.(check (option int)) "p50 in the low mode" (Some 2) (pct snap 50.0);
+            Alcotest.(check (option int)) "p90 still low" (Some 2) (pct snap 90.0);
+            Alcotest.(check (option int)) "p99 in the high mode" (Some 4096) (pct snap 99.0)));
+    Alcotest.test_case "percentiles stay coherent under concurrent observers" `Quick (fun () ->
+        with_tracing (fun () ->
+            let h = Zobs.Histogram.make "test.pct.par" in
+            ignore
+              (Dompool.Pool.map ~domains:4
+                 (fun v -> Zobs.Histogram.observe h v)
+                 (Array.init 1000 (fun i -> i mod 32)));
+            Alcotest.(check int) "all observed" 1000 (Zobs.Histogram.total h);
+            match Zobs.Histogram.percentile h 50.0 with
+            | Some v -> Alcotest.(check bool) "p50 within observed range" true (v <= 16)
+            | None -> Alcotest.fail "histogram empty after 1000 observations"));
+  ]
+
+let contains s affix =
+  let n = String.length s and k = String.length affix in
+  let rec go i = i + k <= n && (String.sub s i k = affix || go (i + 1)) in
+  go 0
+
+let prometheus_tests =
+  [
+    Alcotest.test_case "render: counters, quantile gauges, extra block" `Quick (fun () ->
+        with_tracing (fun () ->
+            let c = Zobs.Counter.make "test.prom.hits" in
+            Zobs.Counter.add c 41;
+            Zobs.Counter.incr c;
+            let h = Zobs.Histogram.make "test.prom.lat" in
+            List.iter (Zobs.Histogram.observe h) [ 1; 2; 4; 1000 ];
+            let text = Zobs.Prometheus.render ~extra:"injected_metric 9\n" () in
+            Alcotest.(check bool) "counter line" true (contains text "test_prom_hits 42");
+            Alcotest.(check bool) "TYPE comment" true (contains text "# TYPE");
+            Alcotest.(check bool) "p50 gauge" true (contains text "test_prom_lat_p50");
+            Alcotest.(check bool) "histogram count" true (contains text "test_prom_lat_count 4");
+            Alcotest.(check bool) "extra appended" true (contains text "injected_metric 9");
+            (* Parse shape: every non-comment line is `name{labels} value`
+               with a float-parsable value. *)
+            String.split_on_char '\n' text
+            |> List.iter (fun line ->
+                   if line <> "" && line.[0] <> '#' then
+                     match String.rindex_opt line ' ' with
+                     | None -> Alcotest.failf "unparsable line %S" line
+                     | Some i ->
+                       let v = String.sub line (i + 1) (String.length line - i - 1) in
+                       if float_of_string_opt v = None then
+                         Alcotest.failf "non-numeric value in %S" line)));
+  ]
+
+let log_tests =
+  [
+    Alcotest.test_case "JSONL sink: leveled lines with structured fields" `Quick (fun () ->
+        let path = Filename.temp_file "zobs_log" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () ->
+            Zobs.Log.set_sink `Off;
+            Zobs.Log.set_level Zobs.Log.Info;
+            Sys.remove path)
+          (fun () ->
+            Zobs.Log.set_sink (`File path);
+            Zobs.Log.set_level Zobs.Log.Debug;
+            Zobs.Log.info ~fields:[ Zobs.Log.str "peer" "1.2.3.4:5"; Zobs.Log.int "conn" 7 ]
+              "connection accepted";
+            Zobs.Log.error "boom";
+            Zobs.Log.set_level Zobs.Log.Error;
+            Zobs.Log.info "suppressed below threshold";
+            Zobs.Log.set_sink `Off;
+            Zobs.Log.error "dropped after sink off";
+            let ic = open_in_bin path in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+            Alcotest.(check int) "two lines survive" 2 (List.length lines);
+            let j = Zobs.Json.parse (List.nth lines 0) in
+            let str k = Option.bind (Zobs.Json.member k j) Zobs.Json.to_str in
+            Alcotest.(check (option string)) "level" (Some "info") (str "level");
+            Alcotest.(check (option string)) "msg" (Some "connection accepted") (str "msg");
+            Alcotest.(check (option string)) "peer field" (Some "1.2.3.4:5") (str "peer");
+            Alcotest.(check (option (float 0.0))) "conn field" (Some 7.0)
+              (Option.bind (Zobs.Json.member "conn" j) Zobs.Json.to_num);
+            let j2 = Zobs.Json.parse (List.nth lines 1) in
+            Alcotest.(check (option string)) "error level" (Some "error")
+              (Option.bind (Zobs.Json.member "level" j2) Zobs.Json.to_str)));
+  ]
+
 let suite =
   span_tests @ counter_tests @ disabled_tests @ chrome_trace_tests @ json_tests @ metrics_tests
+  @ percentile_tests @ prometheus_tests @ log_tests

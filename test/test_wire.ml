@@ -42,6 +42,7 @@ let gen_hello prg =
       rho_lin = 1 + Chacha.Prg.int_below prg 10;
       p_bits = 61;
       inputs = Array.init batch (fun _ -> vec prg width);
+      trace_id = (if Chacha.Prg.int_below prg 2 = 0 then "" else hex prg);
     }
 
 let gen_commit_request prg =
@@ -295,5 +296,89 @@ let e2e_tests =
         Alcotest.(check bool) "session error raised" true raised);
   ]
 
+(* ---- Version negotiation ---- *)
+
+(* v1 frames predate the Hello trace id; v2 appended it. Downlevel frames
+   must keep decoding (with an empty trace id), and anything newer than
+   [Zwire.version] must be refused with the Bad_version taxonomy — over a
+   live connection, as an Error_msg before hanging up. *)
+let version_tests =
+  [
+    qtest "hello encoded at v1 decodes with an empty trace id" 50 arb_seed (fun s ->
+        match gen_hello (prg_of s) with
+        | Zwire.Hello h ->
+          Zwire.msg_equal
+            (Zwire.Hello { h with Zwire.trace_id = "" })
+            (Zwire.decode ~codec:wcodec (Zwire.encode ~codec:wcodec ~version:1 (Zwire.Hello h)))
+        | _ -> false);
+    qtest "non-hello messages are version-agnostic" 20 arb_seed (fun s ->
+        let msg = gen_queries (prg_of s) in
+        Zwire.msg_equal msg (Zwire.decode ~codec:wcodec (Zwire.encode ~codec:wcodec ~version:1 msg)));
+    Alcotest.test_case "version below min_version refused" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 2 '\000';
+        check_error "v0" (Zwire.Bad_version 0) (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "next version refused (no silent forward-compat)" `Quick (fun () ->
+        let b = Zwire.encode ~codec:wcodec (sample_msg ()) in
+        Bytes.set b 2 (Char.chr (Zwire.version + 1));
+        check_error "v+1" (Zwire.Bad_version (Zwire.version + 1)) (decode_fails ~codec:wcodec b));
+    Alcotest.test_case "encode refuses versions outside the window" `Quick (fun () ->
+        let bad v = match Zwire.encode ~version:v (Zwire.Verdicts [| true |]) with
+          | _ -> false
+          | exception Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "v0" true (bad 0);
+        Alcotest.(check bool) "v+1" true (bad (Zwire.version + 1)));
+    Alcotest.test_case "v1 hello accepted by a current prover" `Quick (fun () ->
+        (* A downlevel verifier (no trace id on the wire) must still get its
+           Hello_ok: the extension degrades, it does not divide. *)
+        let d = Argument.digest square_plus_3 in
+        let cfg = Argument.test_config in
+        let hello =
+          Zwire.Hello
+            {
+              Zwire.digest = d;
+              modulus = Primes.p61;
+              rho = cfg.Argument.params.Pcp.Pcp_zaatar.rho;
+              rho_lin = cfg.Argument.params.Pcp.Pcp_zaatar.rho_lin;
+              p_bits = cfg.Argument.p_bits;
+              inputs = [| [| fi 2 |] |];
+              trace_id = "dropped-on-v1-wire";
+            }
+        in
+        let reply =
+          with_prover_domain ~server_config:cfg
+            ~lookup:(fun d' -> if String.equal d' d then Some square_plus_3 else None)
+            (fun conn ->
+              Znet.send conn (Zwire.encode ~version:1 hello);
+              Zwire.decode (Znet.recv conn))
+        in
+        match reply with
+        | Zwire.Hello_ok _ -> ()
+        | m -> Alcotest.failf "expected Hello_ok, got tag %d" (Zwire.tag_of_msg m));
+    Alcotest.test_case "newer-version hello refused with Error_msg" `Quick (fun () ->
+        (* A peer from the future gets a clean protocol-level refusal, not a
+           dropped connection. *)
+        let d = Argument.digest square_plus_3 in
+        let reply =
+          with_prover_domain ~server_config:Argument.test_config
+            ~lookup:(fun d' -> if String.equal d' d then Some square_plus_3 else None)
+            (fun conn ->
+              let b = Zwire.encode (gen_hello (prg_of 17)) in
+              Bytes.set b 2 (Char.chr (Zwire.version + 1));
+              Znet.send conn b;
+              Zwire.decode (Znet.recv conn))
+        in
+        let contains_version s =
+          let n = String.length s and p = "version" in
+          let k = String.length p in
+          let rec go i = i + k <= n && (String.sub s i k = p || go (i + 1)) in
+          go 0
+        in
+        match reply with
+        | Zwire.Error_msg m -> Alcotest.(check bool) "names the version" true (contains_version m)
+        | m -> Alcotest.failf "expected Error_msg, got tag %d" (Zwire.tag_of_msg m));
+  ]
+
 let suite =
-  roundtrip_tests @ corruption_tests @ e2e_tests
+  roundtrip_tests @ corruption_tests @ e2e_tests @ version_tests
