@@ -1139,10 +1139,78 @@ let run_wire cfg =
   end;
   Printf.printf "\nsent and received bytes balance (%d B over %d message(s))\n%!" sent msgs
 
+(* ------------------------------------------------------------------ *)
+(* Lint: Zlint analyzer timing and finding counts over the suite       *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled by run_lint and folded into BENCH_run.json under "lint". The
+   benchmark computations are the largest systems we compile, so timing
+   the backend analyzer over them is the regression canary for Zlint
+   itself; finding counts are deterministic for a fixed configuration and
+   must stay at zero (the suite ships clean). *)
+let lint_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let run_lint cfg =
+  banner "Zlint: analyzer wall-clock and finding counts over the benchmark suite";
+  let ctx = ctx_of cfg in
+  let apps = Apps.Registry.suite ~scale:cfg.scale () in
+  let apps = if cfg.quick then [ List.hd apps ] else apps in
+  Printf.printf "%-28s %8s %8s %10s %10s %7s\n" "computation" "rows" "vars" "frontend s"
+    "backend s" "finds";
+  let rows =
+    List.map
+      (fun (app : Apps.App_def.t) ->
+        let front, t_front =
+          time_thunk (fun () -> Zlint.Frontend.check_source app.Apps.App_def.source)
+        in
+        let compiled = Apps.Glue.compile ctx app in
+        let sys = Zlang.Compile.zaatar_r1cs compiled in
+        let back, t_back = time_thunk (fun () -> Zlint.lint_compiled compiled) in
+        let findings = front @ back in
+        Printf.printf "%-28s %8d %8d %10.4f %10.4f %7d\n" app.Apps.App_def.name
+          (Constr.R1cs.num_constraints sys)
+          sys.Constr.R1cs.num_vars t_front t_back (List.length findings);
+        (app.Apps.App_def.name, Constr.R1cs.num_constraints sys, t_front, t_back, findings))
+      apps
+  in
+  let total_findings = List.concat_map (fun (_, _, _, _, f) -> f) rows in
+  let count sev = Zlint.Diagnostic.count_severity sev total_findings in
+  let errors = count Zlint.Diagnostic.Error
+  and warns = count Zlint.Diagnostic.Warn
+  and infos = count Zlint.Diagnostic.Info in
+  let num x = Zobs.Json.Num x and int n = Zobs.Json.Num (float_of_int n) in
+  lint_section :=
+    Zobs.Json.Obj
+      [
+        ( "apps",
+          Zobs.Json.Arr
+            (List.map
+               (fun (name, nc, t_front, t_back, findings) ->
+                 Zobs.Json.Obj
+                   [
+                     ("name", Zobs.Json.Str name);
+                     ("rows", int nc);
+                     ("frontend_s", num t_front);
+                     ("backend_s", num t_back);
+                     ("findings", int (List.length findings));
+                   ])
+               rows) );
+        ("errors", int errors);
+        ("warnings", int warns);
+        ("info", int infos);
+      ];
+  Printf.printf "\nlint totals: %d error(s), %d warning(s), %d info\n%!" errors warns infos;
+  (* The shipped suite linting dirty is itself a regression. *)
+  if errors > 0 then begin
+    Printf.eprintf "lint: benchmark suite has error-severity findings\n";
+    exit 1
+  end
+
 (* --baseline gate: diff this run against a committed BENCH_baseline.json
-   (refresh with `dune exec bench/main.exe -- model wire --json
+   (refresh with `dune exec bench/main.exe -- model wire lint --json
    BENCH_baseline.json`). Wire bytes are deterministic for a fixed
-   configuration, so the network section must match exactly; model deltas
+   configuration, so the network section must match exactly; lint finding
+   counts are deterministic too, while analyzer seconds and model deltas
    are wall-clock and may drift by at most [drift]x either way. *)
 let baseline_diff ~drift path cfg =
   let failed = ref false in
@@ -1248,11 +1316,63 @@ let baseline_diff ~drift path cfg =
             phases)
         !model_rows
     end);
+  (* Lint: finding counts are deterministic (compared exactly); analyzer
+     seconds are wall-clock and gated by the same drift band as the model. *)
+  (match (Zobs.Json.member "lint" base, !lint_section) with
+  | None, Zobs.Json.Null -> err "neither run has a lint section (run the lint experiment)"
+  | None, _ -> err "%s has no lint section — refresh the baseline" path
+  | Some _, Zobs.Json.Null -> err "this run has no lint section (lint experiment did not run)"
+  | Some bl, cl ->
+    List.iter
+      (fun k ->
+        match (jnum bl k, jnum cl k) with
+        | Some bv, Some cv when bv = cv -> ()
+        | Some bv, Some cv ->
+          err "lint.%s: %d here, %d in baseline" k (int_of_float cv) (int_of_float bv)
+        | _ -> err "lint.%s missing" k)
+      [ "errors"; "warnings"; "info" ];
+    let apps_of j =
+      match Option.bind (Zobs.Json.member "apps" j) Zobs.Json.to_arr with
+      | Some l ->
+        List.filter_map
+          (fun a ->
+            match Option.bind (Zobs.Json.member "name" a) Zobs.Json.to_str with
+            | Some n -> Some (n, a)
+            | None -> None)
+          l
+      | None -> []
+    in
+    let bapps = apps_of bl in
+    List.iter
+      (fun (name, capp) ->
+        match List.assoc_opt name bapps with
+        | None -> err "lint app %s missing from baseline" name
+        | Some bapp ->
+          (match (jnum bapp "findings", jnum capp "findings") with
+          | Some bv, Some cv when bv = cv -> ()
+          | Some bv, Some cv ->
+            err "lint %s: %d finding(s) here, %d in baseline" name (int_of_float cv)
+              (int_of_float bv)
+          | _ -> err "lint %s finding count missing" name);
+          (match (jnum bapp "rows", jnum capp "rows") with
+          | Some bv, Some cv when bv = cv -> ()
+          | Some bv, Some cv ->
+            err "lint %s: %d row(s) here, %d in baseline" name (int_of_float cv)
+              (int_of_float bv)
+          | _ -> err "lint %s row count missing" name);
+          (match (jnum bapp "backend_s", jnum capp "backend_s") with
+          | Some b, Some c ->
+            let d = c /. b in
+            if d > drift || Float.is_nan d then
+              err "lint %s: analyzer %.4fs vs. baseline %.4fs drifts beyond %gx" name c b drift
+          | _ -> err "lint %s backend_s missing" name))
+      (apps_of cl));
   if !failed then exit 1
   else
     Printf.printf
-      "baseline check OK against %s: network bytes identical, model deltas within %gx\n%!" path
-      drift
+      "baseline check OK against %s: network bytes identical, lint counts identical, model and \
+       lint timings within %gx\n%!"
+      path drift
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -1260,7 +1380,7 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire|lint]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
     \       [--check-model] [--model-band LO:HI] [--baseline FILE] [--drift X]";
@@ -1270,7 +1390,7 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "multiexp"; "wire" ]
+    "soundness"; "ablation"; "multiexp"; "wire"; "lint" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -1324,13 +1444,14 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   in
   let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
+  let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
   Obj
     ([
        ("schema", Str "zaatar-bench-run/1");
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ network @ model
+    @ multiexp @ network @ model @ lint
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -1432,7 +1553,8 @@ let () =
   let targets =
     let need =
       (if !check || !baseline <> None then [ "model" ] else [])
-      @ if !baseline <> None then [ "wire" ] else []
+      @ (if !baseline <> None then [ "wire" ] else [])
+      @ if !baseline <> None then [ "lint" ] else []
     in
     targets @ List.filter (fun t -> not (List.mem t targets)) need
   in
@@ -1458,6 +1580,7 @@ let () =
     | "ablation" -> run_ablation cfg
     | "multiexp" -> run_multiexp cfg
     | "wire" -> run_wire cfg
+    | "lint" -> run_lint cfg
     | t ->
       Printf.eprintf "unknown experiment %S\n" t;
       usage ()

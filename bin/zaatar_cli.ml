@@ -1,6 +1,7 @@
 (* The zaatar command-line interface.
 
      zaatar compile FILE.zl              constraint/proof encoding statistics
+     zaatar lint FILE.zl|SYS.r1cs ...    Zlint soundness analysis (DESIGN.md §11)
      zaatar run FILE.zl -i 1,2,3 ...     compile, prove and verify a batch
      zaatar run ... --connect H:P        same, against a remote prover
      zaatar serve FILE.zl --listen H:P   networked prover service
@@ -9,7 +10,12 @@
      zaatar bench NAME [--scale N]       one built-in benchmark, end to end
      zaatar selftest                     differential checks of all benchmarks
      zaatar check SYS.r1cs WITNESS       check a serialized witness
-     zaatar micro [--field-bits N]       the section-5.1 microbenchmark row *)
+     zaatar micro [--field-bits N]       the section-5.1 microbenchmark row
+
+   Exit-code contract (README "Linting"): 0 success, 1 operational failure
+   (unreadable file, network error, REJECTED proof, ...), 2 lint errors —
+   the program is well-formed enough to analyze but the analysis found
+   error-severity findings. *)
 
 open Fieldlib
 open Cmdliner
@@ -89,6 +95,64 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a ZL program and print encoding statistics")
     Term.(const run $ file $ field_bits_arg $ emit)
+
+(* ---- zaatar lint ---- *)
+
+let lint_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Targets: .zl sources get both lint layers (AST checks, then the compiled \
+                system); anything else is read as a serialized .r1cs and gets the backend \
+                layer only.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let unroll_budget =
+    Arg.(
+      value
+      & opt pos_int_conv Zlint.Frontend.default_cfg.Zlint.Frontend.unroll_budget
+      & info [ "unroll-budget" ] ~docv:"N"
+          ~doc:"Flag loop nests that would unroll into more than N statements (ZL004).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt pos_int_conv 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Report at most N findings per diagnostic code.")
+  in
+  let run files format unroll_budget limit bits =
+    let ctx = Fp.create (field_of_bits bits) in
+    let cfg = { Zlint.Frontend.unroll_budget } in
+    let lint_one file =
+      if Filename.check_suffix file ".zl" then
+        { Zlint.file; findings = Zlint.lint_zl ~cfg ~ctx (read_file file) }
+      else
+        { Zlint.file; findings = Zlint.lint_system (Constr.Serialize.system_of_string (read_file file)) }
+    in
+    match List.map lint_one files with
+    | reports ->
+      (match format with
+      | `Text -> print_string (Zlint.render_text ~limit reports)
+      | `Json -> print_endline (Zobs.Json.to_string (Zlint.render_json ~limit reports)));
+      exit (Zlint.exit_code reports)
+    | exception Constr.Serialize.Parse_error m ->
+      Printf.eprintf "lint: %s\n" m;
+      exit 1
+    | exception Sys_error m ->
+      Printf.eprintf "lint: %s\n" m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Analyze ZL programs and constraint systems for soundness bugs (exit 2 on errors)")
+    Term.(const run $ files $ format $ unroll_budget $ limit $ field_bits_arg)
 
 let parse_inputs s =
   String.split_on_char ',' s
@@ -178,10 +242,30 @@ let run_cmd =
           ~doc:"Verify against a remote prover (`zaatar serve`) instead of the in-process \
                 prover. Both sides must use the same program and --field-bits.")
   in
-  let run file bits inputs emit_witness connect timeout_ms config obs =
+  let no_lint =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ]
+          ~doc:"Skip the pre-flight front-end lint gate (which exits 2 on error-severity \
+                findings such as reads of uninitialized variables).")
+  in
+  let run file bits inputs emit_witness connect no_lint timeout_ms config obs =
     with_obs ~process:(if connect = None then "zaatar" else "verifier") obs @@ fun () ->
     let ctx = Fp.create (field_of_bits bits) in
-    let compiled = Zlang.Compile.compile ~ctx (read_file file) in
+    let source = read_file file in
+    (* Pre-flight gate: a program that reads uninitialized variables (or
+       worse) still compiles to *some* constraint system; proving it
+       verifies the wrong computation. Error findings stop the run with
+       exit 2 before any proving work happens. *)
+    if not no_lint then begin
+      let findings = Zlint.lint_source source in
+      if Zlint.Diagnostic.has_errors findings then begin
+        print_string (Zlint.render_text [ { Zlint.file; findings } ]);
+        Printf.eprintf "run: lint errors in %s (use --no-lint to override)\n" file;
+        exit 2
+      end
+    end;
+    let compiled = Zlang.Compile.compile ~ctx source in
     print_stats compiled;
     print_newline ();
     let comp = Apps.Glue.computation_of compiled in
@@ -222,8 +306,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a ZL program, prove and verify a batch of instances")
     Term.(
-      const run $ file $ field_bits_arg $ inputs $ emit_witness $ connect $ timeout_arg
-      $ protocol_args $ obs_args)
+      const run $ file $ field_bits_arg $ inputs $ emit_witness $ connect $ no_lint
+      $ timeout_arg $ protocol_args $ obs_args)
 
 let serve_cmd =
   let files =
@@ -459,6 +543,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; run_cmd; serve_cmd; stats_cmd; trace_merge_cmd; bench_cmd;
+            compile_cmd; lint_cmd; run_cmd; serve_cmd; stats_cmd; trace_merge_cmd; bench_cmd;
             selftest_cmd; check_cmd; micro_cmd;
           ]))

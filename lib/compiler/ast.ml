@@ -2,7 +2,16 @@
    the SFDL front-end of Ginger's compiler, §5.1). Feature set per §2.2:
    field ops [+ - x], if/then/else, logical tests and connectives, order
    comparisons, equality/inequality, bounded loops, fixed-size arrays with
-   arbitrary (data-dependent) index expressions. *)
+   arbitrary (data-dependent) index expressions.
+
+   Every expression, statement and parameter carries the source position of
+   its first token, so front-end diagnostics (compile errors and Zlint
+   findings alike) can point at the exact line and column. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+let pos_to_string p = Printf.sprintf "line %d, col %d" p.line p.col
 
 type typ = { bits : int } (* intN: signed values in (-2^(N-1), 2^(N-1)) *)
 
@@ -10,7 +19,9 @@ type unop = Neg | Not
 
 type binop = Add | Sub | Mul | Shr | Shl | Lt | Le | Gt | Ge | Eq | Ne | And | Or
 
-type expr =
+type expr = { e : edesc; eloc : pos }
+
+and edesc =
   | Int of int
   | Var of string
   | Index of string * expr
@@ -19,7 +30,9 @@ type expr =
 
 type lvalue = Lvar of string | Lindex of string * expr
 
-type stmt =
+type stmt = { s : sdesc; sloc : pos }
+
+and sdesc =
   | Decl of typ * string * int option * expr option (* var t name[len] = init *)
   | Assign of lvalue * expr
   | If of expr * stmt list * stmt list
@@ -27,10 +40,17 @@ type stmt =
 
 type dir = Input | Output
 
-type param = { pname : string; ptyp : typ; plen : int option; pdir : dir }
+type param = { pname : string; ptyp : typ; plen : int option; pdir : dir; ploc : pos }
 
 type program = { name : string; params : param list; body : stmt list }
 
 exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Positioned variant: prefixes the message with "line L, col C:" when the
+   position is known (no_pos marks synthesized nodes). *)
+let error_at pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Error (if pos = no_pos then s else Printf.sprintf "%s: %s" (pos_to_string pos) s)))
+    fmt

@@ -29,27 +29,28 @@ type compiled = {
 
 let zaatar_r1cs c = c.transform.Transform.r1cs
 
-let lookup env name =
+let lookup ?(loc = Ast.no_pos) env name =
   match SMap.find_opt name env with
   | Some b -> b
-  | None -> Ast.error "undefined variable %S" name
+  | None -> Ast.error_at loc "undefined variable %S" name
 
 let rec eval_expr b env (e : Ast.expr) : Builder.value =
-  match e with
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
   | Ast.Int n -> Builder.const b n
   | Ast.Var name -> (
-    match lookup env name with
+    match lookup ~loc env name with
     | Scalar v -> v
-    | Arr _ -> Ast.error "array %S used as a scalar" name)
+    | Arr _ -> Ast.error_at loc "array %S used as a scalar" name)
   | Ast.Index (name, idx) -> (
-    match lookup env name with
-    | Scalar _ -> Ast.error "scalar %S indexed as an array" name
+    match lookup ~loc env name with
+    | Scalar _ -> Ast.error_at loc "scalar %S indexed as an array" name
     | Arr elems -> (
       let iv = eval_expr b env idx in
       match Builder.as_const_int b iv with
       | Some i ->
         if i < 0 || i >= Array.length elems then
-          Ast.error "index %d out of bounds for %S (length %d)" i name (Array.length elems);
+          Ast.error_at loc "index %d out of bounds for %S (length %d)" i name (Array.length elems);
         elems.(i)
       | None -> fst (Builder.dyn_read b iv elems)))
   | Ast.Unop (Ast.Neg, e) -> Builder.neg b (eval_expr b env e)
@@ -67,11 +68,11 @@ let rec eval_expr b env (e : Ast.expr) : Builder.value =
     | Ast.Shr -> (
       match Builder.as_const_int b v2 with
       | Some k -> Builder.shr b v1 k
-      | None -> Ast.error ">> requires a compile-time constant shift amount")
+      | None -> Ast.error_at loc ">> requires a compile-time constant shift amount")
     | Ast.Shl -> (
       match Builder.as_const_int b v2 with
       | Some k -> Builder.shl b v1 k
-      | None -> Ast.error "<< requires a compile-time constant shift amount")
+      | None -> Ast.error_at loc "<< requires a compile-time constant shift amount")
     | Ast.Lt -> Builder.lt b v1 v2
     | Ast.Le -> Builder.le b v1 v2
     | Ast.Gt -> Builder.gt b v1 v2
@@ -81,14 +82,14 @@ let rec eval_expr b env (e : Ast.expr) : Builder.value =
     | Ast.And -> Builder.band b v1 v2
     | Ast.Or -> Builder.bor b v1 v2)
 
-let const_int_expr b env e what =
+let const_int_expr b env (e : Ast.expr) what =
   match Builder.as_const_int b (eval_expr b env e) with
   | Some n -> n
-  | None -> Ast.error "%s must be a compile-time constant" what
+  | None -> Ast.error_at e.Ast.eloc "%s must be a compile-time constant" what
 
 (* Merge two post-branch environments under a boolean condition. Both must
    have the same domain as the pre-branch environment. *)
-let merge_envs b cond base env_t env_e =
+let merge_envs ~loc b cond base env_t env_e =
   SMap.mapi
     (fun name _ ->
       let bt = SMap.find name env_t and be = SMap.find name env_e in
@@ -98,18 +99,19 @@ let merge_envs b cond base env_t env_e =
         else Scalar (Builder.mux b cond vt ve)
       | Arr at, Arr ae ->
         if Array.length at <> Array.length ae then
-          Ast.error "array %S changed length across branches" name;
+          Ast.error_at loc "array %S changed length across branches" name;
         Arr
           (Array.init (Array.length at) (fun i ->
                if Quad.qpoly_equal at.(i).Builder.qp ae.(i).Builder.qp then at.(i)
                else Builder.mux b cond at.(i) ae.(i)))
-      | _ -> Ast.error "binding %S changed shape across branches" name)
+      | _ -> Ast.error_at loc "binding %S changed shape across branches" name)
     base
 
 let rec exec_stmt b env (s : Ast.stmt) : binding SMap.t =
-  match s with
+  let loc = s.Ast.sloc in
+  match s.Ast.s with
   | Ast.Decl (t, name, len, init) ->
-    if SMap.mem name env then Ast.error "shadowing declaration of %S" name;
+    if SMap.mem name env then Ast.error_at loc "shadowing declaration of %S" name;
     let width = t.Ast.bits - 1 in
     let bind =
       match (len, init) with
@@ -120,24 +122,24 @@ let rec exec_stmt b env (s : Ast.stmt) : binding SMap.t =
         ignore width;
         Scalar (eval_expr b env e)
       | Some n, None -> Arr (Array.make n (Builder.const b 0))
-      | Some _, Some _ -> Ast.error "array declarations cannot have initializers"
+      | Some _, Some _ -> Ast.error_at loc "array declarations cannot have initializers"
     in
     SMap.add name bind env
   | Ast.Assign (Ast.Lvar name, e) -> (
     let v = eval_expr b env e in
-    match lookup env name with
+    match lookup ~loc env name with
     | Scalar _ -> SMap.add name (Scalar v) env
-    | Arr _ -> Ast.error "cannot assign a scalar to array %S" name)
+    | Arr _ -> Ast.error_at loc "cannot assign a scalar to array %S" name)
   | Ast.Assign (Ast.Lindex (name, idx), e) -> (
     let v = eval_expr b env e in
-    match lookup env name with
-    | Scalar _ -> Ast.error "cannot index scalar %S" name
+    match lookup ~loc env name with
+    | Scalar _ -> Ast.error_at loc "cannot index scalar %S" name
     | Arr elems -> (
       let iv = eval_expr b env idx in
       match Builder.as_const_int b iv with
       | Some i ->
         if i < 0 || i >= Array.length elems then
-          Ast.error "index %d out of bounds for %S (length %d)" i name (Array.length elems);
+          Ast.error_at loc "index %d out of bounds for %S (length %d)" i name (Array.length elems);
         let elems' = Array.copy elems in
         elems'.(i) <- v;
         SMap.add name (Arr elems') env
@@ -151,11 +153,11 @@ let rec exec_stmt b env (s : Ast.stmt) : binding SMap.t =
     | None ->
       let env_t = exec_block b env then_b in
       let env_e = exec_block b env else_b in
-      merge_envs b cv env env_t env_e)
+      merge_envs ~loc b cv env env_t env_e)
   | Ast.For (v, lo, hi, body) ->
     let lo = const_int_expr b env lo "loop bound" in
     let hi = const_int_expr b env hi "loop bound" in
-    if SMap.mem v env then Ast.error "loop variable %S shadows an existing binding" v;
+    if SMap.mem v env then Ast.error_at loc "loop variable %S shadows an existing binding" v;
     let env = ref env in
     for i = lo to hi - 1 do
       let inner = SMap.add v (Scalar (Builder.const b i)) !env in
@@ -204,7 +206,8 @@ let compile ~ctx (src : string) : compiled =
                    incr num_inputs;
                    v))
         in
-        if SMap.mem p.Ast.pname !env then Ast.error "duplicate parameter %S" p.Ast.pname;
+        if SMap.mem p.Ast.pname !env then
+          Ast.error_at p.Ast.ploc "duplicate parameter %S" p.Ast.pname;
         env := SMap.add p.Ast.pname bind !env
       end)
     prog.Ast.params;
@@ -212,7 +215,8 @@ let compile ~ctx (src : string) : compiled =
   List.iter
     (fun (p : Ast.param) ->
       if p.Ast.pdir = Ast.Output then begin
-        if SMap.mem p.Ast.pname !env then Ast.error "duplicate parameter %S" p.Ast.pname;
+        if SMap.mem p.Ast.pname !env then
+          Ast.error_at p.Ast.ploc "duplicate parameter %S" p.Ast.pname;
         let bind =
           match p.Ast.plen with
           | None -> Scalar (Builder.const b 0)

@@ -7,53 +7,62 @@
    }
 
    Operator precedence, loosest first: || , && , comparisons , + - , * ,
-   unary (- !). *)
+   unary (- !).
+
+   Every AST node records the position of its first token; parse errors
+   report the position of the offending token. *)
 
 open Ast
 
-type st = { mutable toks : Lexer.token list }
+type st = { mutable toks : (Lexer.token * pos) list }
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
+let peek_pos st = match st.toks with [] -> no_pos | (_, p) :: _ -> p
 let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let describe = function
+  | Lexer.IDENT i -> "identifier " ^ i
+  | Lexer.INT n -> string_of_int n
+  | Lexer.KW k -> "keyword " ^ k
+  | Lexer.PUNCT p -> Printf.sprintf "%S" p
+  | Lexer.EOF -> "end of input"
 
 let expect_punct st s =
   match peek st with
   | Lexer.PUNCT p when p = s -> advance st
-  | t -> error "expected %S, found %s" s (match t with
-      | Lexer.IDENT i -> "identifier " ^ i
-      | Lexer.INT n -> string_of_int n
-      | Lexer.KW k -> "keyword " ^ k
-      | Lexer.PUNCT p -> Printf.sprintf "%S" p
-      | Lexer.EOF -> "end of input")
+  | t -> error_at (peek_pos st) "expected %S, found %s" s (describe t)
 
 let expect_kw st s =
   match peek st with
   | Lexer.KW k when k = s -> advance st
-  | _ -> error "expected keyword %S" s
+  | t -> error_at (peek_pos st) "expected keyword %S, found %s" s (describe t)
 
 let expect_ident st =
   match peek st with
   | Lexer.IDENT i ->
     advance st;
     i
-  | _ -> error "expected identifier"
+  | t -> error_at (peek_pos st) "expected identifier, found %s" (describe t)
 
 let expect_int st =
   match peek st with
   | Lexer.INT n ->
     advance st;
     n
-  | _ -> error "expected integer literal"
+  | t -> error_at (peek_pos st) "expected integer literal, found %s" (describe t)
 
 let parse_type st =
+  let tpos = peek_pos st in
   let name = expect_ident st in
   if String.length name > 3 && String.sub name 0 3 = "int" then begin
     match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
     | Some bits when bits >= 2 && bits <= 64 -> { bits }
-    | _ -> error "bad integer type %S (use int2..int64)" name
+    | _ -> error_at tpos "bad integer type %S (use int2..int64)" name
   end
   else if name = "bool" then { bits = 2 }
-  else error "unknown type %S" name
+  else error_at tpos "unknown type %S" name
+
+let mk loc e = { e; eloc = loc }
 
 let rec parse_expr st = parse_or st
 
@@ -62,7 +71,7 @@ and parse_or st =
   match peek st with
   | Lexer.PUNCT "||" ->
     advance st;
-    Binop (Or, lhs, parse_or st)
+    mk lhs.eloc (Binop (Or, lhs, parse_or st))
   | _ -> lhs
 
 and parse_and st =
@@ -70,7 +79,7 @@ and parse_and st =
   match peek st with
   | Lexer.PUNCT "&&" ->
     advance st;
-    Binop (And, lhs, parse_and st)
+    mk lhs.eloc (Binop (And, lhs, parse_and st))
   | _ -> lhs
 
 and parse_cmp st =
@@ -88,7 +97,7 @@ and parse_cmp st =
       | "==" -> Eq
       | _ -> Ne
     in
-    Binop (b, lhs, rhs)
+    mk lhs.eloc (Binop (b, lhs, rhs))
   | _ -> lhs
 
 and parse_shift st =
@@ -96,10 +105,10 @@ and parse_shift st =
     match peek st with
     | Lexer.PUNCT ">>" ->
       advance st;
-      go (Binop (Shr, lhs, parse_add st))
+      go (mk lhs.eloc (Binop (Shr, lhs, parse_add st)))
     | Lexer.PUNCT "<<" ->
       advance st;
-      go (Binop (Shl, lhs, parse_add st))
+      go (mk lhs.eloc (Binop (Shl, lhs, parse_add st)))
     | _ -> lhs
   in
   go (parse_add st)
@@ -109,10 +118,10 @@ and parse_add st =
     match peek st with
     | Lexer.PUNCT "+" ->
       advance st;
-      go (Binop (Add, lhs, parse_mul st))
+      go (mk lhs.eloc (Binop (Add, lhs, parse_mul st)))
     | Lexer.PUNCT "-" ->
       advance st;
-      go (Binop (Sub, lhs, parse_mul st))
+      go (mk lhs.eloc (Binop (Sub, lhs, parse_mul st)))
     | _ -> lhs
   in
   go (parse_mul st)
@@ -122,32 +131,34 @@ and parse_mul st =
     match peek st with
     | Lexer.PUNCT "*" ->
       advance st;
-      go (Binop (Mul, lhs, parse_unary st))
+      go (mk lhs.eloc (Binop (Mul, lhs, parse_unary st)))
     | _ -> lhs
   in
   go (parse_unary st)
 
 and parse_unary st =
+  let pos = peek_pos st in
   match peek st with
   | Lexer.PUNCT "-" ->
     advance st;
-    Unop (Neg, parse_unary st)
+    mk pos (Unop (Neg, parse_unary st))
   | Lexer.PUNCT "!" ->
     advance st;
-    Unop (Not, parse_unary st)
+    mk pos (Unop (Not, parse_unary st))
   | _ -> parse_primary st
 
 and parse_primary st =
+  let pos = peek_pos st in
   match peek st with
   | Lexer.INT n ->
     advance st;
-    Int n
+    mk pos (Int n)
   | Lexer.KW "true" ->
     advance st;
-    Int 1
+    mk pos (Int 1)
   | Lexer.KW "false" ->
     advance st;
-    Int 0
+    mk pos (Int 0)
   | Lexer.IDENT name ->
     advance st;
     (match peek st with
@@ -155,16 +166,19 @@ and parse_primary st =
       advance st;
       let idx = parse_expr st in
       expect_punct st "]";
-      Index (name, idx)
-    | _ -> Var name)
+      mk pos (Index (name, idx))
+    | _ -> mk pos (Var name))
   | Lexer.PUNCT "(" ->
     advance st;
     let e = parse_expr st in
     expect_punct st ")";
     e
-  | _ -> error "expected expression"
+  | t -> error_at pos "expected expression, found %s" (describe t)
+
+let mks loc s = { s; sloc = loc }
 
 let rec parse_stmt st : stmt =
+  let pos = peek_pos st in
   match peek st with
   | Lexer.KW "var" ->
     advance st;
@@ -187,7 +201,7 @@ let rec parse_stmt st : stmt =
       | _ -> None
     in
     expect_punct st ";";
-    Decl (t, name, len, init)
+    mks pos (Decl (t, name, len, init))
   | Lexer.KW "if" ->
     advance st;
     expect_punct st "(";
@@ -203,7 +217,7 @@ let rec parse_stmt st : stmt =
         | _ -> parse_block st)
       | _ -> []
     in
-    If (cond, then_b, else_b)
+    mks pos (If (cond, then_b, else_b))
   | Lexer.KW "for" ->
     advance st;
     let v = expect_ident st in
@@ -212,7 +226,7 @@ let rec parse_stmt st : stmt =
     expect_punct st "..";
     let hi = parse_expr st in
     let body = parse_block st in
-    For (v, lo, hi, body)
+    mks pos (For (v, lo, hi, body))
   | Lexer.IDENT name ->
     advance st;
     (match peek st with
@@ -223,14 +237,14 @@ let rec parse_stmt st : stmt =
       expect_punct st "=";
       let e = parse_expr st in
       expect_punct st ";";
-      Assign (Lindex (name, idx), e)
+      mks pos (Assign (Lindex (name, idx), e))
     | Lexer.PUNCT "=" ->
       advance st;
       let e = parse_expr st in
       expect_punct st ";";
-      Assign (Lvar name, e)
-    | _ -> error "expected assignment to %S" name)
-  | _ -> error "expected statement"
+      mks pos (Assign (Lvar name, e))
+    | t -> error_at (peek_pos st) "expected assignment to %S, found %s" name (describe t))
+  | t -> error_at pos "expected statement, found %s" (describe t)
 
 and parse_block st : stmt list =
   expect_punct st "{";
@@ -244,6 +258,7 @@ and parse_block st : stmt list =
   go []
 
 let parse_param st =
+  let ploc = peek_pos st in
   let pdir =
     match peek st with
     | Lexer.KW "input" ->
@@ -252,7 +267,7 @@ let parse_param st =
     | Lexer.KW "output" ->
       advance st;
       Output
-    | _ -> error "expected input or output parameter"
+    | t -> error_at ploc "expected input or output parameter, found %s" (describe t)
   in
   let ptyp = parse_type st in
   let pname = expect_ident st in
@@ -265,7 +280,7 @@ let parse_param st =
       Some n
     | _ -> None
   in
-  { pname; ptyp; plen; pdir }
+  { pname; ptyp; plen; pdir; ploc }
 
 let parse_program src : program =
   let st = { toks = Lexer.tokenize src } in
@@ -286,5 +301,5 @@ let parse_program src : program =
   let body = parse_block st in
   (match peek st with
   | Lexer.EOF -> ()
-  | _ -> error "trailing tokens after computation body");
+  | t -> error_at (peek_pos st) "trailing tokens after computation body, found %s" (describe t));
   { name; params; body }

@@ -47,6 +47,22 @@ let first_violation ctx sys (w : Fp.el array) =
   in
   go 0
 
+let iteri f sys = Array.iteri f sys.constraints
+
+(* Distinct variables (>= 1; the constant w0 excluded) of one constraint,
+   sorted ascending — the row's support in the constraint dependency graph
+   that Zlint's backend analyses walk. *)
+let constr_vars { a; b; c } =
+  List.concat_map (fun lc -> List.filter_map (fun (v, _) -> if v > 0 then Some v else None) (Lincomb.terms lc)) [ a; b; c ]
+  |> List.sort_uniq compare
+
+(* A row that every assignment satisfies: A*B - C is syntactically zero.
+   Detects the all-zero row and the zero-product forms (A or B zero with C
+   zero); constant-only rows are the caller's business (they are either
+   trivial or unsatisfiable depending on the constants). *)
+let constr_is_trivial { a; b; c } =
+  Lincomb.is_zero c && (Lincomb.is_zero a || Lincomb.is_zero b)
+
 (* Total non-zero coefficients, the K + 3K2 bound of §A.3. *)
 let num_nonzero sys =
   Array.fold_left

@@ -29,6 +29,17 @@ val eval_constr : Fp.ctx -> constr -> Fp.el array -> Fp.el
 val satisfied : Fp.ctx -> system -> Fp.el array -> bool
 val first_violation : Fp.ctx -> system -> Fp.el array -> int option
 
+val iteri : (int -> constr -> unit) -> system -> unit
+(** Iterate over constraints with their row index. *)
+
+val constr_vars : constr -> int list
+(** Distinct variables ([>= 1]; the constant [w0] excluded) appearing in a
+    row, sorted ascending. *)
+
+val constr_is_trivial : constr -> bool
+(** [true] when [A*B - C] is syntactically zero (all-zero row, or zero [A]
+    or [B] with zero [C]): the row constrains nothing. *)
+
 val num_nonzero : system -> int
 (** Total non-zero coefficients — the K + 3K2 bound of §A.3 that governs
     the verifier's query-construction cost. *)

@@ -62,6 +62,16 @@ let apply (sys : Quad.system) : t =
   R1cs.check_wellformed r1cs;
   { r1cs; monomials; k2; var_map }
 
+(* Row-layout accessors for analyses over the transform output (Zlint):
+   rows [0 .. linear_rows-1] are the remapped original constraints, rows
+   [linear_rows .. linear_rows+k2-1] the product definitions, in monomial
+   order. *)
+let linear_rows tr = R1cs.num_constraints tr.r1cs - tr.k2
+
+let product_rows tr =
+  let base = linear_rows tr in
+  Array.to_list (Array.mapi (fun idx m -> (base + idx, m)) tr.monomials)
+
 (* Lift a satisfying assignment of the Ginger system to the Zaatar system by
    computing the product-variable values. *)
 let extend_assignment (tr : t) (sys : Quad.system) (w : Fp.el array) : Fp.el array =

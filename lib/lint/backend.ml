@@ -1,0 +1,293 @@
+(* The constraint-system soundness analyzer: static checks over a compiled
+   (or deserialized) R1CS, plus Transform-aware cross-checks when the
+   Ginger→Zaatar transform output is available.
+
+   The classic failure mode these hunt is the *underconstrained* circuit:
+   witness variables the constraints do not pin down, so the system admits
+   assignments the program never produces and the "proof" proves nothing.
+
+   Checks (codes in Diagnostic):
+   - ZR001: a variable that appears in no constraint at all. A witness or
+     output variable in this state is completely unconstrained (error); an
+     input is merely unused (warn).
+   - ZR002: determination propagation. Starting from w0 and the inputs,
+     repeatedly mark a variable determined when some constraint row
+     contains exactly one undetermined variable (such a row pins it, up to
+     finitely many roots). Variables never reached are under-determined.
+     This is a sound-for-reporting heuristic: it can miss underconstraint
+     (a row with a single unknown pins it only up to a quadratic), but on
+     systems produced by our compiler it converges to "everything
+     determined", so any residue is a real red flag. See DESIGN.md §11 for
+     the false-negative discussion (propagation vs. full SMT).
+   - ZR003: duplicate rows (same A*B = C up to A/B commutation).
+   - ZR004: trivially-satisfied rows (A*B - C syntactically zero).
+   - ZR005: one degree-2 monomial defined by several product rows — the
+     K2 dedup accounting of the §4 transform failed.
+   - ZR006: outputs unreachable from any input in the constraint
+     dependency graph (vars are adjacent when they share a row).
+   - ZR007: a row with no variables at all whose constants don't satisfy
+     it: the system is unsatisfiable for every input. *)
+
+open Fieldlib
+open Constr
+
+type io = { num_inputs : int; num_outputs : int }
+
+(* A row whose A, B and C are all single bare variables: a product
+   definition z_i * z_j = m as emitted by the transform. *)
+let product_shape (k : R1cs.constr) =
+  let single lc =
+    match Lincomb.terms lc with [ (v, c) ] when v > 0 && Fp.equal c Fp.one -> Some v | _ -> None
+  in
+  match (single k.R1cs.a, single k.R1cs.b, single k.R1cs.c) with
+  | Some i, Some j, Some m -> Some ((min i j, max i j), m)
+  | _ -> None
+
+let row_key (k : R1cs.constr) =
+  let s lc =
+    String.concat ","
+      (List.map (fun (v, c) -> Printf.sprintf "%d:%s" v (Fp.to_string c)) (Lincomb.terms lc))
+  in
+  let a = s k.R1cs.a and b = s k.R1cs.b in
+  Printf.sprintf "%s|%s|%s" (min a b) (max a b) (s k.R1cs.c)
+
+let analyze ?io ?transform (sys : R1cs.system) : Diagnostic.t list =
+  let ctx = sys.R1cs.field in
+  let n = sys.R1cs.num_vars and nz = sys.R1cs.num_z in
+  let nc = R1cs.num_constraints sys in
+  let findings = ref [] in
+  let report ~code ~severity ~location fmt =
+    Printf.ksprintf
+      (fun msg -> findings := Diagnostic.make ~code ~severity ~location "%s" msg :: !findings)
+      fmt
+  in
+  let inputs, outputs =
+    match io with
+    | Some { num_inputs; num_outputs = _ } ->
+      ( Array.init num_inputs (fun i -> nz + 1 + i),
+        Array.init (n - nz - num_inputs) (fun i -> nz + 1 + num_inputs + i) )
+    | None ->
+      (* Raw systems don't record the input/output split: seed from the
+         whole IO block and skip the output-specific checks. *)
+      (Array.init (n - nz) (fun i -> nz + 1 + i), [||])
+  in
+  let is_output = Array.make (n + 1) false in
+  Array.iter (fun v -> is_output.(v) <- true) outputs;
+  let describe_var v =
+    if v <= nz then "witness variable"
+    else if is_output.(v) then "output variable"
+    else "input variable"
+  in
+
+  (* One pass: occurrence counts, per-row supports, incidence lists. *)
+  let occ = Array.make (n + 1) 0 in
+  let row_vars = Array.make nc [] in
+  let var_rows = Array.make (n + 1) [] in
+  R1cs.iteri
+    (fun j k ->
+      let vs = R1cs.constr_vars k in
+      row_vars.(j) <- vs;
+      List.iter
+        (fun v ->
+          occ.(v) <- occ.(v) + 1;
+          var_rows.(v) <- j :: var_rows.(v))
+        vs)
+    sys;
+
+  (* ZR001: variables in no row. *)
+  for v = 1 to n do
+    if occ.(v) = 0 then
+      if v <= nz || is_output.(v) then
+        report ~code:"ZR001" ~severity:Diagnostic.Error ~location:(Diagnostic.Variable v)
+          "%s w%d appears in no constraint: its value is completely unconstrained" (describe_var v)
+          v
+      else
+        report ~code:"ZR001" ~severity:Diagnostic.Warn ~location:(Diagnostic.Variable v)
+          "input variable w%d appears in no constraint (unused input)" v
+  done;
+
+  (* ZR003 / ZR004 / ZR005 / ZR007: row-shape checks. *)
+  let seen_rows = Hashtbl.create (max 16 nc) in
+  let monomial_rows : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  R1cs.iteri
+    (fun j k ->
+      if row_vars.(j) = [] then begin
+        (* Constant-only row: either says nothing or can never hold. *)
+        let residue =
+          Fp.sub ctx
+            (Fp.mul ctx (Lincomb.const_part k.R1cs.a) (Lincomb.const_part k.R1cs.b))
+            (Lincomb.const_part k.R1cs.c)
+        in
+        if Fp.is_zero residue then
+          report ~code:"ZR004" ~severity:Diagnostic.Warn ~location:(Diagnostic.Row j)
+            "constant row is trivially satisfied (dead constraint)"
+        else
+          report ~code:"ZR007" ~severity:Diagnostic.Error ~location:(Diagnostic.Row j)
+            "constant row can never be satisfied: the system is unsatisfiable"
+      end
+      else if R1cs.constr_is_trivial k then
+        report ~code:"ZR004" ~severity:Diagnostic.Warn ~location:(Diagnostic.Row j)
+          "row is trivially satisfied: A*B - C is syntactically zero"
+      else begin
+        let key = row_key k in
+        (match Hashtbl.find_opt seen_rows key with
+        | Some j0 ->
+          report ~code:"ZR003" ~severity:Diagnostic.Warn ~location:(Diagnostic.Row j)
+            "duplicate of constraint row %d" j0
+        | None -> Hashtbl.add seen_rows key j);
+        match product_shape k with
+        | Some (m, _) -> (
+          match Hashtbl.find_opt monomial_rows m with
+          | Some j0 ->
+            report ~code:"ZR005" ~severity:Diagnostic.Warn ~location:(Diagnostic.Row j)
+              "degree-2 monomial w%d*w%d already defined by product row %d (K2 dedup failure)"
+              (fst m) (snd m) j0
+          | None -> Hashtbl.add monomial_rows m j)
+        | None -> ()
+      end)
+    sys;
+
+  (* Transform hook: the K2 accounting promises distinct monomials. *)
+  (match transform with
+  | None -> ()
+  | Some tr ->
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun (row, (i, j)) ->
+        match Hashtbl.find_opt seen (i, j) with
+        | Some row0 ->
+          report ~code:"ZR005" ~severity:Diagnostic.Warn ~location:(Diagnostic.Row row)
+            "transform emitted monomial z%d*z%d twice (rows %d and %d): K2 overcounted" i j row0
+            row
+        | None -> Hashtbl.add seen (i, j) row)
+      (Transform.product_rows tr));
+
+  (* ZR002: determination propagation from {w0} ∪ inputs.
+
+     The base rule: a row with exactly one undetermined variable pins it
+     (up to finitely many roots). That alone is blind to the transform's
+     factored quadratics — after §4, a Ginger bit-constraint b*b = b is a
+     linear row {m, b} plus a product row b*b = m, each with two unknowns.
+     So the rule is monomial-aware: a product variable m with monomial
+     (i, j) "expands" to its undetermined base variables, and a row whose
+     undetermined variables all expand into a single base variable v is a
+     univariate polynomial in v, which pins v. A product variable whose
+     base variables are both determined is itself determined. *)
+  let monomial_of : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let monomial_users : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let is_def_row = Array.make nc false in
+  R1cs.iteri
+    (fun row k ->
+      match product_shape k with
+      | Some ((i, j), m) ->
+        if not (Hashtbl.mem monomial_of m) then begin
+          Hashtbl.add monomial_of m (i, j);
+          Hashtbl.add monomial_users i m;
+          if j <> i then Hashtbl.add monomial_users j m;
+          is_def_row.(row) <- true
+        end
+      | None -> ())
+    sys;
+  let determined = Array.make (n + 1) false in
+  determined.(0) <- true;
+  let unknown = Array.make nc 0 in
+  let events = Queue.create () in
+  let settle v =
+    if not determined.(v) then begin
+      determined.(v) <- true;
+      Queue.add v events
+    end
+  in
+  Array.iter settle inputs;
+  Array.iteri
+    (fun j vs -> unknown.(j) <- List.length (List.filter (fun v -> not determined.(v)) vs))
+    row_vars;
+  (* Expand an undetermined row variable to its undetermined base vars. *)
+  let expand v =
+    match Hashtbl.find_opt monomial_of v with
+    | Some (i, j) ->
+      let base = if determined.(i) then [] else [ i ] in
+      if determined.(j) || j = i then base else j :: base
+    | None -> [ v ]
+  in
+  let resolve j =
+    if unknown.(j) >= 1 && unknown.(j) <= 3 then
+      match List.filter (fun v -> not determined.(v)) row_vars.(j) with
+      | [ v ] -> settle v
+      | us when not is_def_row.(j) -> (
+        (* Expansion is justified by the *other* row defining each m; on
+           the definition row itself, substituting m = z_i z_j collapses
+           it to 0 = 0 and would pin nothing soundly. *)
+        match List.sort_uniq compare (List.concat_map expand us) with
+        | [ v ] ->
+          (* Univariate in v: pin v; its dependent product vars follow
+             through the event loop below. *)
+          settle v
+        | _ -> ())
+      | _ -> ()
+  in
+  let touch_rows v = List.iter resolve var_rows.(v) in
+  for j = 0 to nc - 1 do
+    resolve j
+  done;
+  while not (Queue.is_empty events) do
+    let v = Queue.take events in
+    List.iter
+      (fun j ->
+        unknown.(j) <- unknown.(j) - 1;
+        resolve j)
+      var_rows.(v);
+    (* Product variables riding on v: either both base vars are now
+       determined (so m is), or rows mentioning m deserve a fresh look
+       with the shrunken expansion. *)
+    List.iter
+      (fun m ->
+        if not determined.(m) then
+          match Hashtbl.find_opt monomial_of m with
+          | Some (i, j) -> if determined.(i) && determined.(j) then settle m else touch_rows m
+          | None -> ())
+      (Hashtbl.find_all monomial_users v)
+  done;
+  for v = 1 to n do
+    if (not determined.(v)) && occ.(v) > 0 then
+      report ~code:"ZR002" ~severity:Diagnostic.Error ~location:(Diagnostic.Variable v)
+        "%s w%d is not pinned by constraint propagation from the inputs (under-determined)"
+        (describe_var v) v
+  done;
+
+  (* ZR006: output reachability over the shared-row adjacency. *)
+  if Array.length outputs > 0 then begin
+    let reached = Array.make (n + 1) false in
+    let row_seen = Array.make nc false in
+    let q = Queue.create () in
+    Array.iter
+      (fun v ->
+        reached.(v) <- true;
+        Queue.add v q)
+      inputs;
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      List.iter
+        (fun j ->
+          if not row_seen.(j) then begin
+            row_seen.(j) <- true;
+            List.iter
+              (fun v' ->
+                if not reached.(v') then begin
+                  reached.(v') <- true;
+                  Queue.add v' q
+                end)
+              row_vars.(j)
+          end)
+        var_rows.(v)
+    done;
+    Array.iter
+      (fun v ->
+        if (not reached.(v)) && occ.(v) > 0 then
+          report ~code:"ZR006" ~severity:Diagnostic.Warn ~location:(Diagnostic.Variable v)
+            "output variable w%d does not depend on any input (unreachable in the constraint graph)"
+            v)
+      outputs
+  end;
+
+  List.rev !findings

@@ -1,0 +1,139 @@
+(* Zlint findings: a stable code, a severity, a location and a message.
+
+   Code taxonomy (DESIGN.md §11):
+     ZL0xx — front-end (ZL source) diagnostics
+       ZL000 error  front-end rejected the program (parse/compile error)
+       ZL001 error  read of a possibly-uninitialized variable
+       ZL002 warn   unused variable / never-read input / never-assigned output
+       ZL003 error  shadowing declaration (the compiler rejects these too)
+       ZL004 warn   loop nest unrolls past the configured budget
+       ZL005 info   constant condition: the mux discards a branch entirely
+       ZL006 error  reference to an undefined variable
+     ZR0xx — back-end (compiled R1CS) diagnostics
+       ZR001 error/warn  variable appears in no constraint (unconstrained
+                         witness or output: error; never-used input: warn)
+       ZR002 error  variable not pinned by constraint propagation from the
+                    inputs (under-determined witness; heuristic, see §11)
+       ZR003 warn   duplicate constraint row
+       ZR004 warn   trivially-satisfied row (A*B - C syntactically zero)
+       ZR005 warn   degree-2 monomial defined by multiple product rows
+                    (K2 dedup accounting failure)
+       ZR006 warn   output unreachable from the inputs in the constraint
+                    dependency graph
+       ZR007 error  constant row that can never be satisfied
+
+   Each reported finding bumps the Zobs counter lint.findings.<code>, so
+   lint volumes flow through the existing metrics pipeline. *)
+
+type severity = Error | Warn | Info
+
+type location =
+  | Nowhere
+  | Source of Zlang.Ast.pos (* ZL source position *)
+  | Row of int (* constraint row index *)
+  | Variable of int (* constraint variable index *)
+
+type t = { code : string; severity : severity; location : location; message : string }
+
+let severity_to_string = function Error -> "error" | Warn -> "warn" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let location_to_string = function
+  | Nowhere -> ""
+  | Source p -> Zlang.Ast.pos_to_string p
+  | Row j -> Printf.sprintf "row %d" j
+  | Variable v -> Printf.sprintf "var w%d" v
+
+(* Stable report order: severity first, then code, then location. *)
+let compare_for_report a b =
+  let loc_key = function
+    | Nowhere -> (0, 0, 0)
+    | Source p -> (1, p.Zlang.Ast.line, p.Zlang.Ast.col)
+    | Row j -> (2, j, 0)
+    | Variable v -> (3, v, 0)
+  in
+  compare
+    (severity_rank a.severity, a.code, loc_key a.location, a.message)
+    (severity_rank b.severity, b.code, loc_key b.location, b.message)
+
+(* lint.findings.<code> counters, created on first use; Counter.make
+   re-registers idempotently so repeated lint runs share one counter. *)
+let counters : (string, Zobs.Counter.t) Hashtbl.t = Hashtbl.create 16
+
+let count d =
+  let c =
+    match Hashtbl.find_opt counters d.code with
+    | Some c -> c
+    | None ->
+      let c = Zobs.Counter.make ("lint.findings." ^ d.code) in
+      Hashtbl.replace counters d.code c;
+      c
+  in
+  Zobs.Counter.incr c
+
+let make ~code ~severity ?(location = Nowhere) fmt =
+  Printf.ksprintf
+    (fun message ->
+      let d = { code; severity; location; message } in
+      count d;
+      d)
+    fmt
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count_severity sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+(* Cap per-code verbosity: keep the first [limit] findings of each code (in
+   report order) and fold the overflow into one Info line per code, so a
+   badly broken large system cannot flood the report. *)
+let truncate ?(limit = 20) ds =
+  let ds = List.stable_sort compare_for_report ds in
+  let seen = Hashtbl.create 8 in
+  let kept, dropped =
+    List.partition
+      (fun d ->
+        let n = try Hashtbl.find seen d.code with Not_found -> 0 in
+        Hashtbl.replace seen d.code (n + 1);
+        n < limit)
+      ds
+  in
+  let overflow = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let n = try Hashtbl.find overflow d.code with Not_found -> 0 in
+      Hashtbl.replace overflow d.code (n + 1))
+    dropped;
+  kept
+  @ (Hashtbl.fold (fun code n acc -> (code, n) :: acc) overflow []
+    |> List.sort compare
+    |> List.map (fun (code, n) ->
+           {
+             code;
+             severity = Info;
+             location = Nowhere;
+             message = Printf.sprintf "%d more %s finding(s) suppressed" n code;
+           }))
+
+let to_text ?file d =
+  let parts =
+    (match file with Some f -> [ f ] | None -> [])
+    @ (match location_to_string d.location with "" -> [] | l -> [ l ])
+  in
+  Printf.sprintf "%s: %s %s: %s"
+    (match parts with [] -> "-" | _ -> String.concat ", " parts)
+    (severity_to_string d.severity) d.code d.message
+
+let to_json d : Zobs.Json.t =
+  let open Zobs.Json in
+  let loc =
+    match d.location with
+    | Nowhere -> []
+    | Source p ->
+      [ ("line", Num (float_of_int p.Zlang.Ast.line)); ("col", Num (float_of_int p.Zlang.Ast.col)) ]
+    | Row j -> [ ("row", Num (float_of_int j)) ]
+    | Variable v -> [ ("var", Num (float_of_int v)) ]
+  in
+  Obj
+    ([ ("code", Str d.code); ("severity", Str (severity_to_string d.severity)) ]
+    @ loc
+    @ [ ("message", Str d.message) ])

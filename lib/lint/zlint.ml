@@ -1,0 +1,97 @@
+(* Zlint: the two-layer soundness analyzer (DESIGN.md §11).
+
+   Layer 1 ([Frontend]) lints the ZL AST: uninitialized reads, unused
+   variables, shadowing, unroll-budget overruns, constant conditions.
+   Layer 2 ([Backend]) audits a compiled (or deserialized) quadratic-form
+   constraint system for the bugs that make verification vacuous:
+   unconstrained and under-determined variables, dead/duplicate rows,
+   K2 dedup failures, outputs disconnected from the inputs.
+
+   This module is the library face: per-file drivers that pick the right
+   layers, plus the text and JSON report renderers used by `zaatar lint`. *)
+
+module Diagnostic = Diagnostic
+module Frontend = Frontend
+module Backend = Backend
+
+let schema = "zaatar-lint/1"
+
+(* Findings for one lint target (a .zl source or a serialized .r1cs). *)
+type report = { file : string; findings : Diagnostic.t list }
+
+(* Source layer only: parse + AST checks. *)
+let lint_source ?cfg src = Frontend.check_source ?cfg src
+
+(* Both layers for a ZL source we can also compile: AST checks, then the
+   backend over the compiled Zaatar system with the true IO split and the
+   transform's product-row map. A source the compiler rejects still gets
+   its frontend findings (which include the ZL000 for the failure). *)
+let lint_compiled (c : Zlang.Compile.compiled) =
+  Backend.analyze
+    ~io:{ Backend.num_inputs = c.Zlang.Compile.num_inputs; num_outputs = c.Zlang.Compile.num_outputs }
+    ~transform:c.Zlang.Compile.transform
+    (Zlang.Compile.zaatar_r1cs c)
+
+let lint_zl ?cfg ~ctx src =
+  let front = Frontend.check_source ?cfg src in
+  if Diagnostic.has_errors front then front
+  else
+    match Zlang.Compile.compile ~ctx src with
+    | c -> front @ lint_compiled c
+    | exception Zlang.Ast.Error msg ->
+      front @ [ Diagnostic.make ~code:"ZL000" ~severity:Diagnostic.Error "%s" msg ]
+
+(* Backend layer only, for raw systems with no recorded IO split. *)
+let lint_system ?io sys = Backend.analyze ?io sys
+
+let summarize reports =
+  let all = List.concat_map (fun r -> r.findings) reports in
+  ( Diagnostic.count_severity Diagnostic.Error all,
+    Diagnostic.count_severity Diagnostic.Warn all,
+    Diagnostic.count_severity Diagnostic.Info all )
+
+(* Exit-code contract (README): 0 clean, 2 when any error-severity finding
+   exists. Operational failures (unreadable file, ...) are the CLI's 1. *)
+let exit_code reports =
+  if List.exists (fun r -> Diagnostic.has_errors r.findings) reports then 2 else 0
+
+let render_text ?limit reports =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun d -> Buffer.add_string buf (Diagnostic.to_text ~file:r.file d ^ "\n"))
+        (Diagnostic.truncate ?limit r.findings))
+    reports;
+  let errors, warns, infos = summarize reports in
+  Buffer.add_string buf
+    (Printf.sprintf "%d file(s): %d error(s), %d warning(s), %d info\n" (List.length reports)
+       errors warns infos);
+  Buffer.contents buf
+
+let render_json ?limit reports : Zobs.Json.t =
+  let open Zobs.Json in
+  let errors, warns, infos = summarize reports in
+  Obj
+    [
+      ("schema", Str schema);
+      ( "files",
+        Arr
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("file", Str r.file);
+                   ( "findings",
+                     Arr (List.map Diagnostic.to_json (Diagnostic.truncate ?limit r.findings)) );
+                 ])
+             reports) );
+      ( "totals",
+        Obj
+          [
+            ("errors", Num (float_of_int errors));
+            ("warnings", Num (float_of_int warns));
+            ("info", Num (float_of_int infos));
+          ] );
+      ("exit_code", Num (float_of_int (exit_code reports)));
+    ]

@@ -18,6 +18,40 @@ dune build
 echo "== tests =="
 dune runtest
 
+echo "== lint (examples and fixtures) =="
+# Every shipped example must be clean under both Zlint layers; every
+# deliberately-broken fixture must keep firing its diagnostic, and the
+# error-severity ones must exit with the documented code 2.
+dune build bin/zaatar_cli.exe
+dune exec bin/zaatar_cli.exe -- lint examples/*.zl \
+  || { echo "shipped examples must lint clean" >&2; exit 1; }
+for f in test/lint_fixtures/*; do
+  case "$f" in
+    # Error-severity fixtures: lint must exit 2 (not 0, not a crash).
+    */zl000_*|*/zl001_*|*/zl003_*|*/zl006_*|*/zr001_*|*/zr002_*|*/zr007_*)
+      if dune exec bin/zaatar_cli.exe -- lint "$f" > /dev/null 2>&1; then
+        echo "lint did not fail on broken fixture $f" >&2; exit 1
+      fi
+      rc=0; dune exec bin/zaatar_cli.exe -- lint "$f" > /dev/null 2>&1 || rc=$?
+      [ "$rc" -eq 2 ] || { echo "lint exited $rc (want 2) on $f" >&2; exit 1; }
+      ;;
+    # The unroll fixture only trips its budget when one is set.
+    */zl004_*)
+      out="$(dune exec bin/zaatar_cli.exe -- lint "$f" --unroll-budget 1000)" \
+        || { echo "lint exited non-zero on warn-only fixture $f" >&2; exit 1; }
+      echo "$out" | grep -q "ZL004" \
+        || { echo "unroll budget finding missing for $f" >&2; exit 1; }
+      ;;
+    # Warn/info fixtures: must report at least one finding but exit 0.
+    *)
+      out="$(dune exec bin/zaatar_cli.exe -- lint "$f")" \
+        || { echo "lint exited non-zero on warn-only fixture $f" >&2; exit 1; }
+      echo "$out" | grep -q ": warn\|: info" \
+        || { echo "no finding reported for fixture $f" >&2; exit 1; }
+      ;;
+  esac
+done
+
 echo "== bench smoke (summary JSON) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
