@@ -1206,9 +1206,210 @@ let run_lint cfg =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Alloc: words allocated per primitive op (Zledger GC profiling)      *)
+(* ------------------------------------------------------------------ *)
+
+(* [Gc.minor_words] is an exact allocation counter (not a sample), so
+   delta/iters is the precise per-op allocation footprint. Folded into
+   BENCH_run.json under "alloc" and into BENCH_history.jsonl. *)
+let alloc_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let run_alloc cfg =
+  banner "Allocation profile: minor words per primitive operation";
+  let ctx = ctx_of cfg in
+  let prg = Chacha.Prg.create ~seed:"alloc bench" () in
+  let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+  let _sk, pk = Zcrypto.Elgamal.keygen grp prg in
+  let a = Chacha.Prg.field_nonzero ctx prg and b = Chacha.Prg.field_nonzero ctx prg in
+  let m = Chacha.Prg.field ctx prg in
+  let fast = if cfg.quick then 20_000 else 200_000 in
+  let slow = if cfg.quick then 50 else 300 in
+  let kernels =
+    [
+      ("fp.mul", fast, fun () -> ignore (Fp.mul ctx a b));
+      ("fp.mul_lazy", fast, fun () -> ignore (Fp.mul_lazy ctx a b));
+      ("fp.inv", fast / 10, fun () -> ignore (Fp.inv ctx a));
+      ("prg.field", fast / 10, fun () -> ignore (Chacha.Prg.field ctx prg));
+      ("elgamal.encrypt", slow, fun () -> ignore (Zcrypto.Elgamal.encrypt pk prg m));
+    ]
+  in
+  Printf.printf "  %-18s %10s %14s %12s\n" "kernel" "iters" "words/op" "us/op";
+  let rows =
+    List.map
+      (fun (name, iters, f) ->
+        f ();
+        (* warm-up: one-time setup allocations land outside the window *)
+        let w0 = Gc.minor_words () in
+        let (), t = time_thunk (fun () -> for _ = 1 to iters do f () done) in
+        let words = (Gc.minor_words () -. w0) /. float_of_int iters in
+        let us = 1e6 *. t /. float_of_int iters in
+        Printf.printf "  %-18s %10d %14.1f %12.3f\n" name iters words us;
+        (name, iters, words, us))
+      kernels
+  in
+  alloc_section :=
+    Zobs.Json.Obj
+      (List.map
+         (fun (name, iters, words, us) ->
+           ( name,
+             Zobs.Json.Obj
+               [
+                 ("iters", Zobs.Json.Num (float_of_int iters));
+                 ("words_per_op", Zobs.Json.Num words);
+                 ("us_per_op", Zobs.Json.Num us);
+               ] ))
+         rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Profile: ledger overhead + the Figure-3 op audit (DESIGN.md §12)    *)
+(* ------------------------------------------------------------------ *)
+
+let profile_section : Zobs.Json.t ref = ref Zobs.Json.Null
+let ledger_section : Zobs.Json.t ref = ref Zobs.Json.Null
+let ledger_audit_rows : Costmodel.Model.audit_row list ref = ref []
+
+let run_profile cfg =
+  banner "Zledger: instrumentation overhead and the op audit";
+  let ctx = ctx_of cfg in
+  (* (1) Overhead: the multiexp commit arm with ledger counters off vs on.
+     Arms alternate and each side keeps its minimum over [reps], so
+     scheduler noise doesn't masquerade as instrumentation cost; the
+     sharded counters are a DLS read + unsynchronized int bump per op, so
+     the budget is < 3% (acceptance criterion). *)
+  let len = if cfg.quick then 96 else 512 in
+  let domains = min (Dompool.Pool.num_cores ()) 8 in
+  let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
+  let commit_once () =
+    let prg = Chacha.Prg.create ~seed:"ledger overhead" () in
+    let req, _vs = Commitment.Commit.commit_request ~domains ctx grp prg ~len in
+    let u =
+      Array.init len (fun i -> if i mod 7 = 0 then Fp.zero else Chacha.Prg.field ctx prg)
+    in
+    ignore (Commitment.Commit.prover_commit req u)
+  in
+  commit_once ();
+  let reps = if cfg.quick then 2 else 3 in
+  let t_off = ref infinity and t_on = ref infinity in
+  let was_on = Zobs.enabled () in
+  for _ = 1 to reps do
+    Zobs.disable ();
+    let (), t = time_thunk commit_once in
+    t_off := min !t_off t;
+    Zobs.enable ();
+    let (), t = time_thunk commit_once in
+    t_on := min !t_on t
+  done;
+  if not was_on then Zobs.disable ();
+  let overhead_ratio = !t_on /. !t_off in
+  Printf.printf
+    "commit arm (|u| = %d, %d domain(s)): ledger off %s, on %s — overhead %+.2f%%\n\n" len
+    domains (fmt_s !t_off) (fmt_s !t_on)
+    (100.0 *. (overhead_ratio -. 1.0));
+  (* (2) Op audit: a dedicated argument run, ledgered from a clean slate,
+     audited against the Figure-3 op-count model. Seeds are fixed, so the
+     per-phase op vector is deterministic and baseline-comparable. *)
+  Zobs.Ledger.reset ();
+  let app = Apps.Registry.pam ~scale:cfg.scale in
+  let compiled = Apps.Glue.compile ctx app in
+  let comp = Apps.Glue.computation_of compiled in
+  let prg = Chacha.Prg.create ~seed:"ledger audit" () in
+  let inputs =
+    Array.init cfg.batch (fun _ ->
+        Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
+  in
+  let config =
+    {
+      Argsys.Argument.params = protocol cfg;
+      p_bits = cfg.p_bits;
+      strategy = Argsys.Argument.Honest;
+      domains = cfg.domains;
+    }
+  in
+  let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+  if not (Argsys.Argument.all_accepted result) then begin
+    Printf.eprintf "profile: the audit batch was REJECTED\n";
+    exit 1
+  end;
+  let stats = Zlang.Compile.stats compiled in
+  let sizes =
+    Costmodel.Model.sizes_of_stats stats ~n_x:compiled.Zlang.Compile.num_inputs
+      ~n_y:compiled.Zlang.Compile.num_outputs ~t_local:0.0
+  in
+  let rows =
+    Costmodel.Model.zaatar_op_audit (model_protocol cfg) sizes ~beta:cfg.batch
+      ~ledger:Zobs.Ledger.phase
+  in
+  ledger_audit_rows := rows;
+  ledger_section := Zobs.Ledger.phases_json ();
+  let gated = List.filter (fun r -> r.Costmodel.Model.gated) rows in
+  let in_band = List.filter (fun (r : Costmodel.Model.audit_row) -> r.pass) gated in
+  Printf.printf "  %-22s %-8s %12s %12s %8s %s\n" "phase" "op" "predicted" "ledgered" "ratio"
+    "status";
+  List.iter
+    (fun (r : Costmodel.Model.audit_row) ->
+      Printf.printf "  %-22s %-8s %12.0f %12d %8.3f %s\n" r.phase r.op r.predicted r.ledgered
+        r.ratio
+        (if not r.gated then "info" else if r.pass then "ok" else "FAIL"))
+    rows;
+  Printf.printf "op audit (%s, batch %d): %d/%d gated rows in band\n%!" app.Apps.App_def.name
+    cfg.batch (List.length in_band) (List.length gated);
+  let num x = Zobs.Json.Num x and int n = Zobs.Json.Num (float_of_int n) in
+  let row_json (r : Costmodel.Model.audit_row) =
+    Zobs.Json.Obj
+      [
+        ("phase", Zobs.Json.Str r.phase);
+        ("op", Zobs.Json.Str r.op);
+        ("predicted", num r.predicted);
+        ("ledgered", int r.ledgered);
+        ("ratio", num r.ratio);
+        ("lo", num r.lo);
+        ("hi", num r.hi);
+        ("gated", Zobs.Json.Bool r.gated);
+        ("pass", Zobs.Json.Bool r.pass);
+      ]
+  in
+  profile_section :=
+    Zobs.Json.Obj
+      [
+        ( "overhead",
+          Zobs.Json.Obj
+            [
+              ("len", int len);
+              ("domains", int domains);
+              ("off_s", num !t_off);
+              ("on_s", num !t_on);
+              ("overhead_ratio", num overhead_ratio);
+            ] );
+        ("audit", Zobs.Json.Arr (List.map row_json rows));
+      ]
+
+(* --check-ledger gate: every gated audit row must sit inside its
+   documented band (the bands live in Costmodel.Model.zaatar_op_audit and
+   are documented in DESIGN.md §12). Informational rows never fail it. *)
+let check_ledger () =
+  match !ledger_audit_rows with
+  | [] ->
+    Printf.eprintf "--check-ledger: the profile experiment did not run\n";
+    exit 1
+  | rows ->
+    let breaches =
+      List.filter (fun (r : Costmodel.Model.audit_row) -> r.gated && not r.pass) rows
+    in
+    if breaches <> [] then begin
+      List.iter
+        (fun (r : Costmodel.Model.audit_row) ->
+          Printf.eprintf "--check-ledger: %s/%s ratio %.3f outside [%.2f, %.2f] (%s)\n" r.phase
+            r.op r.ratio r.lo r.hi r.note)
+        breaches;
+      exit 1
+    end;
+    Printf.printf "--check-ledger OK: every gated op ratio inside its band\n"
+
 (* --baseline gate: diff this run against a committed BENCH_baseline.json
-   (refresh with `dune exec bench/main.exe -- model wire lint --json
-   BENCH_baseline.json`). Wire bytes are deterministic for a fixed
+   (refresh with `dune exec bench/main.exe -- model wire lint profile
+   --json BENCH_baseline.json`). Wire bytes are deterministic for a fixed
    configuration, so the network section must match exactly; lint finding
    counts are deterministic too, while analyzer seconds and model deltas
    are wall-clock and may drift by at most [drift]x either way. *)
@@ -1367,11 +1568,41 @@ let baseline_diff ~drift path cfg =
               err "lint %s: analyzer %.4fs vs. baseline %.4fs drifts beyond %gx" name c b drift
           | _ -> err "lint %s backend_s missing" name))
       (apps_of cl));
+  (* Ledger: the audit run's per-phase op vector is seed-deterministic, so
+     every op count must match the baseline exactly. Seconds and GC words
+     are wall-clock/runtime-version dependent and are not compared. *)
+  (match (Zobs.Json.member "ledger" base, !ledger_section) with
+  | None, Zobs.Json.Null -> err "neither run has a ledger section (run the profile experiment)"
+  | None, _ -> err "%s has no ledger section — refresh the baseline" path
+  | Some _, Zobs.Json.Null -> err "this run has no ledger section (profile experiment did not run)"
+  | Some bl, cur ->
+    let phases_of = function
+      | Zobs.Json.Obj fields -> fields
+      | _ -> []
+    in
+    List.iter
+      (fun (phase, cph) ->
+        match Zobs.Json.member phase bl with
+        | None -> err "ledger phase %s missing from baseline" phase
+        | Some bph -> (
+          match (Zobs.Json.member "ops" bph, Zobs.Json.member "ops" cph) with
+          | Some (Zobs.Json.Obj bops), Some (Zobs.Json.Obj cops) ->
+            List.iter
+              (fun (op, cv) ->
+                match (List.assoc_opt op bops, cv) with
+                | Some (Zobs.Json.Num bv), Zobs.Json.Num cv when bv = cv -> ()
+                | Some (Zobs.Json.Num bv), Zobs.Json.Num cv ->
+                  err "ledger %s.%s: %d op(s) here, %d in baseline" phase op (int_of_float cv)
+                    (int_of_float bv)
+                | _ -> err "ledger %s.%s missing from baseline" phase op)
+              cops
+          | _ -> err "ledger phase %s has no ops" phase))
+      (phases_of cur));
   if !failed then exit 1
   else
     Printf.printf
-      "baseline check OK against %s: network bytes identical, lint counts identical, model and \
-       lint timings within %gx\n%!"
+      "baseline check OK against %s: network bytes and ledger ops identical, lint counts \
+       identical, model and lint timings within %gx\n%!"
       path drift
 
 (* ------------------------------------------------------------------ *)
@@ -1380,17 +1611,18 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire|lint]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire|lint|alloc|profile]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
-    \       [--check-model] [--model-band LO:HI] [--baseline FILE] [--drift X]";
+    \       [--check-model] [--model-band LO:HI] [--check-ledger] [--baseline FILE] [--drift X]\n\
+    \       [--history FILE.jsonl] [--trend N]";
   exit 2
 
 (* "all" in paper-figure order (micro first: later figures reuse its
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "multiexp"; "wire"; "lint" ]
+    "soundness"; "ablation"; "multiexp"; "wire"; "lint"; "alloc"; "profile" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -1445,13 +1677,16 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
   let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
+  let alloc = match !alloc_section with Null -> [] | m -> [ ("alloc", m) ] in
+  let profile = match !profile_section with Null -> [] | m -> [ ("profile", m) ] in
+  let ledger = match !ledger_section with Null -> [] | m -> [ ("ledger", m) ] in
   Obj
     ([
        ("schema", Str "zaatar-bench-run/1");
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ network @ model @ lint
+    @ multiexp @ network @ model @ lint @ alloc @ profile @ ledger
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -1470,12 +1705,99 @@ let write_summary cfg path experiments =
     Printf.eprintf "BENCH summary: %s failed to parse back\n" path;
     exit 1
 
+(* BENCH_history.jsonl: one line per gated run (--check-model,
+   --check-ledger or --baseline), appended before the gates execute so a
+   breach still leaves its evidence behind. scripts/ci.sh prints the
+   last-N trend with --trend. *)
+
+let deep j keys =
+  List.fold_left (fun acc k -> Option.bind acc (Zobs.Json.member k)) (Some j) keys
+
+let dnum j keys = Option.bind (deep j keys) Zobs.Json.to_num
+
+let append_history cfg path (experiments : (string * float) list) =
+  let open Zobs.Json in
+  let num x = Num x and int n = Num (float_of_int n) in
+  let line =
+    Obj
+      ([
+         ("ts", num (Unix.time ()));
+         ( "config",
+           Obj
+             [
+               ("field_bits", int (Nat.num_bits cfg.field));
+               ("rho", int cfg.rho);
+               ("rho_lin", int cfg.rho_lin);
+               ("p_bits", int cfg.p_bits);
+               ("batch", int cfg.batch);
+               ("scale", int cfg.scale);
+               ("quick", Bool cfg.quick);
+             ] );
+         ("experiments", Obj (List.map (fun (n, w) -> (n, num w)) experiments));
+       ]
+      @ (match !ledger_section with Null -> [] | l -> [ ("ledger", l) ])
+      @ (match !alloc_section with Null -> [] | a -> [ ("alloc", a) ])
+      @
+      match
+        match !profile_section with Null -> None | p -> dnum p [ "overhead"; "overhead_ratio" ]
+      with
+      | None -> []
+      | Some r -> [ ("overhead_ratio", num r) ])
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (to_string line);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended this gated run to %s\n" path
+
+let print_trend path n =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "--trend: %s does not exist (run a gated bench first)\n" path;
+    exit 1
+  end;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  (* [lines] is newest-first; show the last [n] oldest-first. *)
+  let last = List.filteri (fun i _ -> i < n) !lines |> List.rev in
+  Printf.printf "last %d gated run(s) in %s:\n" (List.length last) path;
+  Printf.printf "  %-17s %6s %10s %10s %13s %9s\n" "when" "batch" "commit_s" "setup_s"
+    "construct_f" "overhead";
+  List.iter
+    (fun l ->
+      match Zobs.Json.parse l with
+      | exception _ -> Printf.printf "  (unparseable line)\n"
+      | j ->
+        let when_ =
+          match dnum j [ "ts" ] with
+          | None -> "-"
+          | Some ts ->
+            let tm = Unix.localtime ts in
+            Printf.sprintf "%04d-%02d-%02d %02d:%02d" (tm.Unix.tm_year + 1900)
+              (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        in
+        let show fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
+        Printf.printf "  %-17s %6s %10s %10s %13s %9s\n" when_
+          (show "%.0f" (dnum j [ "config"; "batch" ]))
+          (show "%.4f" (dnum j [ "ledger"; "crypto_ops"; "seconds" ]))
+          (show "%.4f" (dnum j [ "ledger"; "verifier_setup"; "seconds" ]))
+          (show "%.0f" (dnum j [ "ledger"; "construct_u"; "ops"; "f" ]))
+          (show "%.3fx" (dnum j [ "overhead_ratio" ])))
+    last
+
 let () =
   let cfg = ref default_cfg in
   let targets = ref [] in
   let trace = ref None and metrics = ref false and json = ref "BENCH_run.json" in
   let check = ref false and band = ref (0.2, 5.0) in
   let baseline = ref None and drift = ref 4.0 in
+  let check_ledger_flag = ref false in
+  let history = ref "BENCH_history.jsonl" and trend = ref None in
   let args = Array.to_list Sys.argv |> List.tl in
   (* Flag validation: a typo'd value dies with a clear message instead of
      an int_of_string backtrace mid-run. *)
@@ -1530,6 +1852,15 @@ let () =
         Printf.eprintf "--model-band expects LO:HI, got %S\n" v;
         exit 2);
       parse rest
+    | "--check-ledger" :: rest ->
+      check_ledger_flag := true;
+      parse rest
+    | "--history" :: v :: rest ->
+      history := v;
+      parse rest
+    | "--trend" :: v :: rest ->
+      trend := Some (pos_int "--trend" v);
+      parse rest
     | "--baseline" :: v :: rest ->
       baseline := Some v;
       parse rest
@@ -1546,15 +1877,23 @@ let () =
     | _ -> usage ()
   in
   parse args;
+  (* --trend is a read-only mode: print the history tail and exit. *)
+  (match !trend with
+  | Some n ->
+    print_trend !history n;
+    exit 0
+  | None -> ());
   let targets = if !targets = [] then [ "all" ] else List.rev !targets in
   let targets = List.concat_map (fun t -> if t = "all" then all_experiments else [ t ]) targets in
   (* The gates need their experiments to have run: --check-model and
-     --baseline pull in model, --baseline also pulls in wire. *)
+     --baseline pull in model, --baseline also pulls in wire and lint,
+     --check-ledger and --baseline pull in profile. *)
   let targets =
     let need =
       (if !check || !baseline <> None then [ "model" ] else [])
       @ (if !baseline <> None then [ "wire" ] else [])
-      @ if !baseline <> None then [ "lint" ] else []
+      @ (if !baseline <> None then [ "lint" ] else [])
+      @ if !check_ledger_flag || !baseline <> None then [ "profile" ] else []
     in
     targets @ List.filter (fun t -> not (List.mem t targets)) need
   in
@@ -1581,6 +1920,8 @@ let () =
     | "multiexp" -> run_multiexp cfg
     | "wire" -> run_wire cfg
     | "lint" -> run_lint cfg
+    | "alloc" -> run_alloc cfg
+    | "profile" -> run_profile cfg
     | t ->
       Printf.eprintf "unknown experiment %S\n" t;
       usage ()
@@ -1593,6 +1934,10 @@ let () =
       targets
   in
   write_summary cfg !json timed_experiments;
+  (* Gated runs leave a history line (config, per-phase seconds, op ledger,
+     alloc counts) even when a gate then fails. *)
+  if !check || !check_ledger_flag || !baseline <> None then
+    append_history cfg !history timed_experiments;
   (match !trace with
   | Some path ->
     Zobs.write_chrome_trace path;
@@ -1602,5 +1947,6 @@ let () =
   (* Gates last: the summary, trace and telemetry are already on disk for
      diagnosis when a gate exits non-zero. *)
   if !check then check_model !band;
+  if !check_ledger_flag then check_ledger ();
   (match !baseline with Some p -> baseline_diff ~drift:!drift p cfg | None -> ());
   print_newline ()

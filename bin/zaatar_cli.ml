@@ -4,6 +4,7 @@
      zaatar lint FILE.zl|SYS.r1cs ...    Zlint soundness analysis (DESIGN.md §11)
      zaatar run FILE.zl -i 1,2,3 ...     compile, prove and verify a batch
      zaatar run ... --connect H:P        same, against a remote prover
+     zaatar profile FILE.zl              per-phase op ledger vs the Figure-3 model
      zaatar serve FILE.zl --listen H:P   networked prover service
      zaatar stats H:P                    scrape a prover's metrics endpoint
      zaatar trace-merge A B -o OUT       one Perfetto view of a split run
@@ -190,6 +191,15 @@ let with_obs ?(process = "zaatar") (trace, metrics) f =
   if metrics then Format.printf "@.== telemetry ==@.%a" Zobs.report ();
   exit code
 
+(* --profile rides on run/bench: enable the Zledger (which needs Zobs on)
+   and print the per-phase op/GC table after the batch report. *)
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Enable the op ledger and print per-phase Figure-3 op counts and GC deltas \
+              after the run (see `zaatar profile` for the model audit).")
+
 let protocol_args =
   let rho = Arg.(value & opt pos_int_conv 2 & info [ "rho" ] ~doc:"PCP repetitions (paper: 8).") in
   let rho_lin = Arg.(value & opt pos_int_conv 5 & info [ "rho-lin" ] ~doc:"Linearity-test iterations (paper: 20).") in
@@ -249,8 +259,9 @@ let run_cmd =
           ~doc:"Skip the pre-flight front-end lint gate (which exits 2 on error-severity \
                 findings such as reads of uninitialized variables).")
   in
-  let run file bits inputs emit_witness connect no_lint timeout_ms config obs =
+  let run file bits inputs emit_witness connect no_lint timeout_ms config profile obs =
     with_obs ~process:(if connect = None then "zaatar" else "verifier") obs @@ fun () ->
+    if profile then Zobs.enable ();
     let ctx = Fp.create (field_of_bits bits) in
     let source = read_file file in
     (* Pre-flight gate: a program that reads uninitialized variables (or
@@ -302,12 +313,115 @@ let run_cmd =
         in
         Argsys.Remote.run_connect ~config ?trace_id ~timeout_ms ~addr comp ~prg ~inputs:batch
     in
-    report_batch ctx result
+    let code = report_batch ctx result in
+    if profile then Format.printf "@.%a" Zobs.Ledger.pp_table ();
+    code
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a ZL program, prove and verify a batch of instances")
     Term.(
       const run $ file $ field_bits_arg $ inputs $ emit_witness $ connect $ no_lint
-      $ timeout_arg $ protocol_args $ obs_args)
+      $ timeout_arg $ protocol_args $ profile_flag $ obs_args)
+
+(* ---- zaatar profile ---- *)
+
+let print_audit rows =
+  let open Costmodel.Model in
+  Printf.printf "\nop audit (Figure 3 predicted vs ledgered; DESIGN.md \xc2\xa712 bands):\n";
+  Printf.printf "  %-22s %-8s %14s %14s %8s %-13s %-6s %s\n" "phase" "op" "predicted" "ledgered"
+    "ratio" "band" "status" "note";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-22s %-8s %14.0f %14d %8.3f [%4.2f,%4.2f] %-6s %s\n" r.phase r.op
+        r.predicted r.ledgered r.ratio r.lo r.hi
+        (if not r.gated then "info" else if r.pass then "ok" else "FAIL")
+        r.note)
+    rows
+
+let profile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.zl") in
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "input" ]
+          ~doc:"Comma-separated input vector (one per batch instance). Omitted: $(b,--batch) \
+                deterministic pseudorandom vectors are generated (profiling needs valid \
+                inputs, not meaningful ones).")
+  in
+  let batch =
+    Arg.(
+      value & opt pos_int_conv 1
+      & info [ "batch" ] ~doc:"Instances to prove when no -i inputs are given.")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"OUT.folded"
+          ~doc:"Also write folded stacks (semicolon-joined span path + exclusive \
+                microseconds per line), the input format of Brendan Gregg's flamegraph.pl.")
+  in
+  let run file bits inputs batch folded config obs =
+    with_obs ~process:"profile" obs @@ fun () ->
+    Zobs.enable ();
+    let ctx = Fp.create (field_of_bits bits) in
+    let compiled = Zlang.Compile.compile ~ctx (read_file file) in
+    print_stats compiled;
+    print_newline ();
+    let comp = Apps.Glue.computation_of compiled in
+    let instances =
+      if inputs <> [] then
+        Array.of_list (List.map (fun s -> Apps.Glue.field_inputs ctx (parse_inputs s)) inputs)
+      else begin
+        let iprg = Chacha.Prg.create ~seed:"zaatar profile inputs" () in
+        Array.init batch (fun _ ->
+            Apps.Glue.field_inputs ctx
+              (Array.init compiled.Zlang.Compile.num_inputs (fun _ ->
+                   Chacha.Prg.int_below iprg 1000)))
+      end
+    in
+    let prg = Chacha.Prg.create ~seed:"zaatar cli" () in
+    let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs:instances in
+    Format.printf "%a" Zobs.Ledger.pp_table ();
+    let st = Zlang.Compile.stats compiled in
+    let sizes =
+      Costmodel.Model.sizes_of_stats st ~n_x:compiled.Zlang.Compile.num_inputs
+        ~n_y:compiled.Zlang.Compile.num_outputs ~t_local:0.0
+    in
+    let pp =
+      {
+        Costmodel.Model.rho = config.Argsys.Argument.params.Pcp.Pcp_zaatar.rho;
+        rho_lin = config.Argsys.Argument.params.Pcp.Pcp_zaatar.rho_lin;
+      }
+    in
+    let rows =
+      Costmodel.Model.zaatar_op_audit pp sizes ~beta:(Array.length instances)
+        ~ledger:Zobs.Ledger.phase
+    in
+    print_audit rows;
+    (match folded with
+    | None -> ()
+    | Some path ->
+      Zobs.write_folded path;
+      Printf.printf "wrote %s (folded stacks; flamegraph.pl %s > flame.svg)\n" path path);
+    let gated = List.filter (fun r -> r.Costmodel.Model.gated) rows in
+    let in_band = List.filter (fun r -> r.Costmodel.Model.pass) gated in
+    if not (Argsys.Argument.all_accepted result) then begin
+      Printf.eprintf "profile: batch REJECTED\n";
+      1
+    end
+    else begin
+      Printf.printf "\nop audit %s: %d/%d gated rows in band\n"
+        (if Costmodel.Model.audit_pass rows then "OK" else "FAILED")
+        (List.length in_band) (List.length gated);
+      if Costmodel.Model.audit_pass rows then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Prove a batch with the op ledger on and audit per-phase op counts against the \
+             Figure-3 cost model (exit 1 if any gated row leaves its band)")
+    Term.(
+      const run $ file $ field_bits_arg $ inputs $ batch $ folded $ protocol_args $ obs_args)
 
 let serve_cmd =
   let files =
@@ -472,8 +586,9 @@ let bench_cmd =
   let bname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"pam | bisection | apsp | fannkuch | lcs") in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Input-size multiplier.") in
   let batch = Arg.(value & opt int 2 & info [ "batch" ] ~doc:"Batch size.") in
-  let run name scale batch bits config obs =
+  let run name scale batch bits config profile obs =
     with_obs obs @@ fun () ->
+    if profile then Zobs.enable ();
     let ctx = Fp.create (field_of_bits bits) in
     let app = Apps.Registry.by_name name ~scale in
     Printf.printf "benchmark %s (%s)\n" app.Apps.App_def.display app.Apps.App_def.params_desc;
@@ -485,10 +600,12 @@ let bench_cmd =
     let inputs =
       Array.init batch (fun _ -> Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
     in
-    report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs)
+    let code = report_batch ctx (Argsys.Argument.run_batch ~config comp ~prg ~inputs) in
+    if profile then Format.printf "@.%a" Zobs.Ledger.pp_table ();
+    code
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one built-in benchmark end to end")
-    Term.(const run $ bname $ scale $ batch $ field_bits_arg $ protocol_args $ obs_args)
+    Term.(const run $ bname $ scale $ batch $ field_bits_arg $ protocol_args $ profile_flag $ obs_args)
 
 let selftest_cmd =
   let run bits =
@@ -543,6 +660,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; lint_cmd; run_cmd; serve_cmd; stats_cmd; trace_merge_cmd; bench_cmd;
-            selftest_cmd; check_cmd; micro_cmd;
+            compile_cmd; lint_cmd; run_cmd; profile_cmd; serve_cmd; stats_cmd; trace_merge_cmd;
+            bench_cmd; selftest_cmd; check_cmd; micro_cmd;
           ]))

@@ -144,10 +144,12 @@ let session_error fmt = Printf.ksprintf (fun s -> raise (Session_error s)) fmt
 let digest comp = Serialize.system_digest comp.r1cs
 
 (* Verifier phases mirror the prover's Metrics spans: setup is amortized
-   over the batch, per-instance work is not (Figure 3's e vs d costs). *)
+   over the batch, per-instance work is not (Figure 3's e vs d costs).
+   Each phase is also a ledger phase, so the verifier's op vector is
+   accounted under the same names (Zobs.Ledger.phases). *)
 let timed acc name f =
   let t0 = Unix.gettimeofday () in
-  let r = Zobs.Span.with_ ~name f in
+  let r = Zobs.Ledger.with_phase name (fun () -> Zobs.Span.with_ ~name f) in
   acc := !acc +. (Unix.gettimeofday () -. t0);
   r
 

@@ -19,9 +19,12 @@ let add t name dt =
   in
   t.entries <- go t.entries
 
+(* Phase timers are also ledger phases: each [time] snapshots the Figure-3
+   op counters and GC state around the work, so every prover phase gets an
+   exact op vector (Zobs.Ledger.phases) next to its seconds. *)
 let time t name f =
   let t0 = Unix.gettimeofday () in
-  let result = Zobs.Span.with_ ~name f in
+  let result = Zobs.Ledger.with_phase name (fun () -> Zobs.Span.with_ ~name f) in
   add t name (Unix.gettimeofday () -. t0);
   result
 

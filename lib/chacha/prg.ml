@@ -73,7 +73,14 @@ let rec int_below t n =
 
 let bool t = byte t land 1 = 1
 
-let field ctx t = Fieldlib.Fp.sample ctx (fun n -> bytes t n)
+(* The paper's c row: pseudorandomly generate a field element (§5.1). Each
+   draw counts once however many rejection rounds it takes; field_nonzero
+   retries count per draw, matching what the verifier actually consumes. *)
+let c_field = Zobs.Counter.make "prg.field"
+
+let field ctx t =
+  Zobs.Counter.incr c_field;
+  Fieldlib.Fp.sample ctx (fun n -> bytes t n)
 
 let rec field_nonzero ctx t =
   let x = field ctx t in

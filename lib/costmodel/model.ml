@@ -108,6 +108,119 @@ let breakeven (v : verifier_costs) ~t_local : int option =
 let zaatar_breakeven p pp s = breakeven (zaatar_verifier p pp s) ~t_local:s.t_local
 let ginger_breakeven p pp s = breakeven (ginger_verifier p pp s) ~t_local:s.t_local
 
+(* ---- op-level audit (Zledger) ----
+
+   Figure 3 written as *counts* instead of seconds: closed-form predictions
+   for how many of each primitive operation every protocol phase performs,
+   cross-checked against the live op ledger (Zobs.Ledger). This is the
+   paper's 5-15% claim pushed down one level — where a wall-clock delta can
+   hide compensating errors, an op-count delta cannot.
+
+   Structural counts (e per batch, d per instance, c draws) follow exactly
+   from the protocol shape, so their bands are tight. f-rows get wider
+   documented bands: the model's closed forms are asymptotic (construct_u's
+   3|C|log^2|C|) while the implementation has concrete constants, and some
+   kernels intentionally beat the model (batch_inv folds the predicted
+   rho*|C| divisions per repetition into one inversion — kept as an
+   ungated informational row). DESIGN.md §12 documents every band. *)
+
+type audit_row = {
+  phase : string;
+  op : string;
+  predicted : float;
+  ledgered : int;
+  ratio : float; (* ledgered / predicted; 1.0 when both are zero *)
+  lo : float;
+  hi : float; (* documented acceptance band on [ratio] *)
+  gated : bool; (* false = informational, never fails the audit *)
+  pass : bool;
+  note : string;
+}
+
+let row ~phase ~op ~predicted ~ledgered ~band:(lo, hi) ~gated ~note =
+  let ratio =
+    if predicted = 0.0 then if ledgered = 0 then 1.0 else infinity
+    else float_of_int ledgered /. predicted
+  in
+  { phase; op; predicted; ledgered; ratio; lo; hi; gated; pass = ratio >= lo && ratio <= hi; note }
+
+(* Commit-phase op counts, per batch of [beta] instances: the verifier
+   encrypts r once per proof-vector element (e = |u| exactly), the prover
+   answers with one homomorphic accumulate step per nonzero u entry
+   (h <= beta * |u|, with equality for dense u). Pure crypto: the
+   commit phase performs no PCP-field multiplications at all. *)
+type commit_ops = { e_count : int; h_count : int; f_count : int }
+
+let commit_phase_ops s ~beta =
+  let u = u_zaatar s in
+  { e_count = u; h_count = beta * u; f_count = 0 }
+
+let zaatar_op_audit (pp : protocol_params) s ~beta
+    ~(ledger : string -> Zobs.Ledger.phase option) : audit_row list =
+  let n' = s.z_zaatar in
+  let hl = s.c_zaatar + 1 in
+  let u = u_zaatar s in
+  let ell' = (6 * pp.rho_lin) + 4 in
+  let nzq = pp.rho * ((3 * pp.rho_lin) + 3) in
+  let nhq = pp.rho * ((3 * pp.rho_lin) + 1) in
+  let ops name =
+    match ledger name with Some p -> p.Zobs.Ledger.ops | None -> Zobs.Ledger.zero_ops
+  in
+  let setup = ops "verifier_setup" in
+  let per = ops "verifier_per_instance" in
+  let construct = ops "construct_u" in
+  let crypto = ops "crypto_ops" in
+  let answer = ops "answer_queries" in
+  [
+    (* Verifier setup, amortized over the batch (Figure 3 "issue queries"). *)
+    row ~phase:"verifier_setup" ~op:"e" ~predicted:(fi u) ~ledgered:setup.Zobs.Ledger.e
+      ~band:(1.0, 1.0) ~gated:true ~note:"Enc(r): one encryption per proof-vector element";
+    row ~phase:"verifier_setup" ~op:"c"
+      ~predicted:(fi (2 + (2 * u) + (2 * pp.rho * pp.rho_lin * u) + pp.rho + (pp.rho * ell')))
+      ~ledgered:setup.Zobs.Ledger.c ~band:(1.0, 1.01) ~gated:true
+      ~note:"keygen + r,k draws + linearity queries + tau + alpha (retries add <1%)";
+    row ~phase:"verifier_setup" ~op:"f"
+      ~predicted:
+        (fi ((nzq * n') + (nhq * hl))
+        +. (fi pp.rho *. fi ((5 * s.c_zaatar) + s.k + (3 * s.k2))))
+      ~ledgered:setup.Zobs.Ledger.f ~band:(0.2, 3.0) ~gated:true
+      ~note:"t = r + sum alpha_i q_i accumulation + query construction (model constants)";
+    row ~phase:"verifier_setup" ~op:"f_div" ~predicted:(fi (pp.rho * s.c_zaatar))
+      ~ledgered:setup.Zobs.Ledger.f_div ~band:(0.0, 1.0) ~gated:false
+      ~note:"batch_inv folds the model's rho*|C| divisions into ~1 inversion per repetition";
+    (* Verifier per-instance processing. *)
+    row ~phase:"verifier_per_instance" ~op:"d" ~predicted:(fi (2 * beta))
+      ~ledgered:per.Zobs.Ledger.d ~band:(1.0, 1.0) ~gated:true
+      ~note:"two consistency checks (= rearranged decryptions) per instance";
+    row ~phase:"verifier_per_instance" ~op:"f_lazy" ~predicted:(fi (beta * (nzq + nhq)))
+      ~ledgered:per.Zobs.Ledger.f_lazy ~band:(0.9, 1.0) ~gated:true
+      ~note:"<alpha, a> dots; zero answers only remove terms";
+    row ~phase:"verifier_per_instance" ~op:"f"
+      ~predicted:(fi (beta * pp.rho * (2 + (3 * (s.n_x + s.n_y)))))
+      ~ledgered:per.Zobs.Ledger.f ~band:(0.2, 3.0) ~gated:true
+      ~note:"divisibility test + io contributions (model: rho(ell'+3nx+3ny) per instance)";
+    (* Prover: construct the proof vector. The known model outlier (ROADMAP
+       item 3): the closed form is asymptotic, the implementation concrete. *)
+    row ~phase:"construct_u" ~op:"f"
+      ~predicted:(fi beta *. 3.0 *. fi s.c_zaatar *. (log2 s.c_zaatar ** 2.0))
+      ~ledgered:(construct.Zobs.Ledger.f + construct.Zobs.Ledger.f_lazy) ~band:(0.02, 20.0)
+      ~gated:true
+      ~note:"H(t) interpolation vs 3|C|log^2|C|: the Figure-5 outlier, now visible in ops";
+    (* Prover: commit (the crypto phase). *)
+    row ~phase:"crypto_ops" ~op:"h" ~predicted:(fi (2 * beta * u)) ~ledgered:crypto.Zobs.Ledger.h
+      ~band:(0.2, 1.0) ~gated:true
+      ~note:"one accumulate per nonzero u entry, two commitments per instance; sparsity only shrinks it";
+    row ~phase:"crypto_ops" ~op:"f" ~predicted:0.0 ~ledgered:crypto.Zobs.Ledger.f
+      ~band:(1.0, 1.0) ~gated:true ~note:"the commit phase performs no PCP-field multiplications";
+    (* Prover: answer the queries. *)
+    row ~phase:"answer_queries" ~op:"f_lazy"
+      ~predicted:(fi (beta * (((nzq + 1) * n') + ((nhq + 1) * hl))))
+      ~ledgered:answer.Zobs.Ledger.f_lazy ~band:(0.2, 1.01) ~gated:true
+      ~note:"pi(q) = <q, u> dots over dense queries; zero u entries only remove terms";
+  ]
+
+let audit_pass rows = List.for_all (fun r -> (not r.gated) || r.pass) rows
+
 (* Sizes from a compiled computation plus a measured local time. *)
 let sizes_of_stats (st : Zlang.Compile.stats) ~n_x ~n_y ~t_local =
   {

@@ -47,4 +47,42 @@ val breakeven : verifier_costs -> t_local:float -> int option
 val zaatar_breakeven : Params.t -> protocol_params -> sizes -> int option
 val ginger_breakeven : Params.t -> protocol_params -> sizes -> int option
 
+(** {2 Op-level audit (Zledger)}
+
+    Figure 3 as counts instead of seconds: closed-form predictions of each
+    phase's primitive-op counts, compared against the live op ledger.
+    Structural rows (e, d, c draws) carry tight bands; f-rows carry wider
+    documented bands (see DESIGN.md §12); rows with [gated = false] are
+    informational and never fail the audit. *)
+
+type audit_row = {
+  phase : string;
+  op : string;
+  predicted : float;
+  ledgered : int;
+  ratio : float;  (** ledgered / predicted; 1.0 when both are zero *)
+  lo : float;
+  hi : float;  (** documented acceptance band on [ratio] *)
+  gated : bool;  (** false = informational *)
+  pass : bool;
+  note : string;
+}
+
+type commit_ops = { e_count : int; h_count : int; f_count : int }
+
+val commit_phase_ops : sizes -> beta:int -> commit_ops
+(** Exact commit-phase op counts for a batch of [beta] instances with dense
+    proof vectors: e = |u|, h = beta * |u|, f = 0. *)
+
+val zaatar_op_audit :
+  protocol_params ->
+  sizes ->
+  beta:int ->
+  ledger:(string -> Zobs.Ledger.phase option) ->
+  audit_row list
+(** Audit a ledgered run: [ledger] is normally [Zobs.Ledger.phase]. *)
+
+val audit_pass : audit_row list -> bool
+(** All gated rows inside their bands. *)
+
 val sizes_of_stats : Zlang.Compile.stats -> n_x:int -> n_y:int -> t_local:float -> sizes

@@ -127,6 +127,9 @@ let hom_dot (pk : public_key) (enc_r : ciphertext array) (u : Fp.el array) : cip
   done;
   if !nidx = 0 then { c1 = !ones1; c2 = !ones2 }
   else begin
+    (* Each Pippenger term is one homomorphic accumulate step (the paper's
+       h row), same as the hom_add/hom_scale pair it replaces. *)
+    Zobs.Counter.add c_hom !nidx;
     let idx = Array.of_list !idx in
     let exps = Array.map (fun i -> Fp.to_nat u.(i)) idx in
     let b1 = Array.map (fun i -> enc_r.(i).c1) idx in

@@ -108,7 +108,10 @@ let generate ?(seed = "zaatar group") ~field_order ~p_bits () =
   in
   let p, m = find_p () in
   if not (Primes.is_prime p) then failwith "Group.generate: final primality check failed";
-  let modp = Fp.create p in
+  (* mod-p arithmetic is group arithmetic: tag it so its multiplications
+     land in fp.*.group, not the Figure-3 field ledger. The exponent
+     context modq IS the PCP field, so it keeps the default Field tag. *)
+  let modp = Fp.create ~tag:Fp.Group p in
   let mont = Montgomery.create p in
   let rec find_g h =
     let g = Fp.pow modp (Fp.of_int modp h) m in
@@ -133,7 +136,7 @@ let of_params ~p ~q ~g =
   if not (Nat.is_zero r) then invalid_arg "Group.of_params: q does not divide p - 1";
   if Nat.is_zero g || Nat.compare g p >= 0 then invalid_arg "Group.of_params: g out of range";
   if Nat.equal g Nat.one then invalid_arg "Group.of_params: g = 1 generates nothing";
-  let modp = Fp.create p in
+  let modp = Fp.create ~tag:Fp.Group p in
   if not (Fp.equal (Fp.pow modp g q) Fp.one) then
     invalid_arg "Group.of_params: g is not in the order-q subgroup";
   let mont = Montgomery.create p in

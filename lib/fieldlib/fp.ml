@@ -1,3 +1,11 @@
+(* A context is tagged by what its modulus is: [Field] for the PCP field
+   (the paper's f / f_lazy / f_div rows), [Group] for the ElGamal group
+   modulus p. The tag only selects which cost counters the context bumps —
+   group-side residue multiplications land in fp.*.group so they never
+   pollute the Figure-3 field-op ledger (a mod-p mul at 512-1024 bits is
+   not an f op at 128-220 bits). *)
+type tag = Field | Group
+
 type ctx = {
   p : Nat.t;
   k : int; (* limbs of p *)
@@ -7,6 +15,9 @@ type ctx = {
   sample_bytes : int;
   sample_mask : int; (* mask for the top sampled byte *)
   dot_window : int; (* lazy products that can be accumulated before reduction *)
+  cnt_mul : Zobs.Counter.t;
+  cnt_mul_lazy : Zobs.Counter.t;
+  cnt_inv : Zobs.Counter.t;
 }
 
 type el = Nat.t
@@ -16,8 +27,11 @@ type el = Nat.t
 let c_mul = Zobs.Counter.make "fp.mul"
 let c_mul_lazy = Zobs.Counter.make "fp.mul_lazy"
 let c_inv = Zobs.Counter.make "fp.inv"
+let c_mul_g = Zobs.Counter.make "fp.mul.group"
+let c_mul_lazy_g = Zobs.Counter.make "fp.mul_lazy.group"
+let c_inv_g = Zobs.Counter.make "fp.inv.group"
 
-let create p =
+let create ?(tag = Field) p =
   if Nat.compare p (Nat.of_int 3) < 0 then invalid_arg "Fp.create: modulus too small";
   if Nat.is_even p then invalid_arg "Fp.create: modulus must be odd";
   let k = Nat.num_limbs p in
@@ -27,6 +41,9 @@ let create p =
   let psq = Nat.sqr p in
   let window, _ = Nat.divmod b2k psq in
   let dot_window = match Nat.to_int_opt window with Some w -> max 1 (min (w - 1) 1024) | None -> 1024 in
+  let cnt_mul, cnt_mul_lazy, cnt_inv =
+    match tag with Field -> (c_mul, c_mul_lazy, c_inv) | Group -> (c_mul_g, c_mul_lazy_g, c_inv_g)
+  in
   {
     p;
     k;
@@ -36,6 +53,9 @@ let create p =
     sample_bytes = (p_bits + 7) / 8;
     sample_mask = (1 lsl (((p_bits - 1) mod 8) + 1)) - 1;
     dot_window;
+    cnt_mul;
+    cnt_mul_lazy;
+    cnt_inv;
   }
 
 let modulus ctx = ctx.p
@@ -101,15 +121,15 @@ let add ctx a b =
 let sub ctx a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a ctx.p) b
 let neg ctx a = if Nat.is_zero a then Nat.zero else Nat.sub ctx.p a
 let mul ctx a b =
-  Zobs.Counter.incr c_mul;
+  Zobs.Counter.incr ctx.cnt_mul;
   reduce ctx (Nat.mul a b)
 
 let sqr ctx a =
-  Zobs.Counter.incr c_mul;
+  Zobs.Counter.incr ctx.cnt_mul;
   reduce ctx (Nat.sqr a)
 
-let mul_lazy _ctx a b =
-  Zobs.Counter.incr c_mul_lazy;
+let mul_lazy ctx a b =
+  Zobs.Counter.incr ctx.cnt_mul_lazy;
   Nat.mul a b
 
 let pow ctx b e =
@@ -127,14 +147,14 @@ let pow_int ctx b e =
 
 let inv_fermat ctx a =
   if Nat.is_zero a then raise Division_by_zero;
-  Zobs.Counter.incr c_inv;
+  Zobs.Counter.incr ctx.cnt_inv;
   pow ctx a ctx.p_minus_2
 
 (* Extended Euclid with sign-tracked Bezout coefficient for a.
    Invariant: t_i * a = r_i (mod p). *)
 let inv ctx a =
   if Nat.is_zero a then raise Division_by_zero;
-  Zobs.Counter.incr c_inv;
+  Zobs.Counter.incr ctx.cnt_inv;
   let sadd (s1, m1) (s2, m2) =
     if s1 = s2 then (s1, Nat.add m1 m2)
     else if Nat.compare m1 m2 >= 0 then (s1, Nat.sub m1 m2)
@@ -194,7 +214,7 @@ let dot ctx a b =
       incr nmul
     end
   done;
-  Zobs.Counter.add c_mul_lazy !nmul;
+  Zobs.Counter.add ctx.cnt_mul_lazy !nmul;
   reduce ctx !acc
 
 let sample ctx random_bytes =

@@ -7,12 +7,19 @@
 
 type ctx
 
+type tag = Field | Group
+(** Which cost ledger a context's operations land in: [Field] contexts bump
+    the Figure-3 [fp.mul] / [fp.mul_lazy] / [fp.inv] counters, [Group]
+    contexts (the ElGamal group modulus) bump the [fp.*.group] variants so
+    group-side residue arithmetic never pollutes the field-op ledger. *)
+
 type el = Nat.t
 (** Always reduced: [0 <= el < modulus ctx]. *)
 
-val create : Nat.t -> ctx
+val create : ?tag:tag -> Nat.t -> ctx
 (** [create p] builds a context for modulus [p]. [p] must be odd and at
-    least 3; primality is the caller's responsibility (see {!Primes}). *)
+    least 3; primality is the caller's responsibility (see {!Primes}).
+    [tag] defaults to [Field]. *)
 
 val modulus : ctx -> Nat.t
 val bits : ctx -> int

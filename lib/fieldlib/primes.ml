@@ -58,7 +58,10 @@ let is_prime n =
     in
     if small then List.exists (fun p -> Nat.equal n (Nat.of_int p)) small_primes
     else begin
-      let ctx = Fp.create n in
+      (* Primality testing is parameter-search arithmetic (candidate group
+         or field moduli), not Figure-3 field work: tag it Group so the
+         Miller-Rabin exponentiations stay out of the fp.mul ledger. *)
+      let ctx = Fp.create ~tag:Fp.Group n in
       let n_minus_1 = Nat.sub n Nat.one in
       (* n - 1 = 2^s * d with d odd *)
       let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
@@ -96,7 +99,7 @@ let probably_prime ?(bases = [ 2; 3; 5; 7 ]) n =
     in
     if divisible then false
     else begin
-      let ctx = Fp.create n in
+      let ctx = Fp.create ~tag:Fp.Group n in
       let n_minus_1 = Nat.sub n Nat.one in
       let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
       let d, s = split n_minus_1 0 in

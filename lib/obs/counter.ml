@@ -1,16 +1,87 @@
 (* Named monotonic counters for semantic cost events (field multiplications,
-   group exponentiations, PRG bytes, ...). Increments go through
-   [Atomic.fetch_and_add], so accumulation is exact under Dompool workers;
-   the [Registry.on] check keeps the disabled path to one atomic load. *)
+   group exponentiations, PRG bytes, ...). Each domain increments a private
+   cell reached through domain-local storage, so the per-op hot path is an
+   unsynchronized load/store with no cache-line contention across Pool
+   workers; [value] merges the cells deterministically, summing shards in
+   ascending domain-id order on top of the flushed base. A Pool worker folds
+   its cells into the base via [Registry.flush_domain] before its domain
+   exits, so worker-side tallies survive the domain and the shard list stays
+   bounded. The [Registry.on] check keeps the disabled path to one atomic
+   load, as before. *)
 
-type t = { name : string; v : int Atomic.t }
+type shard = { cell : int ref; mutable attached : bool }
+
+type t = {
+  name : string;
+  base : int Atomic.t; (* tallies folded in from flushed (exited) domains *)
+  mu : Mutex.t;
+  shards : (int * shard) list ref; (* live (domain id, cell) pairs *)
+  key : shard Domain.DLS.key;
+}
 
 let make name =
-  let c = { name; v = Atomic.make 0 } in
-  Registry.register_counter name (fun () -> Atomic.get c.v) (fun () -> Atomic.set c.v 0);
-  c
+  let mu = Mutex.create () in
+  let shards = ref [] in
+  let base = Atomic.make 0 in
+  let key = Domain.DLS.new_key (fun () -> { cell = ref 0; attached = false }) in
+  let merged () =
+    Mutex.lock mu;
+    let l = List.sort (fun (a, _) (b, _) -> compare a b) !shards in
+    let v = List.fold_left (fun acc (_, s) -> acc + !(s.cell)) (Atomic.get base) l in
+    Mutex.unlock mu;
+    v
+  in
+  let reset () =
+    Atomic.set base 0;
+    Mutex.lock mu;
+    List.iter (fun (_, s) -> s.cell := 0) !shards;
+    Mutex.unlock mu
+  in
+  (* Fold the calling domain's cell into the base and detach it: the next
+     increment on this domain (if any) re-attaches the same DLS cell. *)
+  let flush () =
+    let s = Domain.DLS.get key in
+    if s.attached then begin
+      Mutex.lock mu;
+      let id = (Domain.self () :> int) in
+      Atomic.set base (Atomic.get base + !(s.cell));
+      s.cell := 0;
+      s.attached <- false;
+      shards := List.filter (fun (i, _) -> i <> id) !shards;
+      Mutex.unlock mu
+    end
+  in
+  Registry.register_counter name merged reset;
+  Registry.register_flusher flush;
+  { name; base; mu; shards; key }
 
-let incr c = if Registry.on () then ignore (Atomic.fetch_and_add c.v 1)
-let add c n = if Registry.on () && n <> 0 then ignore (Atomic.fetch_and_add c.v n)
-let value c = Atomic.get c.v
+let attach c (s : shard) =
+  Mutex.lock c.mu;
+  if not s.attached then begin
+    c.shards := ((Domain.self () :> int), s) :: !(c.shards);
+    s.attached <- true
+  end;
+  Mutex.unlock c.mu
+
+let incr c =
+  if Registry.on () then begin
+    let s = Domain.DLS.get c.key in
+    if not s.attached then attach c s;
+    s.cell := !(s.cell) + 1
+  end
+
+let add c n =
+  if Registry.on () && n <> 0 then begin
+    let s = Domain.DLS.get c.key in
+    if not s.attached then attach c s;
+    s.cell := !(s.cell) + n
+  end
+
+let value c =
+  Mutex.lock c.mu;
+  let l = List.sort (fun (a, _) (b, _) -> compare a b) !(c.shards) in
+  let v = List.fold_left (fun acc (_, s) -> acc + !(s.cell)) (Atomic.get c.base) l in
+  Mutex.unlock c.mu;
+  v
+
 let name c = c.name

@@ -100,6 +100,68 @@ let render_spans b =
       spans
   end
 
+(* Ledger gauges: Figure-3 op totals since process start, plus the same op
+   vector and GC deltas attributed per protocol phase — what a `serve`
+   operator needs to see op rates and GC pressure per scrape. *)
+let render_ledger b =
+  let total = Ledger.total () in
+  typ b "zaatar_ledger_ops_total" "counter";
+  List.iter
+    (fun (op, v) -> int_metric b ~labels:[ ("op", op) ] ~name:"zaatar_ledger_ops_total" v)
+    (Ledger.ops_to_list total);
+  let phases = Ledger.phases () in
+  if phases <> [] then begin
+    List.iter
+      (fun (tname, kind) -> typ b tname kind)
+      [
+        ("zaatar_ledger_phase_ops_total", "counter");
+        ("zaatar_ledger_phase_seconds_total", "counter");
+        ("zaatar_ledger_phase_minor_words_total", "counter");
+        ("zaatar_ledger_phase_major_words_total", "counter");
+      ];
+    List.iter
+      (fun (phase, (p : Ledger.phase)) ->
+        List.iter
+          (fun (op, v) ->
+            int_metric b
+              ~labels:[ ("phase", phase); ("op", op) ]
+              ~name:"zaatar_ledger_phase_ops_total" v)
+          (Ledger.ops_to_list p.Ledger.ops);
+        let labels = [ ("phase", phase) ] in
+        float_metric b ~labels ~name:"zaatar_ledger_phase_seconds_total" p.Ledger.seconds;
+        float_metric b ~labels ~name:"zaatar_ledger_phase_minor_words_total"
+          p.Ledger.gc.Span.minor_words;
+        float_metric b ~labels ~name:"zaatar_ledger_phase_major_words_total"
+          p.Ledger.gc.Span.major_words)
+      phases
+  end
+
+(* GC gauges: the live [Gc.quick_stat] of the scraped process. Counter-like
+   fields (words, collections) are monotonic; heap sizes are point-in-time
+   gauges. *)
+let render_gc b =
+  let g = Gc.quick_stat () in
+  List.iter
+    (fun (name, v) ->
+      typ b name "counter";
+      float_metric b ~name v)
+    [
+      ("zaatar_gc_minor_words_total", g.Gc.minor_words);
+      ("zaatar_gc_major_words_total", g.Gc.major_words);
+      ("zaatar_gc_promoted_words_total", g.Gc.promoted_words);
+      ("zaatar_gc_minor_collections_total", float_of_int g.Gc.minor_collections);
+      ("zaatar_gc_major_collections_total", float_of_int g.Gc.major_collections);
+      ("zaatar_gc_compactions_total", float_of_int g.Gc.compactions);
+    ];
+  List.iter
+    (fun (name, v) ->
+      typ b name "gauge";
+      float_metric b ~name v)
+    [
+      ("zaatar_gc_heap_words", float_of_int g.Gc.heap_words);
+      ("zaatar_gc_top_heap_words", float_of_int g.Gc.top_heap_words);
+    ]
+
 (* [extra] lets a caller (the serve metrics endpoint) prepend its own
    already-rendered exposition lines — per-connection series the global
    registry does not know about. *)
@@ -109,4 +171,6 @@ let render ?(extra = "") () =
   render_counters b;
   render_histograms b;
   render_spans b;
+  render_ledger b;
+  render_gc b;
   Buffer.contents b

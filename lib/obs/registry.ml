@@ -51,6 +51,30 @@ let counter_values () =
   Mutex.unlock mu;
   List.sort compare l
 
+(* Current value of one named counter; 0 when no metric registered under
+   that name (the library owning it may not be linked in). *)
+let counter_value name =
+  Mutex.lock mu;
+  let r = List.find_opt (fun (n, _, _) -> n = name) !counters in
+  Mutex.unlock mu;
+  match r with Some (_, read, _) -> read () | None -> 0
+
+(* Per-domain flush hooks: sharded counters register one so a Pool worker
+   can fold its domain-local cells into the shared base before the domain
+   exits. Called on the worker's own domain. *)
+let flushers : (unit -> unit) list ref = ref []
+
+let register_flusher f =
+  Mutex.lock mu;
+  flushers := f :: !flushers;
+  Mutex.unlock mu
+
+let flush_domain () =
+  Mutex.lock mu;
+  let fs = !flushers in
+  Mutex.unlock mu;
+  List.iter (fun f -> f ()) fs
+
 let histogram_values () =
   Mutex.lock mu;
   let l = List.map (fun (n, read, _) -> (n, read ())) !histograms in

@@ -99,6 +99,53 @@ let write_string path s =
 let write_chrome_trace ?pid ?process_name ?events path =
   write_string path (Json.to_string (chrome_trace ?pid ?process_name ?events ()))
 
+(* Folded-stacks export, the flamegraph.pl / inferno input format: one line
+   per distinct span stack, `root;child;leaf <self-time-us>`. Stacks are
+   reconstructed per domain by replaying the completed events in start-time
+   order and truncating to each event's recorded nesting depth; the weight
+   is the span's exclusive (self) time, so a flame graph built from this
+   attributes every microsecond exactly once. *)
+let folded_stacks ?events () =
+  let evs = match events with Some evs -> evs | None -> Span.events_snapshot () in
+  let by_tid : (int, Span.event list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Span.event) ->
+      match Hashtbl.find_opt by_tid e.Span.tid with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.add by_tid e.Span.tid (ref [ e ]))
+    evs;
+  let agg : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _tid l ->
+      let evs =
+        List.sort
+          (fun (a : Span.event) (b : Span.event) ->
+            match compare a.Span.ts b.Span.ts with
+            | 0 -> compare a.Span.depth b.Span.depth
+            | c -> c)
+          !l
+      in
+      (* [stack] holds the open path, innermost first. An event at depth d
+         replaces everything at depth >= d. *)
+      let stack = ref [] in
+      List.iter
+        (fun (e : Span.event) ->
+          let rec trunc s = if List.length s > e.Span.depth then trunc (List.tl s) else s in
+          stack := e.Span.name :: trunc !stack;
+          let key = String.concat ";" (List.rev !stack) in
+          let us = int_of_float ((e.Span.excl *. 1e6) +. 0.5) in
+          if us > 0 then
+            Hashtbl.replace agg key (us + match Hashtbl.find_opt agg key with Some v -> v | None -> 0))
+        evs)
+    by_tid;
+  let lines = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []) in
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) lines)
+
+let write_folded ?events path =
+  let oc = open_out path in
+  output_string oc (folded_stacks ?events ());
+  close_out oc
+
 (* Merge per-process Chrome traces (verifier + prover sidecar) into one
    file: file i's events land under pid i, rebased from that file's t0_s
    onto the earliest t0 across all inputs, so the merged Perfetto view

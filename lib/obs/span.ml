@@ -10,16 +10,71 @@ type event = {
   attrs : (string * string) list;
   ts : float; (* absolute start, seconds *)
   dur : float; (* seconds *)
+  excl : float; (* dur minus direct children: the span's self time *)
   tid : int; (* domain id *)
   depth : int; (* nesting depth at open time, per domain *)
 }
 
 type stat = { total : float; exclusive : float; count : int }
 
+(* Per-name GC deltas, accumulated from [Gc.quick_stat] taken at span open
+   and close. Word counts are floats because that is what Gc reports; minor
+   words are domain-local in OCaml 5, so a span only sees the allocation of
+   the domain it ran on (Pool workers account theirs via Ledger). *)
+type gc_stat = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+let gc_zero =
+  {
+    minor_words = 0.0;
+    major_words = 0.0;
+    promoted_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+  }
+
+let gc_add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+    compactions = a.compactions + b.compactions;
+  }
+
+let gc_sub a b =
+  {
+    minor_words = a.minor_words -. b.minor_words;
+    major_words = a.major_words -. b.major_words;
+    promoted_words = a.promoted_words -. b.promoted_words;
+    minor_collections = a.minor_collections - b.minor_collections;
+    major_collections = a.major_collections - b.major_collections;
+    compactions = a.compactions - b.compactions;
+  }
+
+let gc_delta (g0 : Gc.stat) (g1 : Gc.stat) =
+  {
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    compactions = g1.Gc.compactions - g0.Gc.compactions;
+  }
+
 type frame = {
   fname : string;
   fattrs : (string * string) list;
   start : float;
+  gc0 : Gc.stat; (* GC state at open, for the per-name gc aggregates *)
   mutable child : float; (* accumulated duration of direct children *)
 }
 
@@ -33,32 +88,36 @@ let dropped = ref 0
 let max_events = 1_000_000
 
 let aggs : (string, float * float * int) Hashtbl.t = Hashtbl.create 32
+let gc_aggs : (string, gc_stat) Hashtbl.t = Hashtbl.create 32
 
 let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let now () = Unix.gettimeofday ()
 
-let record ~name ~attrs ~start ~dur ~excl ~depth =
+let record ~name ~attrs ~start ~dur ~excl ~depth ~gc =
   let tid = (Domain.self () :> int) in
   Mutex.lock mu;
   if !n_events < max_events then begin
-    events := { name; attrs; ts = start; dur; tid; depth } :: !events;
+    events := { name; attrs; ts = start; dur; excl; tid; depth } :: !events;
     incr n_events
   end
   else incr dropped;
   let t, e, c = match Hashtbl.find_opt aggs name with Some s -> s | None -> (0.0, 0.0, 0) in
   Hashtbl.replace aggs name (t +. dur, e +. excl, c + 1);
+  let g = match Hashtbl.find_opt gc_aggs name with Some g -> g | None -> gc_zero in
+  Hashtbl.replace gc_aggs name (gc_add g gc);
   Mutex.unlock mu
 
 let with_ ?(attrs = []) ~name f =
   if not (Registry.on ()) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
-    let fr = { fname = name; fattrs = attrs; start = now (); child = 0.0 } in
+    let fr = { fname = name; fattrs = attrs; start = now (); gc0 = Gc.quick_stat (); child = 0.0 } in
     let depth = List.length !stack in
     stack := fr :: !stack;
     let finish () =
       let dur = now () -. fr.start in
+      let gc = gc_delta fr.gc0 (Gc.quick_stat ()) in
       (* Pop down to (and including) our frame; intermediate frames can only
          appear if an exception skipped a finaliser, which Fun.protect
          prevents — but recover rather than corrupt the stack. *)
@@ -70,7 +129,7 @@ let with_ ?(attrs = []) ~name f =
       stack := pop !stack;
       (match !stack with parent :: _ -> parent.child <- parent.child +. dur | [] -> ());
       record ~name ~attrs:fr.fattrs ~start:fr.start ~dur ~excl:(Float.max 0.0 (dur -. fr.child))
-        ~depth
+        ~depth ~gc
     in
     Fun.protect ~finally:finish f
   end
@@ -109,6 +168,18 @@ let stats name =
   Mutex.unlock mu;
   Option.map (fun (total, exclusive, count) -> { total; exclusive; count }) r
 
+let gc_totals () =
+  Mutex.lock mu;
+  let l = Hashtbl.fold (fun name g acc -> (name, g) :: acc) gc_aggs [] in
+  Mutex.unlock mu;
+  List.sort compare l
+
+let gc_stats name =
+  Mutex.lock mu;
+  let r = Hashtbl.find_opt gc_aggs name in
+  Mutex.unlock mu;
+  r
+
 let dropped_events () = !dropped
 
 let reset () =
@@ -117,4 +188,5 @@ let reset () =
   n_events := 0;
   dropped := 0;
   Hashtbl.reset aggs;
+  Hashtbl.reset gc_aggs;
   Mutex.unlock mu

@@ -13,6 +13,7 @@ module Registry = Registry
 module Counter = Counter
 module Histogram = Histogram
 module Span = Span
+module Ledger = Ledger
 module Sink = Sink
 module Log = Log
 module Prometheus = Prometheus
@@ -21,15 +22,21 @@ let enable = Registry.enable
 let disable = Registry.disable
 let enabled = Registry.on
 
-(* Zero every counter/histogram and drop all recorded spans. *)
+(* Zero every counter/histogram, drop all recorded spans and clear the
+   per-phase ledger. *)
 let reset () =
   Registry.reset ();
   Span.reset ();
+  Ledger.reset ();
   Registry.set_trace_id ""
 
-let report fmt = Sink.pp_table fmt
+let report fmt () =
+  Sink.pp_table fmt ();
+  Ledger.pp_table fmt ()
+
 let write_chrome_trace = Sink.write_chrome_trace
 let write_jsonl = Sink.write_jsonl
+let write_folded = Sink.write_folded
 
 (* {2 Distributed trace ids}
 

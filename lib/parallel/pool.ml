@@ -27,7 +27,16 @@ let mapi ?(domains = 1) (f : int -> 'a -> 'b) (arr : 'a array) : 'b array =
       in
       go ()
     in
-    let spawned = Array.init (nd - 1) (fun _ -> Domain.spawn worker) in
+    (* Spawned workers run under [Ledger.worker_scope]: their GC deltas are
+       noted for the enclosing ledger phase (minor words are domain-local)
+       and their counter shards are folded into the registry base before
+       the domain exits, deterministically — so no [domains] count changes
+       counter totals or drops worker-side tallies. The main domain's own
+       worker call needs neither: its shards are read live and its GC is
+       already in the phase's delta. *)
+    let spawned =
+      Array.init (nd - 1) (fun _ -> Domain.spawn (fun () -> Zobs.Ledger.worker_scope worker))
+    in
     worker ();
     Array.iter Domain.join spawned;
     Array.map (function Some v -> v | None -> assert false) results

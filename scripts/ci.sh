@@ -93,6 +93,33 @@ if dune exec bench/main.exe -- model --quick --check-model --model-band 1000:100
 fi
 grep -q "cost model breach" "$tmp/model_fail.out" || { echo "breach message missing" >&2; cat "$tmp/model_fail.out" >&2; exit 1; }
 
+echo "== ledger gate (bench --check-ledger) + history trend =="
+# The profile experiment ledgers a deterministic argument run and audits
+# its per-phase op counts against the Figure-3 op model; --check-ledger
+# turns a gated row outside its documented band into a non-zero exit.
+# Gated runs append one JSONL line to the history file; --trend prints it.
+dune exec bench/main.exe -- alloc profile --quick --check-ledger \
+  --json "$tmp/LEDGER_run.json" --history "$tmp/history.jsonl" | tee "$tmp/ledger.out"
+grep -q -- "--check-ledger OK" "$tmp/ledger.out" || { echo "check-ledger did not report OK" >&2; exit 1; }
+grep -q '"ledger"' "$tmp/LEDGER_run.json" || { echo "ledger section missing from summary" >&2; exit 1; }
+grep -q '"alloc"' "$tmp/LEDGER_run.json" || { echo "alloc section missing from summary" >&2; exit 1; }
+grep -q '"overhead_ratio"' "$tmp/LEDGER_run.json" || { echo "instrumentation overhead not recorded" >&2; exit 1; }
+test -s "$tmp/history.jsonl" || { echo "gated run did not append to the history file" >&2; exit 1; }
+dune exec bench/main.exe -- --trend 5 --history "$tmp/history.jsonl" | tee "$tmp/trend.out"
+grep -q "gated run(s)" "$tmp/trend.out" || { echo "--trend did not print the history tail" >&2; exit 1; }
+
+echo "== profile smoke (zaatar profile, folded stacks) =="
+# The profile subcommand must pass its op audit on the shipped matmul
+# example and emit non-empty, well-formed folded stacks ("path us" lines,
+# the input format of flamegraph.pl).
+dune exec bin/zaatar_cli.exe -- profile examples/matmul.zl --folded "$tmp/matmul.folded" \
+  | tee "$tmp/profile.out"
+grep -q "op audit OK" "$tmp/profile.out" || { echo "zaatar profile audit failed" >&2; exit 1; }
+test -s "$tmp/matmul.folded" || { echo "folded stacks output missing or empty" >&2; exit 1; }
+if grep -qvE '^[^ ]+ [0-9]+$' "$tmp/matmul.folded"; then
+  echo "folded stacks output malformed" >&2; cat "$tmp/matmul.folded" >&2; exit 1
+fi
+
 echo "== socket smoke (zaatar serve / run --connect, metrics + traces) =="
 # Start a one-shot prover on an ephemeral port with the live metrics
 # endpoint and per-connection trace sidecars, scrape the endpoint with
