@@ -30,11 +30,17 @@ type cfg = {
   batch : int;
   quick : bool;
   domains : int; (* Pool domains for the commitment pipeline (--domains) *)
+  qap_backend : Qapb.backend; (* --qap-backend auto|ntt|lagrange *)
 }
 
 let default_cfg =
   {
-    field = Primes.p127;
+    (* The NTT-friendly 127-bit prime (2-adicity 62): same width as the
+       paper's Mersenne p127, but able to host the production NTT prover
+       path, so the default bench exercises it. Force the Mersenne field's
+       pipeline with --qap-backend lagrange (identical over either prime:
+       the Lagrange path never uses the 2-adic structure). *)
+    field = Primes.p127_ntt;
     scale = 1;
     rho = 3;
     rho_lin = 10;
@@ -42,9 +48,22 @@ let default_cfg =
     batch = 2;
     quick = false;
     domains = 1;
+    qap_backend = Qapb.Auto;
   }
 
 let ctx_of cfg = Fp.create cfg.field
+
+(* The padded NTT domain the configured backend resolves to for a system
+   of [nc] constraints, mirroring Qapb.of_r1cs's selection rule; None =
+   the Lagrange pipeline. Drives the backend-aware cost model. *)
+let ntt_domain_of cfg ctx ~nc =
+  let pick =
+    match cfg.qap_backend with
+    | Qapb.Lagrange -> false
+    | Qapb.Ntt -> true
+    | Qapb.Auto -> nc > 0 && Qapb.ntt_viable ctx nc
+  in
+  if pick then Some (Polylib.Ntt.next_pow2 nc) else None
 
 let protocol cfg = { Pcp.Pcp_zaatar.rho = cfg.rho; rho_lin = cfg.rho_lin }
 let model_protocol cfg = { Costmodel.Model.rho = cfg.rho; rho_lin = cfg.rho_lin }
@@ -106,7 +125,10 @@ type bench_run = {
 let run_cache : (string, bench_run) Hashtbl.t = Hashtbl.create 8
 
 let bench_run cfg (app : Apps.App_def.t) : bench_run =
-  let key = app.Apps.App_def.name ^ "/" ^ app.Apps.App_def.params_desc in
+  let key =
+    app.Apps.App_def.name ^ "/" ^ app.Apps.App_def.params_desc ^ "/"
+    ^ Qapb.backend_to_string cfg.qap_backend
+  in
   match Hashtbl.find_opt run_cache key with
   | Some r -> r
   | None ->
@@ -126,6 +148,7 @@ let bench_run cfg (app : Apps.App_def.t) : bench_run =
         p_bits = cfg.p_bits;
         strategy = Argsys.Argument.Honest;
         domains = cfg.domains;
+        qap_backend = cfg.qap_backend;
       }
     in
     let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
@@ -249,7 +272,13 @@ let model_rows : (string * (string * float * float) list) list ref = ref []
    PCP queries. *)
 let model_phases cfg (r : bench_run) =
   let p = measured_params cfg in
-  let zp = Costmodel.Model.zaatar_prover p (model_protocol cfg) (sizes_of_run r) in
+  let sizes = sizes_of_run r in
+  let ctx = ctx_of cfg in
+  let ntt_domain = ntt_domain_of cfg ctx ~nc:sizes.Costmodel.Model.c_zaatar in
+  let zp =
+    Costmodel.Model.zaatar_prover ?ntt_domain ~exp_bits:(Fp.bits ctx) p (model_protocol cfg)
+      sizes
+  in
   let m = r.result.Argsys.Argument.prover in
   let per name = Argsys.Metrics.get m name /. float_of_int r.batch in
   [
@@ -395,10 +424,9 @@ let run_fig5 cfg =
    "GPU" configurations give the crypto phase extra domains (see DESIGN.md
    substitutions). *)
 let prover_batch_wall cfg ~compute_domains ~crypto_domains (comp : Argsys.Argument.computation)
-    (qap : Qap.t) queries req_z req_h inputs =
+    (qap : Qapb.t) queries req_z req_h inputs =
   (* Force lazy QAP structures before entering domains. *)
-  ignore (Lazy.force qap.Qap.divisor);
-  ignore (Lazy.force qap.Qap.interp);
+  Qapb.prewarm qap;
   ignore cfg;
   let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
   let ctx = comp.Argsys.Argument.r1cs.Constr.R1cs.field in
@@ -406,7 +434,7 @@ let prover_batch_wall cfg ~compute_domains ~crypto_domains (comp : Argsys.Argume
     Dompool.Pool.timed_map ~domains:compute_domains
       (fun x ->
         let w = comp.Argsys.Argument.solve x in
-        let h = Qap.prover_h qap w in
+        let h = Qapb.prover_h qap w in
         (Array.sub w 1 num_z, h))
       inputs
   in
@@ -424,18 +452,17 @@ let prover_batch_wall cfg ~compute_domains ~crypto_domains (comp : Argsys.Argume
   t_compute +. t_crypto +. t_answer
 
 (* Single-domain prover batch, returning the three phase times. *)
-let prover_batch_phases cfg (comp : Argsys.Argument.computation) (qap : Qap.t) queries req_z req_h
+let prover_batch_phases cfg (comp : Argsys.Argument.computation) (qap : Qapb.t) queries req_z req_h
     inputs =
   ignore cfg;
-  ignore (Lazy.force qap.Qap.divisor);
-  ignore (Lazy.force qap.Qap.interp);
+  Qapb.prewarm qap;
   let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
   let ctx = comp.Argsys.Argument.r1cs.Constr.R1cs.field in
   let parts, t_compute =
     Dompool.Pool.timed_map ~domains:1
       (fun x ->
         let w = comp.Argsys.Argument.solve x in
-        let h = Qap.prover_h qap w in
+        let h = Qapb.prover_h qap w in
         (Array.sub w 1 num_z, h))
       inputs
   in
@@ -467,12 +494,12 @@ let run_fig6 cfg =
       let prg = Chacha.Prg.create ~seed:("fig6 " ^ app.Apps.App_def.name) () in
       let compiled = Apps.Glue.compile ctx app in
       let comp = Apps.Glue.computation_of compiled in
-      let qap = Qap.of_r1cs comp.Argsys.Argument.r1cs in
+      let qap = Qapb.of_r1cs ~backend:cfg.qap_backend comp.Argsys.Argument.r1cs in
       let queries = Pcp.Pcp_zaatar.gen_queries ~params:(protocol cfg) qap prg in
       let grp = Zcrypto.Group.cached ~field_order:cfg.field ~p_bits:cfg.p_bits () in
       let num_z = comp.Argsys.Argument.r1cs.Constr.R1cs.num_z in
       let req_z, _ = Commitment.Commit.commit_request ctx grp prg ~len:num_z in
-      let req_h, _ = Commitment.Commit.commit_request ctx grp prg ~len:(qap.Qap.nc + 1) in
+      let req_h, _ = Commitment.Commit.commit_request ctx grp prg ~len:(Qapb.h_len qap) in
       let inputs =
         Array.init beta (fun _ -> Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs prg))
       in
@@ -744,6 +771,7 @@ let run_baseline cfg =
           p_bits = cfg.p_bits;
           strategy = Argsys.Argument.Honest;
           domains = cfg.domains;
+          qap_backend = cfg.qap_backend;
         }
       in
       let zres = Argsys.Argument.run_batch ~config:zconfig zcomp ~prg ~inputs:[| x |] in
@@ -797,7 +825,7 @@ let run_soundness cfg =
         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "sound %s %d" label i) () in
         let inputs = [| Apps.Glue.field_inputs ctx (app_inputs prg) |] in
         let config =
-          { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy; domains = 1 }
+          { Argsys.Argument.params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy; domains = 1; qap_backend = cfg.qap_backend }
         in
         let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
         if Argsys.Argument.none_accepted r then incr rejected
@@ -817,12 +845,127 @@ let run_soundness cfg =
         p_bits = 192;
         strategy = Argsys.Argument.Honest;
         domains = 1;
+        qap_backend = cfg.qap_backend;
       }
     in
     let r = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
     if Argsys.Argument.all_accepted r then incr accepted
   done;
   Printf.printf "  %-22s %4d/%d accepted (completeness must be 100%%)\n" "honest prover" !accepted honest_trials
+
+(* ------------------------------------------------------------------ *)
+(* NTT vs Lagrange: the prover hot path head to head                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole experiment: run every benchmark app end to end under both
+   QAP backends and compare (1) prover_h wall time via the split span
+   names (qap_ntt.prover_h vs qap.prover_h — prover_h_forced emits its
+   own spans and cannot pollute these), (2) construct_u minor-word
+   allocation via the ledger's per-phase GC deltas, (3) verdicts, which
+   must agree exactly, and (4) the packed NTT H against the boxed
+   subproduct-tree reference over the same domain, which must match
+   bit for bit. Correctness disagreement exits 1; the speed and
+   allocation ratios land in BENCH_run.json under "ntt_vs_lagrange". *)
+let ntt_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let run_ntt_vs_lagrange cfg =
+  banner "NTT vs Lagrange: prover_h wall, construct_u allocation, verdict agreement";
+  let ctx = ctx_of cfg in
+  let ok = ref true in
+  let span_total name =
+    match List.assoc_opt name (Zobs.Span.totals ()) with
+    | Some st -> st.Zobs.Span.total
+    | None -> 0.0
+  in
+  let apps =
+    let l = Apps.Registry.suite ~scale:cfg.scale () in
+    if cfg.quick then [ List.hd l ] else l
+  in
+  if not (Qapb.ntt_viable ctx 2) then begin
+    Printf.printf "field has no 2-adic structure: NTT arm not viable, skipping\n";
+    ntt_section := Zobs.Json.Obj [ ("skipped", Zobs.Json.Bool true) ]
+  end
+  else begin
+    let rows =
+      List.map
+        (fun (app : Apps.App_def.t) ->
+          let iprg = Chacha.Prg.create ~seed:("nvl inputs " ^ app.Apps.App_def.name) () in
+          let compiled = Apps.Glue.compile ctx app in
+          let comp = Apps.Glue.computation_of compiled in
+          let inputs =
+            Array.init cfg.batch (fun _ ->
+                Apps.Glue.field_inputs ctx (app.Apps.App_def.gen_inputs iprg))
+          in
+          let arm backend span_name =
+            (* Fresh ledger so the construct_u GC delta belongs to this
+               arm alone; same protocol seed so both arms face identical
+               queries. *)
+            Zobs.Ledger.reset ();
+            let s0 = span_total span_name in
+            let config =
+              {
+                Argsys.Argument.params = protocol cfg;
+                p_bits = cfg.p_bits;
+                strategy = Argsys.Argument.Honest;
+                domains = cfg.domains;
+                qap_backend = backend;
+              }
+            in
+            let prg = Chacha.Prg.create ~seed:("nvl run " ^ app.Apps.App_def.name) () in
+            let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
+            let wall = span_total span_name -. s0 in
+            let minor =
+              match Zobs.Ledger.phase "construct_u" with
+              | Some ph -> ph.Zobs.Ledger.gc.Zobs.Span.minor_words
+              | None -> 0.0
+            in
+            let verdicts =
+              Array.map
+                (fun (i : Argsys.Argument.instance_result) -> i.Argsys.Argument.accepted)
+                result.Argsys.Argument.instances
+            in
+            (verdicts, wall, minor)
+          in
+          let v_ntt, w_ntt, m_ntt = arm Qapb.Ntt "qap_ntt.prover_h" in
+          let v_lag, w_lag, m_lag = arm Qapb.Lagrange "qap.prover_h" in
+          let verdicts_agree = v_ntt = v_lag in
+          let all_accepted = Array.for_all Fun.id v_ntt in
+          (* Differential H: packed fast path vs boxed subproduct-tree
+             reference over the same roots-of-unity domain. *)
+          let h_ok =
+            let qntt = Qap_ntt.of_r1cs comp.Argsys.Argument.r1cs in
+            let w = comp.Argsys.Argument.solve inputs.(0) in
+            let h = Qap_ntt.prover_h qntt w in
+            let hr = Qap_ntt.prover_h_reference qntt w in
+            Array.length h = Array.length hr && Array.for_all2 Fp.equal h hr
+          in
+          if not (verdicts_agree && all_accepted && h_ok) then ok := false;
+          let wall_ratio = w_lag /. w_ntt and alloc_ratio = m_lag /. Float.max 1.0 m_ntt in
+          Printf.printf
+            "%-28s prover_h %s -> %s (%5.1fx)  construct_u minor words %12.0f -> %10.0f (%5.1fx)  %s%s\n%!"
+            app.Apps.App_def.display (fmt_s w_lag) (fmt_s w_ntt) wall_ratio m_lag m_ntt
+            alloc_ratio
+            (if verdicts_agree && all_accepted then "verdicts ok" else "VERDICTS DIVERGE")
+            (if h_ok then ", H ok" else ", H MISMATCH");
+          let num x = Zobs.Json.Num x in
+          ( app.Apps.App_def.name,
+            Zobs.Json.Obj
+              [
+                ("lagrange", Zobs.Json.Obj [ ("prover_h_s", num w_lag); ("construct_u_minor_words", num m_lag) ]);
+                ("ntt", Zobs.Json.Obj [ ("prover_h_s", num w_ntt); ("construct_u_minor_words", num m_ntt) ]);
+                ("wall_ratio", num wall_ratio);
+                ("alloc_ratio", num alloc_ratio);
+                ("verdicts_agree", Zobs.Json.Bool (verdicts_agree && all_accepted));
+                ("h_matches_reference", Zobs.Json.Bool h_ok);
+              ] ))
+        apps
+    in
+    ntt_section := Zobs.Json.Obj rows;
+    if not !ok then begin
+      Printf.eprintf "ntt-vs-lagrange: backend disagreement (see above)\n";
+      exit 1
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (design choices called out in DESIGN.md)                  *)
@@ -877,7 +1020,34 @@ let rec run_ablation cfg =
   ignore (Lazy.force qap.Qap.interp);
   bench "sigma_j = j, subproduct trees (paper, §A.3)" (fun () -> Qap.prover_h qap w);
   let qntt = Qap_ntt.of_r1cs sys in
-  bench "sigma_j = roots of unity, NTT (modern)" (fun () -> Qap_ntt.prover_h qntt w)
+  bench "sigma_j = roots of unity, NTT (modern)" (fun () -> Qap_ntt.prover_h qntt w);
+  (* Nat.karatsuba_threshold sweep: the cutover only matters above field
+     width (127-bit elements are 5 limbs), i.e. for the group arithmetic,
+     so sweep at commitment-group widths. The tuned default is recorded
+     in EXPERIMENTS.md and set in lib/fieldlib/nat.ml. *)
+  Printf.printf "\nNat.karatsuba_threshold sweep (Nat.mul x1000; 31-bit limbs):\n";
+  let rand_nat limbs =
+    Nat.of_limbs
+      (Array.init limbs (fun i ->
+           let v = Chacha.Prg.int_below prg (1 lsl 30) in
+           if i = limbs - 1 then v lor (1 lsl 29) else v))
+  in
+  let saved = Nat.get_karatsuba_threshold () in
+  List.iter
+    (fun (label, limbs) ->
+      let x = rand_nat limbs and y = rand_nat limbs in
+      List.iter
+        (fun t ->
+          Nat.set_karatsuba_threshold t;
+          bench
+            (Printf.sprintf "Nat.mul %s, threshold %d" label t)
+            (fun () ->
+              for _ = 1 to 1000 do
+                ignore (Nat.mul x y)
+              done))
+        [ 8; 16; 24; 32; 48; 64 ])
+    [ ("512-bit (17 limbs)", 17); ("1024-bit (34 limbs)", 34); ("2048-bit (67 limbs)", 67) ];
+  Nat.set_karatsuba_threshold saved
 
 and random_r1cs_for_h ctx nc =
   let prg = Chacha.Prg.create ~seed:"hbench" () in
@@ -1088,6 +1258,7 @@ let run_wire cfg =
       p_bits = cfg.p_bits;
       strategy = Argsys.Argument.Honest;
       domains = cfg.domains;
+      qap_backend = cfg.qap_backend;
     }
   in
   let snapshot () =
@@ -1215,6 +1386,9 @@ let run_lint cfg =
    BENCH_run.json under "alloc" and into BENCH_history.jsonl. *)
 let alloc_section : Zobs.Json.t ref = ref Zobs.Json.Null
 
+(* words/op per kernel, kept for the --check-ledger allocation gate. *)
+let alloc_rows : (string * float) list ref = ref []
+
 let run_alloc cfg =
   banner "Allocation profile: minor words per primitive operation";
   let ctx = ctx_of cfg in
@@ -1232,6 +1406,13 @@ let run_alloc cfg =
       ("fp.inv", fast / 10, fun () -> ignore (Fp.inv ctx a));
       ("prg.field", fast / 10, fun () -> ignore (Chacha.Prg.field ctx prg));
       ("elgamal.encrypt", slow, fun () -> ignore (Zcrypto.Elgamal.encrypt pk prg m));
+      ( "ntt.butterfly",
+        fast,
+        (* the packed hot-path butterfly: must be allocation-free *)
+        let vb = Fp.Vec.of_array ctx [| a; b |] in
+        let twb = Fp.Vec.of_array ctx [| m |] in
+        let scb = Fp.scratch_for ctx in
+        fun () -> Fp.Vec.butterfly ctx scb vb 0 1 twb 0 );
     ]
   in
   Printf.printf "  %-18s %10s %14s %12s\n" "kernel" "iters" "words/op" "us/op";
@@ -1248,6 +1429,7 @@ let run_alloc cfg =
         (name, iters, words, us))
       kernels
   in
+  alloc_rows := List.map (fun (name, _, words, _) -> (name, words)) rows;
   alloc_section :=
     Zobs.Json.Obj
       (List.map
@@ -1325,6 +1507,7 @@ let run_profile cfg =
       p_bits = cfg.p_bits;
       strategy = Argsys.Argument.Honest;
       domains = cfg.domains;
+      qap_backend = cfg.qap_backend;
     }
   in
   let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in
@@ -1338,7 +1521,8 @@ let run_profile cfg =
       ~n_y:compiled.Zlang.Compile.num_outputs ~t_local:0.0
   in
   let rows =
-    Costmodel.Model.zaatar_op_audit (model_protocol cfg) sizes ~beta:cfg.batch
+    let ntt_domain = ntt_domain_of cfg ctx ~nc:sizes.Costmodel.Model.c_zaatar in
+    Costmodel.Model.zaatar_op_audit ?ntt_domain (model_protocol cfg) sizes ~beta:cfg.batch
       ~ledger:Zobs.Ledger.phase
   in
   ledger_audit_rows := rows;
@@ -1405,7 +1589,26 @@ let check_ledger () =
         breaches;
       exit 1
     end;
-    Printf.printf "--check-ledger OK: every gated op ratio inside its band\n"
+    (* Allocation gate: ceilings on words/op for the hot-path kernels (from
+       the alloc experiment). The packed butterfly must stay allocation
+       free; the boxed field mults allocate their result nat and nothing
+       else, with headroom for GC accounting noise. *)
+    let alloc_bands = [ ("fp.mul", 120.0); ("fp.mul_lazy", 120.0); ("ntt.butterfly", 2.0) ] in
+    List.iter
+      (fun (kernel, ceiling) ->
+        match List.assoc_opt kernel !alloc_rows with
+        | None ->
+          Printf.eprintf "--check-ledger: the alloc experiment has no %s row\n" kernel;
+          exit 1
+        | Some words ->
+          if words > ceiling then begin
+            Printf.eprintf "--check-ledger: %s allocates %.1f words/op (ceiling %.1f)\n" kernel
+              words ceiling;
+            exit 1
+          end)
+      alloc_bands;
+    Printf.printf
+      "--check-ledger OK: every gated op ratio inside its band; hot-path words/op under ceilings\n"
 
 (* --baseline gate: diff this run against a committed BENCH_baseline.json
    (refresh with `dune exec bench/main.exe -- model wire lint profile
@@ -1611,8 +1814,9 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|multiexp|wire|lint|alloc|profile]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|lint|alloc|profile]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
+    \       [--qap-backend auto|ntt|lagrange]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
     \       [--check-model] [--model-band LO:HI] [--check-ledger] [--baseline FILE] [--drift X]\n\
     \       [--history FILE.jsonl] [--trend N]";
@@ -1622,7 +1826,7 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "multiexp"; "wire"; "lint"; "alloc"; "profile" ]
+    "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "lint"; "alloc"; "profile" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -1642,6 +1846,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
         ("batch", int cfg.batch);
         ("scale", int cfg.scale);
         ("quick", Bool cfg.quick);
+        ("qap_backend", Str (Qapb.backend_to_string cfg.qap_backend));
       ]
   in
   let experiments =
@@ -1651,11 +1856,17 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
          experiments)
   in
   let counters = Obj (List.map (fun (n, v) -> (n, int v)) (Zobs.Registry.counter_values ())) in
+  (* Histograms that never recorded a sample render as noise (an empty
+     array per registered name, backend-dependent); omit them, matching
+     the Prometheus and JSONL sinks. *)
   let histograms =
     Obj
-      (List.map
+      (List.filter_map
          (fun (n, buckets) ->
-           (n, Arr (List.map (fun (lo, c) -> Obj [ ("ge", int lo); ("count", int c) ]) buckets)))
+           if List.for_all (fun (_, c) -> c = 0) buckets then None
+           else
+             Some
+               (n, Arr (List.map (fun (lo, c) -> Obj [ ("ge", int lo); ("count", int c) ]) buckets)))
          (Zobs.Registry.histogram_values ()))
   in
   let spans =
@@ -1674,6 +1885,9 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   let multiexp =
     match !multiexp_section with Null -> [] | m -> [ ("multiexp", m) ]
   in
+  let ntt_vs_lagrange =
+    match !ntt_section with Null -> [] | m -> [ ("ntt_vs_lagrange", m) ]
+  in
   let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
   let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
@@ -1686,7 +1900,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ network @ model @ lint @ alloc @ profile @ ledger
+    @ multiexp @ ntt_vs_lagrange @ network @ model @ lint @ alloc @ profile @ ledger
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -1828,6 +2042,13 @@ let () =
     | "--domains" :: v :: rest ->
       cfg := { !cfg with domains = pos_int "--domains" v };
       parse rest
+    | "--qap-backend" :: v :: rest ->
+      (match Qapb.backend_of_string v with
+      | Some b -> cfg := { !cfg with qap_backend = b }
+      | None ->
+        Printf.eprintf "--qap-backend expects auto|ntt|lagrange, got %S\n" v;
+        exit 2);
+      parse rest
     | "--trace" :: v :: rest ->
       trace := Some v;
       parse rest
@@ -1893,7 +2114,8 @@ let () =
       (if !check || !baseline <> None then [ "model" ] else [])
       @ (if !baseline <> None then [ "wire" ] else [])
       @ (if !baseline <> None then [ "lint" ] else [])
-      @ if !check_ledger_flag || !baseline <> None then [ "profile" ] else []
+      @ (if !check_ledger_flag || !baseline <> None then [ "profile" ] else [])
+      @ if !check_ledger_flag then [ "alloc" ] else []
     in
     targets @ List.filter (fun t -> not (List.mem t targets)) need
   in
@@ -1902,8 +2124,9 @@ let () =
      totals, and --trace/--metrics only choose extra output forms. *)
   Zobs.enable ();
   Printf.printf
-    "zaatar bench: field = %d bits, rho = %d, rho_lin = %d, group = %d bits, batch = %d, scale = %d\n"
-    (Nat.num_bits cfg.field) cfg.rho cfg.rho_lin cfg.p_bits cfg.batch cfg.scale;
+    "zaatar bench: field = %d bits, rho = %d, rho_lin = %d, group = %d bits, batch = %d, scale = %d, qap = %s\n"
+    (Nat.num_bits cfg.field) cfg.rho cfg.rho_lin cfg.p_bits cfg.batch cfg.scale
+    (Qapb.backend_to_string cfg.qap_backend);
   let run = function
     | "micro" -> run_micro cfg
     | "bechamel" -> run_bechamel cfg
@@ -1917,6 +2140,7 @@ let () =
     | "baseline" -> run_baseline cfg
     | "soundness" -> run_soundness cfg
     | "ablation" -> run_ablation cfg
+    | "ntt-vs-lagrange" -> run_ntt_vs_lagrange cfg
     | "multiexp" -> run_multiexp cfg
     | "wire" -> run_wire cfg
     | "lint" -> run_lint cfg

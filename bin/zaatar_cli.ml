@@ -37,6 +37,14 @@ let field_of_bits = function
   | 220 -> Primes.p220 ()
   | bits -> Primes.first_prime_with_bits bits
 
+(* The default 127-bit field is the Mersenne prime: 2-adicity 1, so it
+   cannot host an NTT domain. When the NTT backend is forced at that
+   width, substitute the NTT-friendly 127-bit prime instead of failing
+   the viability check at session setup. *)
+let field_for_config bits (config : Argsys.Argument.config) =
+  if bits = 127 && config.Argsys.Argument.qap_backend = Qapb.Ntt then Primes.p127_ntt
+  else field_of_bits bits
+
 let field_bits_arg =
   let doc = "Field modulus size in bits (61, 127, 128, 192, 220, ...)." in
   Arg.(value & opt int 127 & info [ "field-bits" ] ~doc)
@@ -59,6 +67,15 @@ let addr_conv =
     | exception Znet.Net_error e -> Error (`Msg (Znet.error_to_string e))
   in
   Arg.conv ~docv:"HOST:PORT" (parse, Format.pp_print_string)
+
+let backend_conv =
+  let parse s =
+    match Qapb.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "%S is not a QAP backend (auto|ntt|lagrange)" s))
+  in
+  Arg.conv ~docv:"BACKEND"
+    (parse, fun ppf b -> Format.pp_print_string ppf (Qapb.backend_to_string b))
 
 let timeout_arg =
   Arg.(
@@ -207,15 +224,28 @@ let protocol_args =
   let domains =
     Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc:"Domains for the parallel commitment pipeline (transcripts are domain-count independent).")
   in
+  let qap_backend =
+    Arg.(
+      value
+      & opt backend_conv Qapb.Auto
+      & info [ "qap-backend" ]
+          ~doc:"QAP prover backend: $(b,auto) picks the NTT pipeline when the field's \
+                2-adicity covers the constraint count and falls back to the paper's \
+                Lagrange pipeline otherwise; $(b,ntt) and $(b,lagrange) force one. \
+                Prover and verifier must agree (the backends are distinct proof \
+                systems). Forcing ntt at --field-bits 127 substitutes the NTT-friendly \
+                127-bit prime for the default Mersenne field.")
+  in
   Term.(
-    const (fun rho rho_lin pbits domains ->
+    const (fun rho rho_lin pbits domains qap_backend ->
         {
           Argsys.Argument.params = { Pcp.Pcp_zaatar.rho; rho_lin };
           p_bits = pbits;
           strategy = Argsys.Argument.Honest;
           domains;
+          qap_backend;
         })
-    $ rho $ rho_lin $ pbits $ domains)
+    $ rho $ rho_lin $ pbits $ domains $ qap_backend)
 
 let report_batch ctx (result : Argsys.Argument.batch_result) =
   Array.iteri
@@ -262,7 +292,7 @@ let run_cmd =
   let run file bits inputs emit_witness connect no_lint timeout_ms config profile obs =
     with_obs ~process:(if connect = None then "zaatar" else "verifier") obs @@ fun () ->
     if profile then Zobs.enable ();
-    let ctx = Fp.create (field_of_bits bits) in
+    let ctx = Fp.create (field_for_config bits config) in
     let source = read_file file in
     (* Pre-flight gate: a program that reads uninitialized variables (or
        worse) still compiles to *some* constraint system; proving it
@@ -363,7 +393,7 @@ let profile_cmd =
   let run file bits inputs batch folded config obs =
     with_obs ~process:"profile" obs @@ fun () ->
     Zobs.enable ();
-    let ctx = Fp.create (field_of_bits bits) in
+    let ctx = Fp.create (field_for_config bits config) in
     let compiled = Zlang.Compile.compile ~ctx (read_file file) in
     print_stats compiled;
     print_newline ();
@@ -394,7 +424,19 @@ let profile_cmd =
       }
     in
     let rows =
-      Costmodel.Model.zaatar_op_audit pp sizes ~beta:(Array.length instances)
+      (* Mirror Qapb.of_r1cs's backend selection so the audit prices the
+         pipeline the run actually took. *)
+      let nc = sizes.Costmodel.Model.c_zaatar in
+      let ntt_domain =
+        let pick =
+          match config.Argsys.Argument.qap_backend with
+          | Qapb.Lagrange -> false
+          | Qapb.Ntt -> true
+          | Qapb.Auto -> nc > 0 && Qapb.ntt_viable ctx nc
+        in
+        if pick then Some (Polylib.Ntt.next_pow2 nc) else None
+      in
+      Costmodel.Model.zaatar_op_audit ?ntt_domain pp sizes ~beta:(Array.length instances)
         ~ledger:Zobs.Ledger.phase
     in
     print_audit rows;
@@ -470,7 +512,7 @@ let serve_cmd =
     | Some "stdout" -> Zobs.Log.set_sink (`Channel stdout)
     | Some path -> Zobs.Log.set_sink (`File path)
     | None -> ());
-    let ctx = Fp.create (field_of_bits bits) in
+    let ctx = Fp.create (field_for_config bits config) in
     let table = Hashtbl.create 8 in
     List.iter
       (fun f ->
@@ -589,7 +631,7 @@ let bench_cmd =
   let run name scale batch bits config profile obs =
     with_obs obs @@ fun () ->
     if profile then Zobs.enable ();
-    let ctx = Fp.create (field_of_bits bits) in
+    let ctx = Fp.create (field_for_config bits config) in
     let app = Apps.Registry.by_name name ~scale in
     Printf.printf "benchmark %s (%s)\n" app.Apps.App_def.display app.Apps.App_def.params_desc;
     let compiled = Apps.Glue.compile ctx app in

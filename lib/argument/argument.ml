@@ -58,13 +58,16 @@ type config = {
   p_bits : int; (* ElGamal group size *)
   strategy : strategy;
   domains : int; (* Pool domains for the commitment pipeline (Enc(r), prover commits) *)
+  qap_backend : Qapb.backend; (* Auto picks NTT iff the field's 2-adicity allows *)
 }
 
 let default_config =
-  { params = Pcp.Pcp_zaatar.paper_params; p_bits = 1024; strategy = Honest; domains = 1 }
+  { params = Pcp.Pcp_zaatar.paper_params; p_bits = 1024; strategy = Honest; domains = 1;
+    qap_backend = Qapb.Auto }
 
 let test_config =
-  { params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Honest; domains = 1 }
+  { params = Pcp.Pcp_zaatar.test_params; p_bits = 192; strategy = Honest; domains = 1;
+    qap_backend = Qapb.Auto }
 
 (* The prover's per-instance proof material. *)
 type proof_parts = {
@@ -77,14 +80,14 @@ type proof_parts = {
   claimed_output : Fp.el array;
 }
 
-let build_proof_parts ctx comp (qap : Qap.t) strategy prg (x : Fp.el array) (pm : Metrics.t) :
+let build_proof_parts ctx comp (qap : Qapb.t) strategy prg (x : Fp.el array) (pm : Metrics.t) :
     proof_parts =
   let w = Metrics.time pm "solve_constraints" (fun () -> comp.solve x) in
   assert (R1cs.satisfied ctx comp.r1cs w);
   let num_z = comp.r1cs.R1cs.num_z in
   match strategy with
   | Honest ->
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h qap w) in
     let z = Array.sub w 1 num_z in
     {
       u_z = z;
@@ -96,7 +99,7 @@ let build_proof_parts ctx comp (qap : Qap.t) strategy prg (x : Fp.el array) (pm 
       claimed_output = outputs_of_w comp w;
     }
   | Wrong_output ->
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h qap w) in
     let z = Array.sub w 1 num_z in
     let io = io_of_w comp w in
     let out = outputs_of_w comp w in
@@ -109,26 +112,26 @@ let build_proof_parts ctx comp (qap : Qap.t) strategy prg (x : Fp.el array) (pm 
   | Corrupt_witness ->
     let w' = Array.copy w in
     w'.(1) <- Fp.add ctx w'.(1) (Chacha.Prg.field_nonzero ctx prg);
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h_forced qap w') in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h_forced qap w') in
     let z = Array.sub w' 1 num_z in
     { u_z = z; u_h = h; answer_u_z = z; answer_u_h = h; nonlinear = false;
       claimed_io = io_of_w comp w'; claimed_output = outputs_of_w comp w' }
   | Corrupt_h ->
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h qap w) in
     let h' = Array.copy h in
     h'.(0) <- Fp.add ctx h'.(0) Fp.one;
     let z = Array.sub w 1 num_z in
     { u_z = z; u_h = h'; answer_u_z = z; answer_u_h = h'; nonlinear = false;
       claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
   | Equivocate ->
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h qap w) in
     let z = Array.sub w 1 num_z in
     let z' = Array.copy z in
     if Array.length z' > 0 then z'.(0) <- Fp.add ctx z'.(0) Fp.one;
     { u_z = z; u_h = h; answer_u_z = z'; answer_u_h = h; nonlinear = false;
       claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
   | Nonlinear ->
-    let h = Metrics.time pm "construct_u" (fun () -> Qap.prover_h qap w) in
+    let h = Metrics.time pm "construct_u" (fun () -> Qapb.prover_h qap w) in
     let z = Array.sub w 1 num_z in
     { u_z = z; u_h = h; answer_u_z = z; answer_u_h = h; nonlinear = true;
       claimed_io = io_of_w comp w; claimed_output = outputs_of_w comp w }
@@ -167,7 +170,7 @@ module Verifier_session = struct
   type t = {
     config : config;
     comp : computation;
-    qap : Qap.t;
+    qap : Qapb.t;
     ctx : Fp.ctx;
     digest : string;
     trace_id : string;
@@ -195,9 +198,9 @@ module Verifier_session = struct
       ~(prg : Chacha.Prg.t) ~(inputs : Fp.el array array) : t =
     if trace_id <> "" then Zobs.set_trace_id trace_id;
     let ctx = comp.r1cs.R1cs.field in
-    let qap = Qap.of_r1cs comp.r1cs in
+    let qap = Qapb.of_r1cs ~backend:config.qap_backend comp.r1cs in
     let num_z = comp.r1cs.R1cs.num_z in
-    let h_len = qap.Qap.nc + 1 in
+    let h_len = Qapb.h_len qap in
     let v_setup = ref 0.0 and v_per = ref 0.0 in
     let setup f = timed v_setup "verifier_setup" f in
     let grp =
@@ -327,7 +330,7 @@ end
 
 module Prover_session = struct
   (* What the prover knows once the Hello named a computation it serves. *)
-  type ready = { comp : computation; ctx : Fp.ctx; qap : Qap.t; parts : proof_parts array }
+  type ready = { comp : computation; ctx : Fp.ctx; qap : Qapb.t; parts : proof_parts array }
 
   type state =
     | Expect_hello
@@ -372,7 +375,7 @@ module Prover_session = struct
           (* Adopt the verifier's distributed trace id so both processes'
              Chrome-trace exports can be merged into one view. *)
           if h.Zwire.trace_id <> "" then Zobs.set_trace_id h.Zwire.trace_id;
-          let qap = Qap.of_r1cs comp.r1cs in
+          let qap = Qapb.of_r1cs ~backend:t.config.qap_backend comp.r1cs in
           (* Sequential on purpose: proof parts consume the transcript PRG
              (cheating strategies draw perturbations from it). *)
           let parts =
@@ -389,7 +392,7 @@ module Prover_session = struct
       (* Wire parameters are untrusted: of_params/public_key_of re-validate
          the group structure before any exponentiation runs on them. *)
       let grp = Group.of_params ~p:cr.Zwire.group_p ~q:cr.Zwire.group_q ~g:cr.Zwire.group_g in
-      let num_z = r.comp.r1cs.R1cs.num_z and h_len = r.qap.Qap.nc + 1 in
+      let num_z = r.comp.r1cs.R1cs.num_z and h_len = Qapb.h_len r.qap in
       if Array.length cr.Zwire.enc_r_z <> num_z then
         session_error "Enc(r_z) has %d entries, proof vector has %d"
           (Array.length cr.Zwire.enc_r_z) num_z;
@@ -420,7 +423,7 @@ module Prover_session = struct
       `Send (Zwire.Commitments commitments)
     | Expect_queries r, Zwire.Queries q ->
       let ctx = r.ctx in
-      let num_z = r.comp.r1cs.R1cs.num_z and h_len = r.qap.Qap.nc + 1 in
+      let num_z = r.comp.r1cs.R1cs.num_z and h_len = Qapb.h_len r.qap in
       if
         Array.exists (fun qv -> Array.length qv <> num_z) q.Zwire.z_queries
         || Array.length q.Zwire.t_z <> num_z

@@ -52,10 +52,17 @@ type config = {
       (** Pool domains for the commitment pipeline: Enc(r) generation and
           the per-instance prover commitments. Transcripts are identical
           for every domain count (randomness is pre-drawn sequentially). *)
+  qap_backend : Qapb.backend;
+      (** QAP construction: [Auto] (the default) takes the NTT prover path
+          whenever the field's 2-adicity covers the constraint count and
+          falls back to the paper's Lagrange pipeline otherwise. Verifier
+          and prover must agree (the backends are different proof
+          systems); a mismatch fails with a session length error. *)
 }
 
 val default_config : config
-(** Paper parameters: rho = 8, rho_lin = 20, 1024-bit group, 1 domain. *)
+(** Paper parameters: rho = 8, rho_lin = 20, 1024-bit group, 1 domain,
+    [Auto] backend. *)
 
 val test_config : config
 (** rho = 1, rho_lin = 2, 192-bit group, 1 domain: for unit tests. *)

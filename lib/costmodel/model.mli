@@ -28,7 +28,16 @@ val u_zaatar : sizes -> int
 
 type prover_costs = { construct_u : float; issue_responses : float; total_p : float }
 
-val zaatar_prover : Params.t -> protocol_params -> sizes -> prover_costs
+val zaatar_prover :
+  ?ntt_domain:int -> ?exp_bits:int -> Params.t -> protocol_params -> sizes -> prover_costs
+(** [ntt_domain = Some n] prices the roots-of-unity prover (padded domain
+    n, ~4.5 n log n + 10 n multiplications for H); [None] (default) the
+    paper's subproduct-tree pipeline at 3|C|log^2|C|. The homomorphic
+    term is discounted by the Pippenger multi-exponentiation op ratio
+    for [exp_bits]-bit exponents (default 127, the shipped field width)
+    — the production commit path batches the whole proof vector through
+    one bucket-aggregated multi-exp rather than per-term ladders. *)
+
 val ginger_prover : Params.t -> protocol_params -> sizes -> prover_costs
 
 type verifier_costs = {
@@ -75,12 +84,17 @@ val commit_phase_ops : sizes -> beta:int -> commit_ops
     proof vectors: e = |u|, h = beta * |u|, f = 0. *)
 
 val zaatar_op_audit :
+  ?ntt_domain:int ->
   protocol_params ->
   sizes ->
   beta:int ->
   ledger:(string -> Zobs.Ledger.phase option) ->
   audit_row list
-(** Audit a ledgered run: [ledger] is normally [Zobs.Ledger.phase]. *)
+(** Audit a ledgered run: [ledger] is normally [Zobs.Ledger.phase].
+    [ntt_domain = Some n] audits against the NTT prover pipeline's op
+    counts (near-exact, so construct_u carries the tight [0.2, 3.0] band
+    and an exact butterfly row); [None] against the paper's Lagrange
+    pipeline (wide [0.02, 20.0] construct_u band, zero butterflies). *)
 
 val audit_pass : audit_row list -> bool
 (** All gated rows inside their bands. *)

@@ -230,3 +230,142 @@ let sample ctx random_bytes =
 
 let to_string = Nat.to_decimal
 let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* ------------------------------------------------------------------ *)
+(* Packed elements: scratch arenas and element vectors                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-context scratch arena for the packed kernels: the modulus and the
+   Barrett constant as limb slices plus one temporary area sized for a
+   full Barrett reduction, a double-width product and two element slots.
+   Layout of [tmp] (k = limbs of p):
+     [0, 2k+2)        q2 = q1 * mu
+     [2k+2, 3k+3)     r2 = (q3 * p) mod B^(k+1)
+     [3k+3, 4k+4)     r  = r1 - r2, then the conditional subtractions
+     [4k+4, 6k+4)     product a*b awaiting reduction
+     [6k+4, 7k+4)     butterfly slot t
+     [7k+4, 8k+4)     butterfly slot u
+   A scratch is owned by exactly one domain (see [scratch_for]); nothing
+   here is safe to share across domains. *)
+type scratch = {
+  sk : int; (* limbs of p *)
+  p_l : Limb.a; (* k+1 limbs, p zero-padded *)
+  mu_l : Limb.a; (* k+1 limbs *)
+  tmp : Limb.a; (* 8k+8 limbs *)
+}
+
+let scratch_create ctx =
+  let k = ctx.k in
+  let p_l = Limb.create (k + 1) in
+  Limb.of_nat ctx.p p_l 0 (k + 1);
+  let mu_l = Limb.create (k + 1) in
+  Limb.of_nat ctx.mu mu_l 0 (k + 1);
+  { sk = k; p_l; mu_l; tmp = Limb.create ((8 * k) + 8) }
+
+(* One scratch per (domain, context): domain-local storage keyed by context
+   physical identity, so arena-backed code is safe under Dompool without
+   any locking and timing is independent of the domain count. *)
+let scratch_dls : (ctx * scratch) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let scratch_for ctx =
+  let cache = Domain.DLS.get scratch_dls in
+  match List.find_opt (fun (c, _) -> c == ctx) !cache with
+  | Some (_, sc) -> sc
+  | None ->
+    let sc = scratch_create ctx in
+    cache := (ctx, sc) :: !cache;
+    sc
+
+(* Barrett reduction of the 2k-limb slice [x@xo] into the k-limb slice
+   [dst@dso], mirroring [reduce] above limb for limb. [x] may live inside
+   [sc.tmp] at offset 4k+4 (the product area); nothing below 4k+4 is read
+   from it. *)
+let reduce_slice sc (dst : Limb.a) dso (x : Limb.a) xo =
+  let k = sc.sk in
+  let t = sc.tmp in
+  let off_q2 = 0 and off_r2 = (2 * k) + 2 and off_r = (3 * k) + 3 in
+  (* q1 = x >> (k-1) limbs (k+1 limbs); q2 = q1 * mu. *)
+  Limb.mul t off_q2 x (xo + k - 1) (k + 1) sc.mu_l 0 (k + 1);
+  (* q3 = q2 >> (k+1) limbs lives at t[off_q2 + k + 1], width k+1. *)
+  Limb.mul_low t off_r2 t (off_q2 + k + 1) (k + 1) sc.p_l 0 (k + 1) (k + 1);
+  (* r = (x mod B^(k+1)) - r2 mod B^(k+1); the true value is >= 0. *)
+  ignore (Limb.sub t off_r x xo t off_r2 (k + 1));
+  while Limb.cmp t off_r sc.p_l 0 (k + 1) >= 0 do
+    ignore (Limb.sub t off_r t off_r sc.p_l 0 (k + 1))
+  done;
+  Limb.blit t off_r dst dso k
+
+(* Modular add/sub on k-limb slices; dst may alias either input. *)
+let add_slice sc (dst : Limb.a) dso (a : Limb.a) ao (b : Limb.a) bo =
+  let k = sc.sk in
+  let c = Limb.add dst dso a ao b bo k in
+  if c = 1 || Limb.cmp dst dso sc.p_l 0 k >= 0 then
+    ignore (Limb.sub dst dso dst dso sc.p_l 0 k)
+
+let sub_slice sc (dst : Limb.a) dso (a : Limb.a) ao (b : Limb.a) bo =
+  let k = sc.sk in
+  let bw = Limb.sub dst dso a ao b bo k in
+  if bw = 1 then ignore (Limb.add dst dso dst dso sc.p_l 0 k)
+
+let mul_slice ctx sc (dst : Limb.a) dso (a : Limb.a) ao (b : Limb.a) bo =
+  Zobs.Counter.incr ctx.cnt_mul;
+  let k = sc.sk in
+  let off_prod = (4 * k) + 4 in
+  Limb.mul sc.tmp off_prod a ao k b bo k;
+  reduce_slice sc dst dso sc.tmp off_prod
+
+(* Vectors of packed canonical residues: slot [i] of a vector over a k-limb
+   modulus occupies limbs [i*k, (i+1)*k). *)
+module Vec = struct
+  type t = { n : int; k : int; buf : Limb.a }
+
+  let create (ctx : ctx) n = { n; k = ctx.k; buf = Limb.create (n * ctx.k) }
+  let length v = v.n
+  let get (v : t) i : el = Limb.to_nat v.buf (i * v.k) v.k
+  let set (v : t) i (x : el) = Limb.of_nat x v.buf (i * v.k) v.k
+
+  let of_array ctx (a : el array) =
+    let v = create ctx (Array.length a) in
+    Array.iteri (fun i x -> set v i x) a;
+    v
+
+  let to_array (v : t) = Array.init v.n (get v)
+  let is_zero (v : t) i = Limb.is_zero_slice v.buf (i * v.k) v.k
+  let blit src si dst di len = Limb.blit src.buf (si * src.k) dst.buf (di * dst.k) (len * src.k)
+  let clear v i len = Limb.clear v.buf (i * v.k) (len * v.k)
+
+  let swap sc (v : t) i j =
+    let k = v.k in
+    let off_t = (6 * k) + 4 in
+    Limb.blit v.buf (i * k) sc.tmp off_t k;
+    Limb.blit v.buf (j * k) v.buf (i * k) k;
+    Limb.blit sc.tmp off_t v.buf (j * k) k
+
+  let mul ctx sc (dst : t) di (a : t) ai (b : t) bi =
+    mul_slice ctx sc dst.buf (di * dst.k) a.buf (ai * a.k) b.buf (bi * b.k)
+
+  let add _ctx sc (dst : t) di (a : t) ai (b : t) bi =
+    add_slice sc dst.buf (di * dst.k) a.buf (ai * a.k) b.buf (bi * b.k)
+
+  let sub _ctx sc (dst : t) di (a : t) ai (b : t) bi =
+    sub_slice sc dst.buf (di * dst.k) a.buf (ai * a.k) b.buf (bi * b.k)
+
+  (* Fused CT butterfly: t = data[j] * tw[ti]; data[j] <- data[i] - t;
+     data[i] <- data[i] + t. One counted field mul, zero allocations. *)
+  let butterfly ctx sc (data : t) i j (tw : t) ti =
+    Zobs.Counter.incr ctx.cnt_mul;
+    let k = sc.sk in
+    let off_prod = (4 * k) + 4 and off_t = (6 * k) + 4 and off_u = (7 * k) + 4 in
+    Limb.mul sc.tmp off_prod data.buf (j * k) k tw.buf (ti * k) k;
+    reduce_slice sc sc.tmp off_t sc.tmp off_prod;
+    Limb.blit data.buf (i * k) sc.tmp off_u k;
+    add_slice sc data.buf (i * k) sc.tmp off_u sc.tmp off_t;
+    sub_slice sc data.buf (j * k) sc.tmp off_u sc.tmp off_t
+
+  (* Multiply every slot of [v] by slot [ci] of [c]. *)
+  let scale_all ctx sc (v : t) (c : t) ci =
+    for i = 0 to v.n - 1 do
+      mul ctx sc v i v i c ci
+    done
+end

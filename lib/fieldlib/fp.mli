@@ -92,3 +92,59 @@ val sample : ctx -> (int -> bytes) -> el
 
 val to_string : el -> string
 val pp : Format.formatter -> el -> unit
+
+(** {2 Packed elements}
+
+    Zero-allocation kernels over flat {!Limb} arenas. A {!scratch} holds
+    the modulus/Barrett constants as limb slices plus preallocated
+    temporaries for one reduction; every packed operation threads one
+    through explicitly. Ownership discipline: a scratch belongs to exactly
+    one domain — obtain it via {!scratch_for} (domain-local, cached per
+    context) rather than sharing a {!scratch_create} result across
+    [Dompool] workers. See DESIGN.md §13. *)
+
+type scratch
+
+val scratch_create : ctx -> scratch
+(** A fresh arena; prefer {!scratch_for} unless you are managing domains
+    yourself. *)
+
+val scratch_for : ctx -> scratch
+(** The calling domain's cached arena for this context (created on first
+    use; keyed by context physical identity). *)
+
+module Vec : sig
+  (** A packed vector of canonical residues: slot [i] occupies limbs
+      [i*k, (i+1)*k) of one off-heap buffer, where [k] is the limb count
+      of the modulus. *)
+
+  type t = { n : int; k : int; buf : Limb.a }
+
+  val create : ctx -> int -> t
+  (** All slots zero. *)
+
+  val length : t -> int
+  val get : t -> int -> el
+  val set : t -> int -> el -> unit
+  val of_array : ctx -> el array -> t
+  val to_array : t -> el array
+  val is_zero : t -> int -> bool
+  val blit : t -> int -> t -> int -> int -> unit
+  val clear : t -> int -> int -> unit
+  val swap : scratch -> t -> int -> int -> unit
+
+  val mul : ctx -> scratch -> t -> int -> t -> int -> t -> int -> unit
+  (** [mul ctx sc dst di a ai b bi]: slot [di] of [dst] gets
+      [a.(ai) * b.(bi)]; counted as one [fp.mul]. Any slots may alias. *)
+
+  val add : ctx -> scratch -> t -> int -> t -> int -> t -> int -> unit
+  val sub : ctx -> scratch -> t -> int -> t -> int -> t -> int -> unit
+
+  val butterfly : ctx -> scratch -> t -> int -> int -> t -> int -> unit
+  (** [butterfly ctx sc data i j tw ti]: the fused Cooley-Tukey step
+      [t = data.(j) * tw.(ti); data.(j) <- data.(i) - t;
+      data.(i) <- data.(i) + t]. One counted field mul, no allocation. *)
+
+  val scale_all : ctx -> scratch -> t -> t -> int -> unit
+  (** Multiply every slot of the vector by slot [ci] of [c]. *)
+end

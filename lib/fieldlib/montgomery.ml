@@ -204,13 +204,74 @@ let pow2 ctx b1 e1 b2 e2 =
     !acc
   end
 
+(* ------------------------------------------------------------------ *)
+(* Packed REDC: limb-slice kernels and scratch arenas                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Scratch for REDC on packed slices. Layout of [mtmp] (k limbs of p):
+     [0, 2k)    t = a * b, then t + m*p
+     [2k, 3k)   m = t * p' mod B^k
+     [3k, 5k)   m * p
+   Owned by one domain; obtain via [scratch_for]. *)
+type scratch = {
+  mk : int;
+  mp_l : Limb.a; (* k limbs: p *)
+  mp'_l : Limb.a; (* k limbs: p' *)
+  mtmp : Limb.a; (* 5k limbs *)
+}
+
+let scratch_create ctx =
+  let k = ctx.k in
+  let mp_l = Limb.create k in
+  Limb.of_nat ctx.p mp_l 0 k;
+  let mp'_l = Limb.create k in
+  Limb.of_nat ctx.p' mp'_l 0 k;
+  { mk = k; mp_l; mp'_l; mtmp = Limb.create (5 * k) }
+
+let scratch_dls : (ctx * scratch) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let scratch_for ctx =
+  let cache = Domain.DLS.get scratch_dls in
+  match List.find_opt (fun (c, _) -> c == ctx) !cache with
+  | Some (_, sc) -> sc
+  | None ->
+    let sc = scratch_create ctx in
+    cache := (ctx, sc) :: !cache;
+    sc
+
+(* dst <- REDC(a * b) on k-limb slices, everything in Montgomery form.
+   [dst] may alias either input slice (inputs are consumed before [dst] is
+   written). One counted [mont.mul], zero allocations. *)
+let mul_into _ctx sc (dst : Limb.a) dso (a : Limb.a) ao (b : Limb.a) bo =
+  Zobs.Counter.incr c_mul;
+  let k = sc.mk in
+  let t = sc.mtmp in
+  Limb.mul t 0 a ao k b bo k;
+  Limb.mul_low t (2 * k) t 0 k sc.mp'_l 0 k k;
+  Limb.mul t (3 * k) t (2 * k) k sc.mp_l 0 k;
+  let carry = Limb.add t 0 t 0 t (3 * k) (2 * k) in
+  (* u = (t + m*p) / B^k: limbs [k, 2k) with a virtual top limb [carry];
+     u < 2p, so one conditional subtraction suffices (the borrow cancels
+     the virtual carry). *)
+  if carry = 1 || Limb.cmp t k sc.mp_l 0 k >= 0 then
+    ignore (Limb.sub dst dso t k sc.mp_l 0 k)
+  else Limb.blit t k dst dso k
+
 (* Pippenger bucket multi-exponentiation: prod_i bases.(i)^exps.(i).
    Exponents are scanned c bits at a time from the top; within a window
    each base is multiplied into the bucket of its digit, and the weighted
    bucket sum  sum_j j * bucket_j  is recovered with the running-suffix
    trick (two multiplications per nonempty-suffix bucket). Cost is about
    (bits/c) * (n + 2^c) multiplications + bits squarings, against
-   n * 1.5 * bits for n independent ladders. *)
+   n * 1.5 * bits for n independent ladders.
+
+   The buckets live in one packed arena ([Limb.a] plus a bool occupancy
+   vector) and the inner loop runs [mul_into] on slices: the historical
+   boxed version allocated one option + several naturals per REDC, which
+   dominated the commit pipeline's minor-heap traffic. Multiplication
+   counts and results are unchanged (identity operands are still skipped
+   via the occupancy flags, never multiplied). *)
 let multi_pow ctx ?window (bases : el array) (exps : Nat.t array) =
   let n = Array.length bases in
   if n <> Array.length exps then invalid_arg "Montgomery.multi_pow: length mismatch";
@@ -227,50 +288,63 @@ let multi_pow ctx ?window (bases : el array) (exps : Nat.t array) =
         let rec lg k acc = if k <= 1 then acc else lg (k lsr 1) (acc + 1) in
         min 12 (max 1 (lg n 0 - 1))
     in
+    let k = ctx.k in
+    let sc = scratch_for ctx in
     let nbuckets = (1 lsl c) - 1 in
-    let buckets : el option array = Array.make nbuckets None in
+    let packed = Limb.create (n * k) in
+    Array.iteri (fun i b -> Limb.of_nat b packed (i * k) k) bases;
+    let buckets = Limb.create (nbuckets * k) in
+    let occupied = Array.make nbuckets false in
+    (* acc / running / wsum registers, one arena. *)
+    let regs = Limb.create (3 * k) in
+    let acc_o = 0 and run_o = k and wsum_o = 2 * k in
+    let acc_set = ref false in
     let windows = (maxbits + c - 1) / c in
-    let acc = ref None in
     for d = windows - 1 downto 0 do
-      (match !acc with
-      | Some a ->
-        let a = ref a in
+      if !acc_set then
         for _ = 1 to c do
-          a := sqr ctx !a
+          mul_into ctx sc regs acc_o regs acc_o regs acc_o
         done;
-        acc := Some !a
-      | None -> ());
-      Array.fill buckets 0 nbuckets None;
+      Array.fill occupied 0 nbuckets false;
       let lo = d * c in
       for i = 0 to n - 1 do
         let e = exps.(i) in
         let nbits = Nat.num_bits e in
         if lo < nbits then begin
           let dv = digit e ~nbits ~lo ~w:c in
-          if dv <> 0 then
-            buckets.(dv - 1) <-
-              Some
-                (match buckets.(dv - 1) with
-                | None -> bases.(i)
-                | Some x -> mul ctx x bases.(i))
+          if dv <> 0 then begin
+            let off = (dv - 1) * k in
+            if occupied.(dv - 1) then mul_into ctx sc buckets off buckets off packed (i * k)
+            else begin
+              Limb.blit packed (i * k) buckets off k;
+              occupied.(dv - 1) <- true
+            end
+          end
         end
       done;
-      (* weighted sum of buckets: running = sum_{k >= j} bucket_k,
-         wsum = sum_j running_j = sum_k k * bucket_k (digit value k = index+1) *)
-      let running = ref None and wsum = ref None in
+      let run_set = ref false and wsum_set = ref false in
       for j = nbuckets - 1 downto 0 do
-        (match buckets.(j) with
-        | Some b -> running := Some (match !running with None -> b | Some r -> mul ctx r b)
-        | None -> ());
-        match !running with
-        | Some r -> wsum := Some (match !wsum with None -> r | Some s -> mul ctx s r)
-        | None -> ()
+        if occupied.(j) then
+          if !run_set then mul_into ctx sc regs run_o regs run_o buckets (j * k)
+          else begin
+            Limb.blit buckets (j * k) regs run_o k;
+            run_set := true
+          end;
+        if !run_set then
+          if !wsum_set then mul_into ctx sc regs wsum_o regs wsum_o regs run_o
+          else begin
+            Limb.blit regs run_o regs wsum_o k;
+            wsum_set := true
+          end
       done;
-      match !wsum with
-      | Some s -> acc := Some (match !acc with None -> s | Some a -> mul ctx a s)
-      | None -> ()
+      if !wsum_set then
+        if !acc_set then mul_into ctx sc regs acc_o regs acc_o regs wsum_o
+        else begin
+          Limb.blit regs wsum_o regs acc_o k;
+          acc_set := true
+        end
     done;
-    match !acc with None -> one ctx | Some a -> a
+    if !acc_set then Limb.to_nat regs acc_o k else one ctx
   end
 
 let pow_nat ctx b e =

@@ -68,7 +68,25 @@ val multi_pow : ctx -> ?window:int -> el array -> t array -> el
 (** [multi_pow ctx bases exps = prod_i bases.(i)^exps.(i)] by Pippenger
     bucket aggregation: about [(bits/c) * (n + 2^c)] multiplications for
     [c ~ log2 n], against [1.5 * n * bits] for independent ladders.
-    [window] overrides the automatic choice of [c] (used by tests). *)
+    [window] overrides the automatic choice of [c] (used by tests). The
+    bucket arena is packed ({!Limb.a} slices + [mul_into]), so the inner
+    loop allocates nothing on the OCaml heap. *)
+
+(** {2 Packed kernels}
+
+    REDC on {!Limb.a} slices. A {!scratch} is owned by one domain —
+    obtain it with {!scratch_for} (domain-local, cached per context); see
+    DESIGN.md §13 for the ownership discipline. *)
+
+type scratch
+
+val scratch_create : ctx -> scratch
+val scratch_for : ctx -> scratch
+
+val mul_into : ctx -> scratch -> Limb.a -> int -> Limb.a -> int -> Limb.a -> int -> unit
+(** [mul_into ctx sc dst dso a ao b bo]: the k-limb slice of [dst] at
+    [dso] gets [REDC(a * b)] of the k-limb input slices (all Montgomery
+    form). [dst] may alias either input slice. One counted [mont.mul]. *)
 
 val pow_nat : ctx -> t -> t -> t
 (** [pow_nat ctx b e]: convenience [b^e mod p] over plain naturals

@@ -6,7 +6,21 @@ type t = int array
 let base_bits = 31
 let base = 1 lsl base_bits
 let mask = base - 1
-let karatsuba_threshold = 24
+
+(* Schoolbook/Karatsuba crossover in limbs. Retuned by the threshold sweep
+   in the ablation bench (EXPERIMENTS.md): on this representation the
+   crossover sits well above the old hard-coded 24 because row-wise
+   schoolbook stays in one flat array while Karatsuba pays three
+   allocations per split. 48 limbs (~1500 bits) won or tied at every
+   measured width: field elements (5 limbs) and 512/1024-bit group
+   arithmetic stay schoolbook; 2048-bit operands split once. *)
+let karatsuba_threshold = ref 48
+
+let set_karatsuba_threshold n =
+  if n < 2 then invalid_arg "Nat.set_karatsuba_threshold";
+  karatsuba_threshold := n
+
+let get_karatsuba_threshold () = !karatsuba_threshold
 
 let zero : t = [||]
 
@@ -165,7 +179,7 @@ let shift_left_limbs a k =
 let rec mul a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
-  else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_school a b
+  else if la < !karatsuba_threshold || lb < !karatsuba_threshold then mul_school a b
   else begin
     let k = (max la lb + 1) / 2 in
     let a1, a0 = split a k and b1, b0 = split b k in
@@ -408,5 +422,75 @@ let to_bytes_le a len =
     Bytes.set b i (Char.chr !byte)
   done;
   b
+
+(* ---- Fixed-width in-place kernels -------------------------------------
+   These operate on plain [int array] limb buffers of a caller-chosen fixed
+   width (non-canonical: high zero limbs are fine). They are the scalar
+   mirror of the packed [Limb] kernels and exist so hot loops can reuse
+   buffers instead of allocating one array per intermediate. *)
+
+let to_limbs ~width (a : t) : int array =
+  let la = Array.length a in
+  if la > width then invalid_arg "Nat.to_limbs: width too small";
+  let r = Array.make width 0 in
+  Array.blit a 0 r 0 la;
+  r
+
+let of_limbs (l : int array) : t = norm (Array.copy l)
+
+let add_into ~width (dst : int array) (a : int array) (b : int array) : int =
+  let carry = ref 0 in
+  for i = 0 to width - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    dst.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  !carry
+
+let sub_into ~width (dst : int array) (a : int array) (b : int array) : int =
+  let borrow = ref 0 in
+  for i = 0 to width - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    if s < 0 then begin
+      dst.(i) <- s + base;
+      borrow := 1
+    end else begin
+      dst.(i) <- s;
+      borrow := 0
+    end
+  done;
+  !borrow
+
+(* Schoolbook product of [wa]-limb [a] and [wb]-limb [b] into
+   [dst.(0 .. wa+wb-1)]. [dst] must not alias [a] or [b]. *)
+let mul_limbs ~wa ~wb (dst : int array) (a : int array) (b : int array) : unit =
+  Array.fill dst 0 (wa + wb) 0;
+  for i = 0 to wa - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to wb - 1 do
+        let p = dst.(i + j) + (ai * b.(j)) + !carry in
+        dst.(i + j) <- p land mask;
+        carry := p lsr base_bits
+      done;
+      let k = ref (i + wb) in
+      while !carry <> 0 do
+        let s = dst.(!k) + !carry in
+        dst.(!k) <- s land mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    end
+  done
+
+let mul_into ~width ~scratch (dst : int array) (a : int array) (b : int array)
+    : unit =
+  if Array.length scratch < 2 * width then
+    invalid_arg "Nat.mul_into: scratch shorter than 2*width";
+  (* Compute into scratch so [dst] may alias [a] or [b]; [scratch] itself
+     must not alias the inputs (it may alias or even be [dst]). *)
+  mul_limbs ~wa:width ~wb:width scratch a b;
+  if not (scratch == dst) then Array.blit scratch 0 dst 0 (2 * width)
 
 let pp fmt a = Format.pp_print_string fmt (to_decimal a)

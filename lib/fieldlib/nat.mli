@@ -82,3 +82,39 @@ val to_bytes_le : t -> int -> bytes
     [Invalid_argument] if [n] does not fit. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Tuning} *)
+
+val set_karatsuba_threshold : int -> unit
+(** Set the schoolbook/Karatsuba crossover (in limbs, >= 2). Swept by the
+    bench ablation harness; the shipped default is the sweep winner. *)
+
+val get_karatsuba_threshold : unit -> int
+
+(** {2 Fixed-width in-place kernels}
+
+    Scalar mirror of the packed {!Limb} kernels: plain [int array] limb
+    buffers of caller-chosen width, little-endian, non-canonical (high zero
+    limbs allowed). None of these allocate. *)
+
+val to_limbs : width:int -> t -> int array
+(** Padded little-endian copy; raises [Invalid_argument] if [t] needs more
+    than [width] limbs. *)
+
+val of_limbs : int array -> t
+(** Canonicalizing copy of a limb buffer. *)
+
+val add_into : width:int -> int array -> int array -> int array -> int
+(** [add_into ~width dst a b] sets [dst.(0..width-1) <- a + b] and returns
+    the carry out (0 or 1). [dst] may alias [a] and/or [b]. *)
+
+val sub_into : width:int -> int array -> int array -> int array -> int
+(** [sub_into ~width dst a b] sets [dst.(0..width-1) <- a - b mod 2^(31w)]
+    and returns the borrow out (0 or 1). Aliasing allowed as for
+    {!add_into}. *)
+
+val mul_into : width:int -> scratch:int array -> int array -> int array -> int array -> unit
+(** [mul_into ~width ~scratch dst a b] sets [dst.(0..2*width-1)] to the full
+    product of the [width]-limb inputs. [scratch] needs at least [2*width]
+    limbs and must not alias [a] or [b]; [dst] may alias anything (including
+    [scratch] itself). *)

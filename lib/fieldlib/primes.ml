@@ -142,6 +142,13 @@ let p220 () = first_prime_with_bits 220
 let bls12_381_fr =
   Nat.of_hex "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
 
+(* (2^64 + 11) * 2^62 + 1: a 127-bit prime with 2-adicity 62, the
+   NTT-friendly stand-in for the Mersenne [p127] (whose p-1 has 2-adicity
+   1, so it admits no useful power-of-two subgroup). The production prover
+   selects the roots-of-unity QAP over this field; [p127] keeps the
+   seed-identical Lagrange transcripts. *)
+let p127_ntt = Nat.of_hex "4000000000000002c000000000000001"
+
 (* 2-adicity of p-1 and a generator of the 2^s-th roots of unity, needed by
    the NTT ablation. *)
 let two_adicity p =

@@ -31,6 +31,11 @@ val bls12_381_fr : Nat.t
 (** The BLS12-381 scalar field modulus (2-adicity 32) — NTT ablation
     only. *)
 
+val p127_ntt : Nat.t
+(** (2^64 + 11) * 2^62 + 1, a 127-bit prime with 2-adicity 62: the
+    NTT-friendly counterpart of {!p127} used by the production
+    roots-of-unity prover path (the bench default field). *)
+
 val two_adicity : Nat.t -> int
 val find_generator_of_two_power_subgroup : Fp.ctx -> Fp.el
 (** A generator of the 2^s-torsion, s the 2-adicity of p-1. *)

@@ -22,6 +22,9 @@
      f_div   fp.inv                 field inversions (div = inv + mul)
      c       prg.field              pseudorandom field elements (ChaCha +
                                     rejection)
+     butterfly ntt.butterfly        NTT butterflies (fused mul+add+sub on the
+                                    packed hot path; the mul is also counted
+                                    under f)
 
    [with_phase] snapshots the merged counter view and [Gc.quick_stat] around
    a unit of work and accumulates the deltas into a global per-phase table.
@@ -30,9 +33,9 @@
    [--domains] count; worker-domain GC (minor words are domain-local in
    OCaml 5) is folded in via [worker_scope], which Pool workers run in. *)
 
-type ops = { e : int; d : int; h : int; f : int; f_lazy : int; f_div : int; c : int }
+type ops = { e : int; d : int; h : int; f : int; f_lazy : int; f_div : int; c : int; butterfly : int }
 
-let zero_ops = { e = 0; d = 0; h = 0; f = 0; f_lazy = 0; f_div = 0; c = 0 }
+let zero_ops = { e = 0; d = 0; h = 0; f = 0; f_lazy = 0; f_div = 0; c = 0; butterfly = 0 }
 
 let add_ops a b =
   {
@@ -43,6 +46,7 @@ let add_ops a b =
     f_lazy = a.f_lazy + b.f_lazy;
     f_div = a.f_div + b.f_div;
     c = a.c + b.c;
+    butterfly = a.butterfly + b.butterfly;
   }
 
 let sub_ops a b =
@@ -54,13 +58,14 @@ let sub_ops a b =
     f_lazy = a.f_lazy - b.f_lazy;
     f_div = a.f_div - b.f_div;
     c = a.c - b.c;
+    butterfly = a.butterfly - b.butterfly;
   }
 
 (* (paper row, counter value) pairs, in Figure 3 order. *)
 let ops_to_list o =
   [
     ("e", o.e); ("d", o.d); ("h", o.h); ("f", o.f); ("f_lazy", o.f_lazy); ("f_div", o.f_div);
-    ("c", o.c);
+    ("c", o.c); ("butterfly", o.butterfly);
   ]
 
 let snapshot () =
@@ -73,6 +78,7 @@ let snapshot () =
     f_lazy = v "fp.mul_lazy";
     f_div = v "fp.inv";
     c = v "prg.field";
+    butterfly = v "ntt.butterfly";
   }
 
 (* ---- per-phase accounting ---- *)
@@ -168,20 +174,22 @@ let reset () =
 (* ---- rendering ---- *)
 
 let pp_ops fmt o =
-  Format.fprintf fmt "e=%d d=%d h=%d f=%d f_lazy=%d f_div=%d c=%d" o.e o.d o.h o.f o.f_lazy
-    o.f_div o.c
+  Format.fprintf fmt "e=%d d=%d h=%d f=%d f_lazy=%d f_div=%d c=%d butterfly=%d" o.e o.d o.h o.f
+    o.f_lazy o.f_div o.c o.butterfly
 
 let pp_table fmt () =
   let ph = phases () in
   if ph <> [] then begin
     Format.fprintf fmt "ledger (per phase):@.";
-    Format.fprintf fmt "  %-24s %10s %10s %10s %12s %12s %12s %12s %12s@." "phase" "seconds" "e|d"
-      "h" "f" "f_lazy" "f_div" "c" "minor words";
+    Format.fprintf fmt "  %-24s %10s %10s %10s %12s %12s %12s %12s %12s %12s@." "phase" "seconds"
+      "e|d" "h" "f" "f_lazy" "f_div" "c" "butterfly" "minor words";
     List.iter
       (fun (name, p) ->
-        Format.fprintf fmt "  %-24s %10.4f %10s %10d %12d %12d %12d %12d %12.0f@." name p.seconds
+        Format.fprintf fmt "  %-24s %10.4f %10s %10d %12d %12d %12d %12d %12d %12.0f@." name
+          p.seconds
           (Printf.sprintf "%d|%d" p.ops.e p.ops.d)
-          p.ops.h p.ops.f p.ops.f_lazy p.ops.f_div p.ops.c p.gc.Span.minor_words)
+          p.ops.h p.ops.f p.ops.f_lazy p.ops.f_div p.ops.c p.ops.butterfly
+          p.gc.Span.minor_words)
       ph
   end
 

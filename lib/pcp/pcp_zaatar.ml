@@ -36,7 +36,7 @@ type repetition = {
   iq4 : int; (* into h queries; blinded by q8 = first lin_h component *)
   iblind_z : int; (* q5 *)
   iblind_h : int; (* q8 *)
-  qap_q : Qap.queries;
+  qap_q : Qapb.queries;
 }
 
 type queries = {
@@ -54,19 +54,19 @@ let c_queries_h = Zobs.Counter.make "pcp.queries_h"
 let fresh_tau ctx qap prg =
   let rec go () =
     let tau = Chacha.Prg.field ctx prg in
-    match Qap.queries qap ~tau with
+    match Qapb.queries qap ~tau with
     | q -> q
-    | exception Qap.Tau_collision -> go ()
+    | exception Qapb.Tau_collision -> go ()
   in
   go ()
 
-let gen_queries ?(params = paper_params) (qap : Qap.t) (prg : Chacha.Prg.t) : queries =
+let gen_queries ?(params = paper_params) (qap : Qapb.t) (prg : Chacha.Prg.t) : queries =
   Zobs.Span.with_ ~name:"pcp.gen_queries"
     ~attrs:[ ("rho", string_of_int params.rho); ("rho_lin", string_of_int params.rho_lin) ]
   @@ fun () ->
-  let ctx = qap.Qap.ctx in
-  let n' = qap.Qap.sys.R1cs.num_z in
-  let hl = qap.Qap.nc + 1 in
+  let ctx = Qapb.ctx qap in
+  let n' = (Qapb.sys qap).R1cs.num_z in
+  let hl = Qapb.h_len qap in
   let zq = ref [] and hq = ref [] and nz = ref 0 and nh = ref 0 in
   let push_z q =
     zq := q :: !zq;
@@ -95,13 +95,13 @@ let gen_queries ?(params = paper_params) (qap : Qap.t) (prg : Chacha.Prg.t) : qu
     let q5 = (List.nth !zq (!nz - 1 - iblind_z) : Fp.el array) in
     let q8 = List.nth !hq (!nh - 1 - iblind_h) in
     let qap_q = fresh_tau ctx qap prg in
-    let qa = Qap.z_slice qap qap_q.Qap.a_tau in
-    let qb = Qap.z_slice qap qap_q.Qap.b_tau in
-    let qc = Qap.z_slice qap qap_q.Qap.c_tau in
+    let qa = Qapb.z_slice qap qap_q.Qapb.a_tau in
+    let qb = Qapb.z_slice qap qap_q.Qapb.b_tau in
+    let qc = Qapb.z_slice qap qap_q.Qapb.c_tau in
     let iq1 = push_z (add_vec ctx qa q5) in
     let iq2 = push_z (add_vec ctx qb q5) in
     let iq3 = push_z (add_vec ctx qc q5) in
-    let iq4 = push_h (add_vec ctx qap_q.Qap.qd q8) in
+    let iq4 = push_h (add_vec ctx qap_q.Qapb.qd q8) in
     { lin_z; lin_h; iq1; iq2; iq3; iq4; iblind_z; iblind_h; qap_q }
   in
   let reps = Array.init params.rho (fun _ -> repetition ()) in
@@ -130,9 +130,9 @@ type verdict = Accept | Reject_linearity of int | Reject_divisibility of int
 
 (* [io] holds the bound input/output values (variables n'+1 .. n in
    order). *)
-let decide (qap : Qap.t) (q : queries) (r : responses) ~(io : Fp.el array) : verdict =
+let decide (qap : Qapb.t) (q : queries) (r : responses) ~(io : Fp.el array) : verdict =
   Zobs.Span.with_ ~name:"pcp.decide" @@ fun () ->
-  let ctx = qap.Qap.ctx in
+  let ctx = Qapb.ctx qap in
   let rz = r.z_resp and rh = r.h_resp in
   let rec check_reps k =
     if k >= Array.length q.reps then Accept
@@ -149,14 +149,14 @@ let decide (qap : Qap.t) (q : queries) (r : responses) ~(io : Fp.el array) : ver
       if not lin_ok then Reject_linearity k
       else begin
         let qq = rep.qap_q in
-        let la = Qap.io_contribution qap qq.Qap.a_tau io in
-        let lb = Qap.io_contribution qap qq.Qap.b_tau io in
-        let lc = Qap.io_contribution qap qq.Qap.c_tau io in
+        let la = Qapb.io_contribution qap qq.Qapb.a_tau io in
+        let lb = Qapb.io_contribution qap qq.Qapb.b_tau io in
+        let lc = Qapb.io_contribution qap qq.Qapb.c_tau io in
         let a_tau = Fp.add ctx (Fp.sub ctx rz.(rep.iq1) rz.(rep.iblind_z)) la in
         let b_tau = Fp.add ctx (Fp.sub ctx rz.(rep.iq2) rz.(rep.iblind_z)) lb in
         let c_tau = Fp.add ctx (Fp.sub ctx rz.(rep.iq3) rz.(rep.iblind_z)) lc in
         let h_tau = Fp.sub ctx rh.(rep.iq4) rh.(rep.iblind_h) in
-        let lhs = Fp.mul ctx qq.Qap.d_tau h_tau in
+        let lhs = Fp.mul ctx qq.Qapb.d_tau h_tau in
         let rhs = Fp.sub ctx (Fp.mul ctx a_tau b_tau) c_tau in
         if Fp.equal lhs rhs then check_reps (k + 1) else Reject_divisibility k
       end

@@ -35,7 +35,7 @@ type repetition = {
   iq4 : int;
   iblind_z : int;
   iblind_h : int;
-  qap_q : Qap.queries;
+  qap_q : Qapb.queries;
 }
 
 type queries = {
@@ -44,8 +44,8 @@ type queries = {
   reps : repetition array;
 }
 
-val gen_queries : ?params:params -> Qap.t -> Chacha.Prg.t -> queries
-(** Verifier side; resamples tau internally on {!Qap.Tau_collision}. *)
+val gen_queries : ?params:params -> Qapb.t -> Chacha.Prg.t -> queries
+(** Verifier side; resamples tau internally on {!Qapb.Tau_collision}. *)
 
 type responses = { z_resp : Fp.el array; h_resp : Fp.el array }
 
@@ -54,11 +54,11 @@ val answer : Oracle.t -> queries -> responses
 
 type verdict = Accept | Reject_linearity of int | Reject_divisibility of int
 
-val decide : Qap.t -> queries -> responses -> io:Fp.el array -> verdict
+val decide : Qapb.t -> queries -> responses -> io:Fp.el array -> verdict
 (** [io] holds the claimed input/output values (variables n'+1 .. n in
     order); the verifier folds them into L_a, L_b, L_c itself. *)
 
 val accepts : verdict -> bool
 
-val run : ?params:params -> Qap.t -> Chacha.Prg.t -> Oracle.t -> io:Fp.el array -> verdict
+val run : ?params:params -> Qapb.t -> Chacha.Prg.t -> Oracle.t -> io:Fp.el array -> verdict
 (** Convenience end-to-end run against an oracle (no commitment layer). *)

@@ -92,9 +92,11 @@ let prover_h qap (w : Fp.el array) : Fp.el array =
 
 (* What a cheating prover would do with an unsatisfying assignment: divide
    and silently discard the remainder. Used by the adversarial test suite
-   and the soundness bench. *)
+   and the soundness bench. Span name deliberately distinct from
+   [prover_h]'s: the bench's ntt-vs-lagrange experiment and ablation
+   traces key off qap.prover_h being the honest pipeline only. *)
 let prover_h_forced qap (w : Fp.el array) : Fp.el array =
-  Zobs.Span.with_ ~name:"qap.prover_h" (fun () ->
+  Zobs.Span.with_ ~name:"qap.prover_h_forced" (fun () ->
       let ctx = qap.ctx in
       let p = pw_poly qap w in
       let q, _r = Polylib.Poly.div_rem_fast ctx p (Lazy.force qap.divisor) in

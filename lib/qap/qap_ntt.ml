@@ -73,25 +73,78 @@ let pw_coeffs q (w : Fp.el array) =
 
 exception Not_divisible
 
+(* Packed coefficients of P_w = A*B - C on the doubled domain: three
+   inverse NTTs for the interpolations, two forwards + pointwise + one
+   inverse for the product, everything in one flat arena per vector. The
+   result vector has 2n slots; slots [n, 2n) are H, slots [0, n) must be
+   the negated H when w satisfies the constraints. *)
+let pw_packed q (w : Fp.el array) =
+  let ctx = q.ctx in
+  let sc = Fp.scratch_for ctx in
+  let n = q.n in
+  let n2 = 2 * n in
+  let interp_packed row =
+    let v = Fp.Vec.of_array ctx (eval_rows q row w) in
+    Polylib.Ntt.inverse_vec q.ntt v;
+    v
+  in
+  let a = interp_packed (fun k -> k.R1cs.a) in
+  let b = interp_packed (fun k -> k.R1cs.b) in
+  let c = interp_packed (fun k -> k.R1cs.c) in
+  let fa = Fp.Vec.create ctx n2 in
+  Fp.Vec.blit a 0 fa 0 n;
+  let fb = Fp.Vec.create ctx n2 in
+  Fp.Vec.blit b 0 fb 0 n;
+  Polylib.Ntt.forward_vec q.ntt fa;
+  Polylib.Ntt.forward_vec q.ntt fb;
+  for i = 0 to n2 - 1 do
+    Fp.Vec.mul ctx sc fa i fa i fb i
+  done;
+  Polylib.Ntt.inverse_vec q.ntt fa;
+  (* P = AB - C; deg C < n touches only the low slots. *)
+  for i = 0 to n - 1 do
+    Fp.Vec.sub ctx sc fa i fa i c i
+  done;
+  fa
+
 (* H = P_w / (t^n - 1) by coefficient folding; raises if the division is
    not exact (Claim A.1 analog: w does not satisfy the constraints). *)
 let prover_h q (w : Fp.el array) : Fp.el array =
   Zobs.Span.with_ ~name:"qap_ntt.prover_h" (fun () ->
       let ctx = q.ctx in
-      let p = pw_coeffs q w in
-      let h = Array.make q.n Fp.zero in
-      for i = 0 to q.n - 1 do
-        h.(i) <- Polylib.Poly.coeff p (q.n + i)
+      let sc = Fp.scratch_for ctx in
+      let n = q.n in
+      let p = pw_packed q w in
+      (* exactness: p_i + p_{n+i} = 0 for all i < n, checked in place *)
+      for i = 0 to n - 1 do
+        Fp.Vec.add ctx sc p i p i p (n + i);
+        if not (Fp.Vec.is_zero p i) then raise Not_divisible
       done;
-      (* exactness: c_i + c_{n+i} = 0 for all i < n *)
-      for i = 0 to q.n - 1 do
-        if not (Fp.is_zero (Fp.add ctx (Polylib.Poly.coeff p i) h.(i))) then raise Not_divisible
-      done;
-      h)
+      Array.init n (fun i -> Fp.Vec.get p (n + i)))
 
 let prover_h_forced q (w : Fp.el array) : Fp.el array =
-  let p = pw_coeffs q w in
-  Array.init q.n (fun i -> Polylib.Poly.coeff p (q.n + i))
+  Zobs.Span.with_ ~name:"qap_ntt.prover_h_forced" (fun () ->
+      let p = pw_packed q w in
+      Array.init q.n (fun i -> Fp.Vec.get p (q.n + i)))
+
+(* Differential reference for the packed fast path: subproduct-tree
+   interpolation over the same roots-of-unity domain, boxed Karatsuba
+   product, Newton division by t^n - 1. Bit-identical H by construction;
+   the test-suite and the bench's ntt-vs-lagrange experiment compare the
+   two. *)
+let prover_h_reference q (w : Fp.el array) : Fp.el array =
+  let ctx = q.ctx in
+  let interp evals = Polylib.Subproduct.interpolate_points ctx q.domain evals in
+  let a = interp (eval_rows q (fun k -> k.R1cs.a) w) in
+  let b = interp (eval_rows q (fun k -> k.R1cs.b) w) in
+  let c = interp (eval_rows q (fun k -> k.R1cs.c) w) in
+  let p = Polylib.Poly.(sub ctx (mul ctx a b) c) in
+  let d = Polylib.Poly.(sub ctx (monomial Fp.one q.n) one) in
+  let h, r = Polylib.Poly.div_rem_fast ctx p d in
+  if not (Polylib.Poly.is_zero r) then raise Not_divisible;
+  let out = Array.make q.n Fp.zero in
+  Array.blit (Polylib.Poly.coeffs h) 0 out 0 (Polylib.Poly.degree h + 1);
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Verifier                                                            *)

@@ -29,8 +29,23 @@ val of_r1cs : R1cs.system -> t
     {!Primes.bls12_381_fr}). *)
 
 val pw_coeffs : t -> Fp.el array -> Polylib.Poly.t
+(** Boxed P_w = A*B - C (kept for the test-suite; the prover entry points
+    below run the packed pipeline). *)
+
 val prover_h : t -> Fp.el array -> Fp.el array
+(** Packed fast path (span [qap_ntt.prover_h]): three inverse NTTs, the
+    doubled-domain product, coefficient folding — all over {!Fp.Vec}
+    arenas. Raises {!Not_divisible} if w does not satisfy the
+    constraints. *)
+
 val prover_h_forced : t -> Fp.el array -> Fp.el array
+(** Divide-and-drop-remainder (span [qap_ntt.prover_h_forced]); the
+    cheating prover of the adversarial suite. *)
+
+val prover_h_reference : t -> Fp.el array -> Fp.el array
+(** Differential reference: subproduct-tree interpolation over the same
+    roots-of-unity domain, boxed product, Newton division by t^n - 1.
+    Bit-identical to {!prover_h} on satisfying witnesses. *)
 
 type queries = {
   tau : Fp.el;

@@ -101,12 +101,25 @@ echo "== ledger gate (bench --check-ledger) + history trend =="
 dune exec bench/main.exe -- alloc profile --quick --check-ledger \
   --json "$tmp/LEDGER_run.json" --history "$tmp/history.jsonl" | tee "$tmp/ledger.out"
 grep -q -- "--check-ledger OK" "$tmp/ledger.out" || { echo "check-ledger did not report OK" >&2; exit 1; }
+grep -q "words/op under ceilings" "$tmp/ledger.out" || { echo "allocation gate did not run" >&2; exit 1; }
 grep -q '"ledger"' "$tmp/LEDGER_run.json" || { echo "ledger section missing from summary" >&2; exit 1; }
 grep -q '"alloc"' "$tmp/LEDGER_run.json" || { echo "alloc section missing from summary" >&2; exit 1; }
 grep -q '"overhead_ratio"' "$tmp/LEDGER_run.json" || { echo "instrumentation overhead not recorded" >&2; exit 1; }
 test -s "$tmp/history.jsonl" || { echo "gated run did not append to the history file" >&2; exit 1; }
 dune exec bench/main.exe -- --trend 5 --history "$tmp/history.jsonl" | tee "$tmp/trend.out"
 grep -q "gated run(s)" "$tmp/trend.out" || { echo "--trend did not print the history tail" >&2; exit 1; }
+
+echo "== ntt-vs-lagrange smoke (QAP backend differential) =="
+# Runs a benchmark app end to end under both QAP backends: the verdicts
+# must agree, the packed NTT H must equal the boxed subproduct-tree
+# reference, and the wall/allocation ratios land in the summary. The
+# experiment itself exits non-zero on any divergence.
+dune exec bench/main.exe -- ntt-vs-lagrange --quick --json "$tmp/NTT_run.json" | tee "$tmp/ntt.out"
+grep -q "verdicts ok" "$tmp/ntt.out" || { echo "backend verdicts diverged" >&2; exit 1; }
+grep -q "H ok" "$tmp/ntt.out" || { echo "NTT H does not match the reference" >&2; exit 1; }
+grep -q '"ntt_vs_lagrange"' "$tmp/NTT_run.json" || { echo "ntt_vs_lagrange section missing from summary" >&2; exit 1; }
+grep -q '"verdicts_agree":true' "$tmp/NTT_run.json" || { echo "verdict agreement not recorded" >&2; exit 1; }
+grep -q '"h_matches_reference":true' "$tmp/NTT_run.json" || { echo "H reference equality not recorded" >&2; exit 1; }
 
 echo "== profile smoke (zaatar profile, folded stacks) =="
 # The profile subcommand must pass its op audit on the shipped matmul

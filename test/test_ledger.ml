@@ -139,6 +139,7 @@ let domains_tests =
                   p_bits = 160;
                   strategy = Argsys.Argument.Honest;
                   domains;
+                  qap_backend = Qapb.Auto;
                 }
               in
               let result = Argsys.Argument.run_batch ~config comp ~prg ~inputs in

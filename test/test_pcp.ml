@@ -13,8 +13,8 @@ let split_w (sys : R1cs.system) (w : Fp.el array) =
   (z, io)
 
 let honest_oracle qap w =
-  let z, _ = split_w qap.Qap.sys w in
-  let h = Qap.prover_h qap w in
+  let z, _ = split_w (Qapb.sys qap) w in
+  let h = Qapb.prover_h qap w in
   Oracle.honest ctx z h
 
 let qtest name count arb law = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
@@ -25,13 +25,13 @@ let zaatar_tests =
   [
     qtest "zaatar completeness" 40 QCheck.small_int (fun seed ->
         let sys, w = random_sys seed in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let _, io = split_w sys w in
         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "zc %d" seed) () in
         Pcp_zaatar.(accepts (run ~params qap prg (honest_oracle qap w) ~io)));
     qtest "zaatar completeness at paper parameters" 3 QCheck.small_int (fun seed ->
         let sys, w = random_sys seed in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let _, io = split_w sys w in
         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "zp %d" seed) () in
         Pcp_zaatar.(accepts (run ~params:paper_params qap prg (honest_oracle qap w) ~io)));
@@ -41,7 +41,7 @@ let zaatar_tests =
         let sys, w = random_sys seed in
         if R1cs.num_io sys = 0 then true
         else begin
-          let qap = Qap.of_r1cs sys in
+          let qap = Qapb.of_r1cs sys in
           let _, io = split_w sys w in
           let perturbed_var = sys.R1cs.num_vars in
           let io' = Array.copy io in
@@ -62,20 +62,20 @@ let zaatar_tests =
         end);
     qtest "zaatar rejects corrupted witness with forced h (whp)" 40 QCheck.small_int (fun seed ->
         let sys, w = random_sys seed in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let w' = Array.copy w in
         w'.(1) <- Fp.add ctx w'.(1) (fi 5);
         if R1cs.satisfied ctx sys w' then true
         else begin
           let z', io = (fst (split_w sys w'), snd (split_w sys w')) in
-          let h' = Qap.prover_h_forced qap w' in
+          let h' = Qapb.prover_h_forced qap w' in
           let oracle = Oracle.honest ctx z' h' in
           let prg = Chacha.Prg.create ~seed:(Printf.sprintf "zf %d" seed) () in
           not Pcp_zaatar.(accepts (run ~params qap prg oracle ~io))
         end);
     qtest "zaatar rejects non-linear oracle (whp)" 40 QCheck.small_int (fun seed ->
         let sys, w = random_sys seed in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let _, io = split_w sys w in
         let oracle = Oracle.nonlinear ctx (honest_oracle qap w) in
         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "zn %d" seed) () in
@@ -87,7 +87,7 @@ let zaatar_tests =
         | Pcp_zaatar.Reject_divisibility _ -> true);
     Alcotest.test_case "query count matches l' = 6 rho_lin + 4" `Quick (fun () ->
         let sys, _ = random_sys 11 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let prg = Chacha.Prg.create ~seed:"count" () in
         let p = { Pcp_zaatar.rho = 3; rho_lin = 5 } in
         let q = Pcp_zaatar.gen_queries ~params:p qap prg in
@@ -96,7 +96,7 @@ let zaatar_tests =
         Alcotest.(check int) "per-rep" (3 * ((6 * 5) + 4)) total);
     Alcotest.test_case "query vector lengths" `Quick (fun () ->
         let sys, _ = random_sys 12 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs ~backend:Qapb.Lagrange sys in
         let prg = Chacha.Prg.create ~seed:"len" () in
         let q = Pcp_zaatar.gen_queries ~params qap prg in
         Array.iter

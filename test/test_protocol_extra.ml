@@ -20,7 +20,7 @@ let unit_tests =
            query vectors from a shared seed. Same seed => identical
            queries. *)
         let sys, _ = random_sys 42 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let q1 = Pcp_zaatar.gen_queries ~params qap (Chacha.Prg.create ~seed:"shared" ()) in
         let q2 = Pcp_zaatar.gen_queries ~params qap (Chacha.Prg.create ~seed:"shared" ()) in
         Array.iteri
@@ -37,7 +37,7 @@ let unit_tests =
           q1.Pcp_zaatar.h_queries);
     Alcotest.test_case "different seeds give different queries" `Quick (fun () ->
         let sys, _ = random_sys 42 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let q1 = Pcp_zaatar.gen_queries ~params qap (Chacha.Prg.create ~seed:"a" ()) in
         let q2 = Pcp_zaatar.gen_queries ~params qap (Chacha.Prg.create ~seed:"b" ()) in
         let same = ref true in
@@ -53,10 +53,10 @@ let unit_tests =
            verifier must notice. With hundreds of answered queries, even a
            10% flake rate trips a linearity or consistency check w.h.p. *)
         let sys, w = random_sys 77 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let io = Array.sub w (sys.R1cs.num_z + 1) (R1cs.num_io sys) in
         let z = Array.sub w 1 sys.R1cs.num_z in
-        let h = Qap.prover_h qap w in
+        let h = Qapb.prover_h qap w in
         let rejected = ref 0 in
         let trials = 20 in
         for i = 1 to trials do
@@ -71,10 +71,10 @@ let unit_tests =
         Alcotest.(check bool) "mostly rejected" true (!rejected >= trials - 1));
     Alcotest.test_case "zero flake rate is accepted" `Quick (fun () ->
         let sys, w = random_sys 78 in
-        let qap = Qap.of_r1cs sys in
+        let qap = Qapb.of_r1cs sys in
         let io = Array.sub w (sys.R1cs.num_z + 1) (R1cs.num_io sys) in
         let z = Array.sub w 1 sys.R1cs.num_z in
-        let h = Qap.prover_h qap w in
+        let h = Qapb.prover_h qap w in
         let prg = Chacha.Prg.create ~seed:"flaky0" () in
         let oracle =
           Oracle.flaky ctx (Oracle.honest ctx z h)
