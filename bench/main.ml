@@ -1311,6 +1311,248 @@ let run_wire cfg =
   Printf.printf "\nsent and received bytes balance (%d B over %d message(s))\n%!" sent msgs
 
 (* ------------------------------------------------------------------ *)
+(* Farm: concurrent prover farm vs the sequential accept loop          *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled by run_farm and folded into BENCH_run.json under "farm".
+   Sessions/sec and latency percentiles at N concurrent verifier clients
+   against (a) the pre-farm sequential accept loop, (b) the farm event
+   loop with the setup cache, (c) the farm with the cache disabled.
+
+   The clients are *replay* clients: one real verifier session is
+   recorded (frames sent, replies received, verdict checked), then every
+   client replays the same byte stream, sleeping [think_ms] before each
+   frame to emulate off-box verifier compute, and asserts the prover's
+   replies are byte-identical (the honest prover draws nothing from its
+   PRG, so replies are a deterministic function of the received frames).
+   Identical clients hit both arms, so the comparison isolates the
+   server: the sequential loop is held hostage by each client's think
+   time, the event loop overlaps them. *)
+let farm_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let record_session ~config comp ~prg ~inputs addr =
+  let conn = Znet.connect addr in
+  Fun.protect ~finally:(fun () -> Znet.close conn) @@ fun () ->
+  let vs = Argsys.Argument.Verifier_session.create ~config comp ~prg ~inputs in
+  let codec = Argsys.Argument.Verifier_session.codec vs in
+  let transcript = ref [] in
+  let exchange m =
+    let b = Zwire.encode ~codec m in
+    Znet.send conn b;
+    let r = Znet.recv conn in
+    transcript := (b, Some r) :: !transcript;
+    Zwire.decode ~codec r
+  in
+  let rec go m =
+    match Argsys.Argument.Verifier_session.on_msg vs m with
+    | `Send m' -> go (exchange m')
+    | `Finished (Some m') ->
+      let b = Zwire.encode ~codec m' in
+      Znet.send conn b;
+      transcript := (b, None) :: !transcript
+    | `Finished None -> ()
+  in
+  go (exchange (Argsys.Argument.Verifier_session.initial vs));
+  if not (Argsys.Argument.all_accepted (Argsys.Argument.Verifier_session.result vs)) then
+    failwith "farm: recorded session did not verify";
+  List.rev !transcript
+
+let replay_session ~think_s ~addr transcript =
+  let conn = Znet.connect addr in
+  Fun.protect ~finally:(fun () -> Znet.close conn) @@ fun () ->
+  List.for_all
+    (fun (sent, expect) ->
+      Unix.sleepf think_s;
+      Znet.send conn sent;
+      match expect with
+      | None -> true
+      | Some r -> Bytes.equal r (Znet.recv conn))
+    transcript
+
+let run_farm cfg =
+  banner "Farm: sessions/sec at concurrent verifier clients (event loop vs sequential accept)";
+  let ctx = ctx_of cfg in
+  let compiled =
+    Zlang.Compile.compile ~ctx
+      "computation sq3(input int32 x, input int32 w, output int32 y) { y = x*x + w*w + 3; }"
+  in
+  let comp = Apps.Glue.computation_of compiled in
+  let config =
+    {
+      Argsys.Argument.params = protocol cfg;
+      p_bits = cfg.p_bits;
+      strategy = Argsys.Argument.Honest;
+      domains = cfg.domains;
+      qap_backend = cfg.qap_backend;
+    }
+  in
+  let lookup =
+    let d = Argsys.Argument.digest comp in
+    fun d' -> if String.equal d' d then Some comp else None
+  in
+  let clients = 8 in
+  let think_ms = if cfg.quick then 25 else 60 in
+  let think_s = float_of_int think_ms /. 1000.0 in
+  let inputs = [| Apps.Glue.field_inputs ctx [| 7; 11 |] |] in
+  (* Record the reference session against a throwaway one-shot server. *)
+  let transcript =
+    let srv = Znet.listen "127.0.0.1:0" in
+    let addr = Znet.bound_addr srv in
+    let server =
+      Domain.spawn (fun () ->
+          let c = Znet.accept srv in
+          (try
+             Argsys.Remote.handle_conn ~config ~lookup
+               ~prg:(Chacha.Prg.create ~seed:"bench farm record prover" ())
+               c
+           with _ -> ());
+          try Znet.close c with _ -> ())
+    in
+    let t =
+      record_session ~config comp
+        ~prg:(Chacha.Prg.create ~seed:"bench farm verifier" ())
+        ~inputs addr
+    in
+    Domain.join server;
+    Znet.close_server srv;
+    t
+  in
+  let frames = List.length transcript in
+  Printf.printf
+    "%d concurrent same-digest clients, %d frame(s)/session, %d ms think before each frame\n\n"
+    clients frames think_ms;
+  let run_clients addr =
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      Array.init clients (fun _ -> Domain.spawn (fun () -> replay_session ~think_s ~addr transcript))
+    in
+    let ok = Array.for_all (fun d -> Domain.join d) doms in
+    (Unix.gettimeofday () -. t0, ok)
+  in
+  (* Arm 1: the pre-farm behavior — accept, serve to completion, repeat. *)
+  let seq_wall, seq_ok =
+    let srv = Znet.listen ~backlog:(clients + 4) "127.0.0.1:0" in
+    let addr = Znet.bound_addr srv in
+    let server =
+      Domain.spawn (fun () ->
+          for i = 1 to clients do
+            let c = Znet.accept srv in
+            (try
+               Argsys.Remote.handle_conn ~config ~lookup
+                 ~prg:(Chacha.Prg.create ~seed:(Printf.sprintf "bench farm seq %d" i) ())
+                 c
+             with _ -> ());
+            try Znet.close c with _ -> ()
+          done)
+    in
+    let r = run_clients addr in
+    Domain.join server;
+    Znet.close_server srv;
+    r
+  in
+  (* Arms 2 and 3: the farm event loop, with and without the setup cache. *)
+  let farm_arm ~cache_bytes =
+    Znet.Svcstats.reset ();
+    let fc =
+      {
+        Zfarm.Farm.default with
+        arg_config = config;
+        max_sessions = clients + 2;
+        setup_cache_bytes = cache_bytes;
+      }
+    in
+    let mu = Mutex.create () in
+    let lines = ref [] in
+    let log s =
+      Mutex.lock mu;
+      lines := s :: !lines;
+      Mutex.unlock mu
+    in
+    let server =
+      Domain.spawn (fun () ->
+          Zfarm.Farm.serve ~config:fc ~lookup ~max_conns:clients ~log "127.0.0.1:0")
+    in
+    let addr =
+      let prefix = "listening on " in
+      let k = String.length prefix in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec poll () =
+        let hit =
+          Mutex.lock mu;
+          let r =
+            List.find_map
+              (fun l ->
+                if String.length l > k && String.sub l 0 k = prefix then
+                  Some (String.sub l k (String.length l - k))
+                else None)
+              !lines
+          in
+          Mutex.unlock mu;
+          r
+        in
+        match hit with
+        | Some a -> a
+        | None ->
+          if Unix.gettimeofday () > deadline then failwith "farm: serve never bound";
+          Unix.sleepf 0.005;
+          poll ()
+      in
+      poll ()
+    in
+    let wall, ok = run_clients addr in
+    Domain.join server;
+    let _, hits, misses, _ = Znet.Svcstats.farm_totals () in
+    let lat = Znet.Svcstats.latency_ms () in
+    (wall, ok, hits, misses, lat)
+  in
+  let built_before = Zobs.Registry.counter_value "farm.setup.built" in
+  let farm_wall, farm_ok, hits, misses, (p50, p95, p99) =
+    farm_arm ~cache_bytes:Zfarm.Farm.default.Zfarm.Farm.setup_cache_bytes
+  in
+  let warm_builds = Zobs.Registry.counter_value "farm.setup.built" - built_before - 1 in
+  let nocache_wall, nocache_ok, _, _, _ = farm_arm ~cache_bytes:0 in
+  let per_s w = float_of_int clients /. w in
+  let speedup = seq_wall /. farm_wall in
+  Printf.printf "%-28s %10s %14s\n" "server" "wall s" "sessions/s";
+  Printf.printf "%-28s %10.3f %14.2f\n" "sequential accept loop" seq_wall (per_s seq_wall);
+  Printf.printf "%-28s %10.3f %14.2f\n" "farm (setup cache)" farm_wall (per_s farm_wall);
+  Printf.printf "%-28s %10.3f %14.2f\n\n" "farm (cache disabled)" nocache_wall (per_s nocache_wall);
+  Printf.printf "speedup vs sequential: %.2fx (acceptance floor 4x)\n" speedup;
+  Printf.printf "setup cache: %d hit(s), %d miss(es); warm-session QAP constructions: %d\n" hits
+    misses warm_builds;
+  Printf.printf "session latency ms (farm, cached): p50 %.1f  p95 %.1f  p99 %.1f\n%!" p50 p95 p99;
+  let ok = seq_ok && farm_ok && nocache_ok in
+  if not ok then begin
+    Printf.eprintf "farm: a replayed session saw a reply that differs from the recorded bytes\n";
+    exit 1
+  end;
+  if warm_builds <> 0 then begin
+    Printf.eprintf "farm: %d QAP construction(s) on warm sessions (cache should serve them)\n"
+      warm_builds;
+    exit 1
+  end;
+  let num n = Zobs.Json.Num (float_of_int n) and fnum x = Zobs.Json.Num x in
+  farm_section :=
+    Zobs.Json.Obj
+      [
+        ("clients", num clients);
+        ("think_ms", num think_ms);
+        ("frames_per_session", num frames);
+        ("seq_wall_s", fnum seq_wall);
+        ("farm_wall_s", fnum farm_wall);
+        ("farm_nocache_wall_s", fnum nocache_wall);
+        ("seq_sessions_per_s", fnum (per_s seq_wall));
+        ("farm_sessions_per_s", fnum (per_s farm_wall));
+        ("speedup", fnum speedup);
+        ("cache_hits", num hits);
+        ("cache_misses", num misses);
+        ("warm_qap_constructions", num warm_builds);
+        ( "latency_ms",
+          Zobs.Json.Obj [ ("p50", fnum p50); ("p95", fnum p95); ("p99", fnum p99) ] );
+        ("transcripts_identical", Zobs.Json.Bool ok);
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Lint: Zlint analyzer timing and finding counts over the suite       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1683,6 +1925,32 @@ let baseline_diff ~drift path cfg =
           | _ -> err "network.per_phase.%s missing" ph)
         wire_phases
     | _ -> err "network.per_phase missing"));
+  (* Farm: client count, frames/session, cache hit/miss counts, the
+     warm-session construction count (must stay 0) and transcript
+     identity are deterministic and compared exactly; the speedup over
+     the sequential loop is wall-clock and held to the drift band. *)
+  (match (Zobs.Json.member "farm" base, !farm_section) with
+  | None, Zobs.Json.Null -> err "neither run has a farm section (run the farm experiment)"
+  | None, _ -> err "%s has no farm section — refresh the baseline" path
+  | Some _, Zobs.Json.Null -> err "this run has no farm section (farm experiment did not run)"
+  | Some bf, cf ->
+    List.iter
+      (fun k ->
+        match (jnum bf k, jnum cf k) with
+        | Some bv, Some cv when bv = cv -> ()
+        | Some bv, Some cv ->
+          err "farm.%s: %d here, %d in baseline" k (int_of_float cv) (int_of_float bv)
+        | _ -> err "farm.%s missing" k)
+      [ "clients"; "frames_per_session"; "cache_hits"; "cache_misses"; "warm_qap_constructions" ];
+    (match Zobs.Json.member "transcripts_identical" cf with
+    | Some (Zobs.Json.Bool true) -> ()
+    | _ -> err "farm.transcripts_identical is not true");
+    (match (jnum bf "speedup", jnum cf "speedup") with
+    | Some b, Some c ->
+      let d = c /. b in
+      if d > drift || d < 1.0 /. drift || Float.is_nan d then
+        err "farm.speedup: %.2fx vs. baseline %.2fx drifts beyond %gx" c b drift
+    | _ -> err "farm.speedup missing"));
   (* Model: wall-clock, so each phase's measured/predicted delta may move,
      but only within [1/drift, drift] of the committed delta. *)
   (match Zobs.Json.member "model" base with
@@ -1814,7 +2082,7 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|lint|alloc|profile]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|farm|lint|alloc|profile]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--qap-backend auto|ntt|lagrange]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
@@ -1826,7 +2094,8 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "lint"; "alloc"; "profile" ]
+    "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "farm"; "lint"; "alloc";
+    "profile" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -1889,6 +2158,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
     match !ntt_section with Null -> [] | m -> [ ("ntt_vs_lagrange", m) ]
   in
   let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
+  let farm = match !farm_section with Null -> [] | m -> [ ("farm", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
   let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
   let alloc = match !alloc_section with Null -> [] | m -> [ ("alloc", m) ] in
@@ -1900,7 +2170,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ ntt_vs_lagrange @ network @ model @ lint @ alloc @ profile @ ledger
+    @ multiexp @ ntt_vs_lagrange @ network @ farm @ model @ lint @ alloc @ profile @ ledger
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -2113,6 +2383,7 @@ let () =
     let need =
       (if !check || !baseline <> None then [ "model" ] else [])
       @ (if !baseline <> None then [ "wire" ] else [])
+      @ (if !baseline <> None then [ "farm" ] else [])
       @ (if !baseline <> None then [ "lint" ] else [])
       @ (if !check_ledger_flag || !baseline <> None then [ "profile" ] else [])
       @ if !check_ledger_flag then [ "alloc" ] else []
@@ -2143,6 +2414,7 @@ let () =
     | "ntt-vs-lagrange" -> run_ntt_vs_lagrange cfg
     | "multiexp" -> run_multiexp cfg
     | "wire" -> run_wire cfg
+    | "farm" -> run_farm cfg
     | "lint" -> run_lint cfg
     | "alloc" -> run_alloc cfg
     | "profile" -> run_profile cfg

@@ -505,7 +505,46 @@ let serve_cmd =
           ~doc:"Emit structured JSONL logs (per-connection peer/digest/phase fields) to \
                 'stderr', 'stdout' or a file path.")
   in
-  let run files listen once metrics_listen trace_dir log_json timeout_ms bits config obs =
+  let max_sessions =
+    Arg.(
+      value
+      & opt pos_int_conv Zfarm.Farm.default.Zfarm.Farm.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent in-flight session cap; connections beyond it park in the accept \
+                queue, and beyond that are shed with a busy/retry-after reply.")
+  in
+  let accept_queue =
+    Arg.(
+      value
+      & opt pos_int_conv Zfarm.Farm.default.Zfarm.Farm.accept_queue
+      & info [ "accept-queue" ] ~docv:"N"
+          ~doc:"Connections parked beyond --max-sessions before load shedding begins.")
+  in
+  let session_timeout_ms =
+    Arg.(
+      value
+      & opt pos_int_conv Zfarm.Farm.default.Zfarm.Farm.session_timeout_ms
+      & info [ "session-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-session inactivity deadline: sessions (and parked connections) idle \
+                longer than this are closed and accounted as timeouts.")
+  in
+  let setup_cache_mb =
+    Arg.(
+      value
+      & opt int (Zfarm.Farm.default.Zfarm.Farm.setup_cache_bytes / (1024 * 1024))
+      & info [ "setup-cache-mb" ] ~docv:"MB"
+          ~doc:"Byte bound of the per-digest setup cache (compiled QAP, subproduct trees, \
+                twiddle plans, LRU-evicted). 0 disables the cache.")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:"Use the one-connection-at-a-time reference loop instead of the concurrent \
+                farm (implied by --trace-dir, whose per-connection sidecars need it).")
+  in
+  let run files listen once metrics_listen trace_dir log_json max_sessions accept_queue
+      session_timeout_ms setup_cache_mb sequential timeout_ms bits config obs =
     with_obs ~process:"prover" obs @@ fun () ->
     (match log_json with
     | Some "stderr" -> Zobs.Log.set_sink (`Channel stderr)
@@ -523,15 +562,33 @@ let serve_cmd =
         Hashtbl.replace table d comp)
       files;
     let log s = Printf.printf "%s\n%!" s in
-    Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms
-      ?metrics_listen ?trace_dir ~log listen;
+    if sequential || trace_dir <> None then
+      Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms
+        ?metrics_listen ?trace_dir ~log listen
+    else begin
+      let fconfig =
+        {
+          Zfarm.Farm.arg_config = config;
+          max_sessions;
+          accept_queue;
+          session_timeout_ms;
+          setup_cache_bytes = setup_cache_mb * 1024 * 1024;
+          busy_retry_ms = Zfarm.Farm.default.Zfarm.Farm.busy_retry_ms;
+        }
+      in
+      Zfarm.Farm.serve ~config:fconfig ~lookup:(Hashtbl.find_opt table)
+        ?max_conns:(if once then Some 1 else None)
+        ?metrics_listen ~log listen
+    end;
     0
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run a networked prover: accept verifier connections and prove batches on demand")
+       ~doc:"Run a networked prover: accept verifier connections concurrently and prove \
+             batches on demand (see --sequential for the reference loop)")
     Term.(
-      const run $ files $ listen $ once $ metrics_listen $ trace_dir $ log_json $ timeout_arg
+      const run $ files $ listen $ once $ metrics_listen $ trace_dir $ log_json $ max_sessions
+      $ accept_queue $ session_timeout_ms $ setup_cache_mb $ sequential $ timeout_arg
       $ field_bits_arg $ protocol_args $ obs_args)
 
 let stats_cmd =
@@ -571,7 +628,18 @@ let stats_cmd =
       Printf.printf "server %s:\n" addr;
       List.iter
         (fun k -> Printf.printf "  %-16s %10.0f\n" k (jnum server k))
-        [ "accepted"; "active"; "completed"; "failed"; "decode_errors"; "timeouts" ];
+        [
+          "accepted"; "active"; "completed"; "failed"; "decode_errors"; "timeouts"; "shed";
+          "cache_hits"; "cache_misses"; "queue_depth";
+        ];
+      let hits = jnum server "cache_hits" and misses = jnum server "cache_misses" in
+      if hits +. misses > 0.0 then
+        Printf.printf "  %-16s %9.0f%%\n" "cache_hit_rate" (100.0 *. hits /. (hits +. misses));
+      (match Zobs.Json.member "latency_ms" server with
+      | Some lat ->
+        Printf.printf "  %-16s p50 %.1f  p95 %.1f  p99 %.1f\n" "latency_ms" (jnum lat "p50")
+          (jnum lat "p95") (jnum lat "p99")
+      | None -> ());
       let conns =
         Option.value (Option.bind (Zobs.Json.member "connections" j) Zobs.Json.to_arr)
           ~default:[]

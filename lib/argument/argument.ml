@@ -342,14 +342,15 @@ module Prover_session = struct
   type t = {
     config : config;
     lookup : string -> computation option;
+    setup : (string -> computation -> Qapb.t) option;
     prg : Chacha.Prg.t;
     pm : Metrics.t;
     mutable codec : Zwire.codec option;
     mutable state : state;
   }
 
-  let create ?(config = default_config) ~lookup ~(prg : Chacha.Prg.t) () =
-    { config; lookup; prg; pm = Metrics.create (); codec = None; state = Expect_hello }
+  let create ?(config = default_config) ?setup ~lookup ~(prg : Chacha.Prg.t) () =
+    { config; lookup; setup; prg; pm = Metrics.create (); codec = None; state = Expect_hello }
 
   let metrics t = t.pm
   let codec t = t.codec
@@ -375,7 +376,11 @@ module Prover_session = struct
           (* Adopt the verifier's distributed trace id so both processes'
              Chrome-trace exports can be merged into one view. *)
           if h.Zwire.trace_id <> "" then Zobs.set_trace_id h.Zwire.trace_id;
-          let qap = Qapb.of_r1cs ~backend:t.config.qap_backend comp.r1cs in
+          let qap =
+            match t.setup with
+            | Some f -> f h.Zwire.digest comp
+            | None -> Qapb.of_r1cs ~backend:t.config.qap_backend comp.r1cs
+          in
           (* Sequential on purpose: proof parts consume the transcript PRG
              (cheating strategies draw perturbations from it). *)
           let parts =

@@ -135,6 +135,7 @@ module Prover_session : sig
 
   val create :
     ?config:config ->
+    ?setup:(string -> computation -> Qapb.t) ->
     lookup:(string -> computation option) ->
     prg:Chacha.Prg.t ->
     unit ->
@@ -142,7 +143,10 @@ module Prover_session : sig
   (** [lookup] resolves a Hello digest to a computation this prover is
       willing to serve; unknown digests are refused with an [Error_msg].
       [config] supplies the strategy (adversarial provers) and the domain
-      count for the commitment pipeline. *)
+      count for the commitment pipeline. [setup], given the Hello digest
+      and the resolved computation, supplies the QAP — the farm routes
+      this through its per-digest setup cache; without it the session
+      builds a fresh {!Qapb.of_r1cs} per connection. *)
 
   val codec : t -> Zwire.codec option
   (** [None] until the Hello established the field; the group modulus is

@@ -1,0 +1,53 @@
+(** Zfarm: the concurrent multi-tenant prover farm behind [zaatar serve]
+    (DESIGN.md §14).
+
+    One event loop multiplexes many in-flight {!Argsys.Argument.Prover_session}
+    state machines over [select]/nonblocking sockets — slow verifiers never
+    stall fast ones — while ready frames are grouped by computation digest
+    and fanned out over the Pool domain workers. Per-digest setup (the
+    compiled QAP with its divisor, subproduct trees and twiddle plans)
+    lives in a byte-bounded LRU ({!Setup_cache}), amortizing the paper's
+    per-batch setup across {i users}. Admission control parks up to
+    [accept_queue] connections beyond [max_sessions] and sheds the rest
+    with a wire [busy retry-after] reply ({!Zwire.busy_msg}).
+
+    The sequential loop ({!Argsys.Remote.serve}) and the in-process
+    loopback stay as the transcript-bit-identical reference paths; the
+    farm pumps the same state machines over the same codec, so its
+    per-session byte streams are identical too. *)
+
+type config = {
+  arg_config : Argsys.Argument.config;
+  max_sessions : int;  (** in-flight session cap *)
+  accept_queue : int;
+      (** connections parked (accepted, unread) beyond [max_sessions]
+          before shedding begins *)
+  session_timeout_ms : int;  (** per-session inactivity deadline *)
+  setup_cache_bytes : int;  (** LRU byte bound (--setup-cache-mb at the CLI); 0 disables the cache *)
+  busy_retry_ms : int;  (** retry-after hint carried in the shed reply *)
+}
+
+val default : config
+(** 64 sessions, 128-deep accept queue, 30 s timeout, 64 MiB cache. *)
+
+val approx_qap_bytes : Qapb.t -> int
+(** The resident-size estimate steering LRU eviction. *)
+
+val serve :
+  ?config:config ->
+  lookup:(string -> Argsys.Argument.computation option) ->
+  ?seed:string ->
+  ?max_conns:int ->
+  ?stop:(unit -> bool) ->
+  ?metrics_listen:string ->
+  ?log:(string -> unit) ->
+  string ->
+  unit
+(** Bind ["HOST:PORT"] (port 0 picks an ephemeral port), log
+    ["listening on HOST:PORT"], and run the event loop until [stop]
+    returns true or — when [max_conns] is given — that many sessions have
+    closed and none remain in flight (the CLI maps [--once] to
+    [max_conns:1]). A fresh per-session PRG derives from [seed]; session
+    errors are logged and accounted, never fatal to the loop.
+    [metrics_listen] starts the Prometheus/JSON endpoint
+    ({!Argsys.Remote.start_metrics}) alongside. *)

@@ -1,0 +1,23 @@
+(** Byte-bounded LRU for per-digest setup artifacts (DESIGN.md §14).
+
+    Same-digest sessions share one prewarmed QAP — the cross-connection
+    counterpart of the paper's within-batch setup amortization. Generic
+    over the value so the LRU/eviction policy is unit-testable; the farm
+    instantiates it at [Qapb.t]. Mutex-protected: builds run under the
+    lock, so a cold-cache race builds once and the loser hits. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; bytes : int }
+
+val create : bound_bytes:int -> 'a t
+(** An entry whose estimated size exceeds [bound_bytes] is served but not
+    retained. *)
+
+val find : 'a t -> string -> (unit -> 'a * int) -> 'a * [ `Hit | `Miss ]
+(** [find t key build] returns the cached value, or calls [build] (which
+    also estimates the entry's resident bytes), inserts, and evicts
+    least-recently-used entries until the byte bound holds again. *)
+
+val stats : 'a t -> stats
+val mem : 'a t -> string -> bool

@@ -37,6 +37,14 @@ let failed = ref 0
 let completed = ref 0
 let decode_errors = ref 0
 let timeouts = ref 0
+
+(* Farm-layer accounting: connections shed by admission control (distinct
+   from decode errors — the peer did nothing wrong, the server was full),
+   setup-cache traffic, and the current accept-queue depth gauge. *)
+let shed = ref 0
+let cache_hits = ref 0
+let cache_misses = ref 0
+let queue_depth = ref 0
 let active : conn list ref = ref []
 let recent : conn list ref = ref [] (* finished connections, newest first *)
 let recent_cap = 64
@@ -53,6 +61,10 @@ let reset () =
       completed := 0;
       decode_errors := 0;
       timeouts := 0;
+      shed := 0;
+      cache_hits := 0;
+      cache_misses := 0;
+      queue_depth := 0;
       active := [];
       recent := [])
 
@@ -109,6 +121,10 @@ let record_phase_time c ~phase s =
 
 let record_decode_error () = locked (fun () -> incr decode_errors)
 let record_timeout () = locked (fun () -> incr timeouts)
+let record_shed () = locked (fun () -> incr shed)
+let record_cache_hit () = locked (fun () -> incr cache_hits)
+let record_cache_miss () = locked (fun () -> incr cache_misses)
+let set_queue_depth n = locked (fun () -> queue_depth := n)
 
 let end_conn c outcome =
   locked (fun () ->
@@ -128,6 +144,25 @@ let end_conn c outcome =
 
 let duration_s c =
   match c.finished with Some t -> t -. c.started | None -> Unix.gettimeofday () -. c.started
+
+(* Session-latency percentiles over the completed-connection ring: the
+   always-on counterpart of the (tracing-gated) wire latency histograms.
+   Nearest-rank on up to [recent_cap] samples. *)
+let latency_ms_unlocked () =
+  let ds =
+    List.filter_map (fun c -> Option.map (fun t -> (t -. c.started) *. 1000.0) c.finished)
+      !recent
+    |> Array.of_list
+  in
+  Array.sort compare ds;
+  let pct q =
+    let n = Array.length ds in
+    if n = 0 then 0.0
+    else ds.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  (pct 0.50, pct 0.95, pct 0.99)
+
+let latency_ms () = locked latency_ms_unlocked
 
 (* ------------------------------------------------------------------ *)
 (* Renderers                                                           *)
@@ -152,6 +187,20 @@ let prometheus () =
       int_metric b ~name:"zaatar_server_decode_errors_total" !decode_errors;
       typ b "zaatar_server_timeouts_total" "counter";
       int_metric b ~name:"zaatar_server_timeouts_total" !timeouts;
+      typ b "zaatar_server_connections_shed_total" "counter";
+      int_metric b ~name:"zaatar_server_connections_shed_total" !shed;
+      typ b "zaatar_server_setup_cache_hits_total" "counter";
+      int_metric b ~name:"zaatar_server_setup_cache_hits_total" !cache_hits;
+      typ b "zaatar_server_setup_cache_misses_total" "counter";
+      int_metric b ~name:"zaatar_server_setup_cache_misses_total" !cache_misses;
+      typ b "zaatar_server_queue_depth" "gauge";
+      int_metric b ~name:"zaatar_server_queue_depth" !queue_depth;
+      let p50, p95, p99 = latency_ms_unlocked () in
+      typ b "zaatar_server_session_latency_ms" "gauge";
+      List.iter
+        (fun (q, v) ->
+          float_metric b ~labels:[ ("quantile", q) ] ~name:"zaatar_server_session_latency_ms" v)
+        [ ("0.5", p50); ("0.95", p95); ("0.99", p99) ];
       let conns = !active @ !recent in
       if conns <> [] then begin
         List.iter
@@ -225,6 +274,13 @@ let json () =
                 ("failed", Num (float_of_int !failed));
                 ("decode_errors", Num (float_of_int !decode_errors));
                 ("timeouts", Num (float_of_int !timeouts));
+                ("shed", Num (float_of_int !shed));
+                ("cache_hits", Num (float_of_int !cache_hits));
+                ("cache_misses", Num (float_of_int !cache_misses));
+                ("queue_depth", Num (float_of_int !queue_depth));
+                ( "latency_ms",
+                  let p50, p95, p99 = latency_ms_unlocked () in
+                  Obj [ ("p50", Num p50); ("p95", Num p95); ("p99", Num p99) ] );
               ] );
           ("connections", Arr (List.map conn_json (!active @ !recent)));
         ])
@@ -233,3 +289,6 @@ let json () =
 let totals () =
   locked (fun () ->
       (!accepted, List.length !active, !completed, !failed, !decode_errors, !timeouts))
+
+(* Farm-layer snapshot: shed count, cache hits/misses, queue depth. *)
+let farm_totals () = locked (fun () -> (!shed, !cache_hits, !cache_misses, !queue_depth))

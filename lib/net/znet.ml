@@ -180,6 +180,106 @@ let recv ?(max_frame = 1 lsl 30) conn =
 (* Servers                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Nonblocking additions (the farm's event loop)                       *)
+(* ------------------------------------------------------------------ *)
+
+let fd conn = conn.fd
+let set_nonblocking conn = Unix.set_nonblock conn.fd
+
+let frame payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_uint8 b 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (len land 0xff);
+  Bytes.blit payload 0 b 4 len;
+  b
+
+let write_some conn buf ~off =
+  let len = Bytes.length buf - off in
+  if len <= 0 then 0
+  else
+    match Unix.write conn.fd buf off len with
+    | n ->
+      if n > 0 && off + n = Bytes.length buf then Zobs.Counter.incr c_frames_sent;
+      n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> 0
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      fail (Closed (conn.peer ^ " went away mid-write (peer crash?)"))
+
+(* Resumable framed reads: the reader owns the partial-transfer state the
+   blocking [recv] keeps on its stack, so a select loop can feed it
+   whatever bytes the socket has and come back later. *)
+module Frame_reader = struct
+  type t = {
+    max_frame : int;
+    hdr : bytes;
+    mutable hdr_off : int;
+    mutable payload : bytes; (* length 0 until the header is complete *)
+    mutable payload_off : int;
+  }
+
+  let create ?(max_frame = 1 lsl 30) () =
+    { max_frame; hdr = Bytes.create 4; hdr_off = 0; payload = Bytes.empty; payload_off = 0 }
+
+  let reset t =
+    t.hdr_off <- 0;
+    t.payload <- Bytes.empty;
+    t.payload_off <- 0
+
+  (* Read what the socket has; [`Frame p] resets the state for the next
+     frame. EOF at a frame boundary is [`Eof]; EOF mid-frame raises
+     [Closed] like the blocking reader. *)
+  let step t conn =
+    let read_into buf off len =
+      match Unix.read conn.fd buf off len with
+      | 0 ->
+        if t.hdr_off = 0 && Bytes.length t.payload = 0 then `Eof
+        else fail (Closed (conn.peer ^ " went away mid-frame (peer crash?)"))
+      | n -> `Read n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        `Again
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        fail (Closed (conn.peer ^ " reset the connection"))
+    in
+    let rec go () =
+      if t.hdr_off < 4 then
+        match read_into t.hdr t.hdr_off (4 - t.hdr_off) with
+        | `Eof -> `Eof
+        | `Again -> `Awaiting
+        | `Read n ->
+          t.hdr_off <- t.hdr_off + n;
+          if t.hdr_off = 4 then begin
+            let len =
+              (Bytes.get_uint8 t.hdr 0 lsl 24)
+              lor (Bytes.get_uint8 t.hdr 1 lsl 16)
+              lor (Bytes.get_uint8 t.hdr 2 lsl 8)
+              lor Bytes.get_uint8 t.hdr 3
+            in
+            if len > t.max_frame then fail (Frame_too_large len);
+            t.payload <- Bytes.create len;
+            t.payload_off <- 0
+          end;
+          go ()
+      else if t.payload_off < Bytes.length t.payload then
+        match read_into t.payload t.payload_off (Bytes.length t.payload - t.payload_off) with
+        | `Eof -> `Eof (* unreachable: read_into raises mid-frame *)
+        | `Again -> `Awaiting
+        | `Read n ->
+          t.payload_off <- t.payload_off + n;
+          go ()
+      else begin
+        let p = t.payload in
+        reset t;
+        Zobs.Counter.incr c_frames_recv;
+        `Frame p
+      end
+    in
+    go ()
+end
+
 type server = { sfd : Unix.file_descr; addr : string }
 
 let listen ?(backlog = 16) addr =
@@ -203,5 +303,16 @@ let accept s =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
+
+let server_fd s = s.sfd
+let set_server_nonblocking s = Unix.set_nonblock s.sfd
+
+let accept_nonblock s =
+  match Unix.accept s.sfd with
+  | fd, peer -> Some { fd; peer = string_of_sockaddr peer }
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+    None
 
 let close_server s = try Unix.close s.sfd with Unix.Unix_error _ -> ()

@@ -65,6 +65,46 @@ val recv : ?max_frame:int -> conn -> bytes
 
 val close : conn -> unit
 
+(** {1 Nonblocking mode}
+
+    The farm's event loop multiplexes many connections over [select];
+    these helpers expose the raw descriptor, a partial-write primitive and
+    a resumable frame reader. The blocking {!send}/{!recv} API above stays
+    the client-side contract. *)
+
+val fd : conn -> Unix.file_descr
+(** The raw descriptor, for [select] sets. *)
+
+val set_nonblocking : conn -> unit
+(** Switch the socket to nonblocking mode ([O_NONBLOCK]); after this,
+    use {!write_some} and {!Frame_reader} rather than {!send}/{!recv}. *)
+
+val frame : bytes -> bytes
+(** Prepend the u32-BE length header: the on-wire bytes of one frame,
+    ready for {!write_some}. *)
+
+val write_some : conn -> bytes -> off:int -> int
+(** Write as much of [buf] from [off] as the socket accepts; returns the
+    byte count (0 when the socket is full — try again on writability).
+    Raises [Net_error (Closed _)] if the peer went away. *)
+
+(** Incremental framed reads for nonblocking sockets: the reader holds the
+    partial-transfer state the blocking {!recv} keeps on its stack. *)
+module Frame_reader : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  (** Fresh reader (default [max_frame] 1 GiB, as {!recv}). *)
+
+  val step : t -> conn -> [ `Frame of bytes | `Awaiting | `Eof ]
+  (** Consume whatever bytes the socket has: [`Frame p] when a full frame
+      completed (the reader resets for the next one), [`Awaiting] when the
+      socket drained mid-frame (call again on readability), [`Eof] on an
+      orderly close at a frame boundary. Raises [Net_error (Closed _)] on
+      EOF mid-frame and [Net_error (Frame_too_large _)] on an oversized
+      length prefix. *)
+end
+
 (** {1 Servers} *)
 
 type server
@@ -77,4 +117,15 @@ val bound_addr : server -> string
 (** The actual ["HOST:PORT"] after binding. *)
 
 val accept : server -> conn
+
+val server_fd : server -> Unix.file_descr
+(** The listening descriptor, for [select] sets. *)
+
+val set_server_nonblocking : server -> unit
+
+val accept_nonblock : server -> conn option
+(** One nonblocking accept: [None] when no connection is pending
+    (EAGAIN/EWOULDBLOCK/ECONNABORTED), the accepted connection otherwise.
+    Requires {!set_server_nonblocking}. *)
+
 val close_server : server -> unit

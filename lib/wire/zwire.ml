@@ -456,6 +456,28 @@ let decode ?codec (buf : bytes) =
   m
 
 (* ------------------------------------------------------------------ *)
+(* Busy / retry-after convention                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Load shedding rides on Error_msg rather than a new tag: version-2 peers
+   already decode it, and bumping the protocol version would change every
+   frame's version byte and break the digest-pinned transcripts. The
+   payload is machine-parsable by prefix. *)
+
+let busy_prefix = "busy retry-after-ms="
+
+let busy_msg ~retry_after_ms =
+  Error_msg (Printf.sprintf "%s%d" busy_prefix (max 0 retry_after_ms))
+
+let retry_after_of_error s =
+  let k = String.length busy_prefix in
+  if String.length s > k && String.sub s 0 k = busy_prefix then
+    int_of_string_opt (String.sub s k (String.length s - k))
+  else None
+
+let is_busy = function Error_msg s -> retry_after_of_error s <> None | _ -> false
+
+(* ------------------------------------------------------------------ *)
 (* Structural equality (tests)                                         *)
 (* ------------------------------------------------------------------ *)
 

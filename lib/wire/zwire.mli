@@ -131,3 +131,21 @@ val decode : ?codec:codec -> bytes -> msg
 
 val msg_equal : msg -> msg -> bool
 (** Structural message equality (round-trip tests). *)
+
+(** {1 Busy / retry-after}
+
+    Load shedding uses a machine-parsable [Error_msg] payload
+    (["busy retry-after-ms=N"]) instead of a new message tag, so
+    version-2 peers decode it unchanged and framed transcripts keep their
+    pinned digests. *)
+
+val busy_msg : retry_after_ms:int -> msg
+(** The shedding reply: an [Error_msg] carrying the retry hint
+    (milliseconds, clamped to >= 0). *)
+
+val retry_after_of_error : string -> int option
+(** Parse an [Error_msg] payload back into the retry-after hint; [None]
+    for ordinary error text. *)
+
+val is_busy : msg -> bool
+(** Is this message a {!busy_msg}? *)

@@ -185,4 +185,64 @@ grep -q '"pid":0' "$tmp/merged.json" || { echo "merged trace missing verifier pi
 grep -q '"pid":1' "$tmp/merged.json" || { echo "merged trace missing prover pid" >&2; exit 1; }
 grep -q '"producer":"zobs-merge"' "$tmp/merged.json" || { echo "merged trace malformed" >&2; exit 1; }
 
+echo "== farm smoke (concurrent prover farm) =="
+# The default serve path is the Zfarm event loop: run 8 concurrent
+# verifier clients against one farm (--max-sessions 4 keeps half of them
+# parked in the accept queue until a slot frees), expect every verdict to
+# pass and the Prometheus endpoint to report at least one setup-cache hit
+# (7 of the 8 same-digest sessions reuse the cached QAP). The clients
+# invoke the built binary directly so they don't contend on the dune lock.
+dune build bin/zaatar_cli.exe
+zcli="_build/default/bin/zaatar_cli.exe"
+: > "$tmp/farm.log"
+"$zcli" serve examples/payroll.zl --listen 127.0.0.1:0 --max-sessions 4 \
+  --metrics-listen 127.0.0.1:0 > "$tmp/farm.log" 2>&1 &
+farm_pid=$!
+faddr=""
+for _ in $(seq 1 100); do
+  faddr="$(sed -n 's/^listening on //p' "$tmp/farm.log")"
+  [ -n "$faddr" ] && break
+  kill -0 "$farm_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$faddr" ]; then
+  echo "farm never reported its address; server log:" >&2
+  cat "$tmp/farm.log" >&2
+  kill "$farm_pid" 2>/dev/null || true
+  exit 1
+fi
+fmaddr="$(sed -n 's/^metrics on //p' "$tmp/farm.log")"
+[ -n "$fmaddr" ] || { echo "farm never reported its metrics address" >&2; cat "$tmp/farm.log" >&2; exit 1; }
+client_pids=""
+for i in $(seq 1 8); do
+  "$zcli" run examples/payroll.zl -i 38,45,40,52,31 --connect "$faddr" \
+    > "$tmp/farm_client_$i.out" 2>&1 &
+  client_pids="$client_pids $!"
+done
+client_rc=0
+for pid in $client_pids; do
+  wait "$pid" || client_rc=$?
+done
+for i in $(seq 1 8); do
+  grep -q "verified" "$tmp/farm_client_$i.out" || {
+    echo "farm client $i did not verify:" >&2
+    cat "$tmp/farm_client_$i.out" >&2
+    echo "server log:" >&2; cat "$tmp/farm.log" >&2
+    kill "$farm_pid" 2>/dev/null || true
+    exit 1
+  }
+done
+[ "$client_rc" -eq 0 ] || { echo "a farm client exited non-zero" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+"$zcli" stats "$fmaddr" --raw | tee "$tmp/farm_stats.out"
+hits="$(awk '/^zaatar_server_setup_cache_hits_total/ {print $2}' "$tmp/farm_stats.out")"
+[ -n "$hits" ] || { echo "setup cache hit counter missing from Prometheus exposition" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+[ "$hits" -ge 1 ] || { echo "farm served 8 same-digest sessions with zero cache hits" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+completed="$(grep -c "session complete" "$tmp/farm.log" || true)"
+[ "$completed" -eq 8 ] || { echo "farm completed $completed/8 sessions" >&2; cat "$tmp/farm.log" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+kill "$farm_pid"
+farm_rc=0
+wait "$farm_pid" 2>/dev/null || farm_rc=$?
+# 143 = SIGTERM: the farm runs until told to stop.
+[ "$farm_rc" -eq 143 ] || [ "$farm_rc" -eq 0 ] || { echo "farm exited $farm_rc on shutdown" >&2; cat "$tmp/farm.log" >&2; exit 1; }
+
 echo "== ci OK =="
