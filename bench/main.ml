@@ -1553,6 +1553,173 @@ let run_farm cfg =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* Zscope overhead: flight recorder + sampling profiler cost           *)
+(* ------------------------------------------------------------------ *)
+
+(* Filled by run_obs_overhead and folded into BENCH_run.json under
+   "obs_overhead". Two farm arms serve the same replayed client fleet:
+   one with the Zscope instrumentation on (per-session flight recorder at
+   its default capacity plus the sampling profiler at its default rate),
+   one with both disabled (--flight-cap 0 --profile-hz 0). The acceptance
+   band holds the on-arm to within 3% of the off-arm's sessions/sec
+   (DESIGN.md §15's overhead budget); --baseline enforces it. *)
+let obs_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let obs_overhead_band = 1.03
+
+let run_obs_overhead cfg =
+  banner "Zscope overhead: farm sessions/sec, flight recorder + sampler on vs off";
+  let ctx = ctx_of cfg in
+  let compiled =
+    Zlang.Compile.compile ~ctx
+      "computation sq3(input int32 x, input int32 w, output int32 y) { y = x*x + w*w + 3; }"
+  in
+  let comp = Apps.Glue.computation_of compiled in
+  let config =
+    {
+      Argsys.Argument.params = protocol cfg;
+      p_bits = cfg.p_bits;
+      strategy = Argsys.Argument.Honest;
+      domains = cfg.domains;
+      qap_backend = cfg.qap_backend;
+    }
+  in
+  let lookup =
+    let d = Argsys.Argument.digest comp in
+    fun d' -> if String.equal d' d then Some comp else None
+  in
+  let clients = 8 in
+  let rounds = if cfg.quick then 2 else 3 in
+  let inputs = [| Apps.Glue.field_inputs ctx [| 7; 11 |] |] in
+  let transcript =
+    let srv = Znet.listen "127.0.0.1:0" in
+    let addr = Znet.bound_addr srv in
+    let server =
+      Domain.spawn (fun () ->
+          let c = Znet.accept srv in
+          (try
+             Argsys.Remote.handle_conn ~config ~lookup
+               ~prg:(Chacha.Prg.create ~seed:"bench obs record prover" ())
+               c
+           with _ -> ());
+          try Znet.close c with _ -> ())
+    in
+    let t =
+      record_session ~config comp
+        ~prg:(Chacha.Prg.create ~seed:"bench obs verifier" ())
+        ~inputs addr
+    in
+    Domain.join server;
+    Znet.close_server srv;
+    t
+  in
+  (* No think time: the comparison is server-bound on purpose, so any
+     recorder/sampler cost lands squarely in the measured wall. One arm
+     run = [clients] replayed sessions; best-of-[rounds] walls filter
+     scheduler noise. *)
+  let run_clients addr =
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      Array.init clients (fun _ ->
+          Domain.spawn (fun () -> replay_session ~think_s:0.0 ~addr transcript))
+    in
+    let ok = Array.for_all (fun d -> Domain.join d) doms in
+    (Unix.gettimeofday () -. t0, ok)
+  in
+  let arm ~flight_cap ~profile_hz =
+    let best = ref infinity and all_ok = ref true in
+    for _ = 1 to rounds do
+      Znet.Svcstats.reset ();
+      let fc =
+        {
+          Zfarm.Farm.default with
+          arg_config = config;
+          max_sessions = clients + 2;
+          flight_cap;
+          profile_hz;
+        }
+      in
+      let mu = Mutex.create () in
+      let lines = ref [] in
+      let log s =
+        Mutex.lock mu;
+        lines := s :: !lines;
+        Mutex.unlock mu
+      in
+      let server =
+        Domain.spawn (fun () ->
+            Zfarm.Farm.serve ~config:fc ~lookup ~max_conns:clients ~log "127.0.0.1:0")
+      in
+      let addr =
+        let prefix = "listening on " in
+        let k = String.length prefix in
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec poll () =
+          let hit =
+            Mutex.lock mu;
+            let r =
+              List.find_map
+                (fun l ->
+                  if String.length l > k && String.sub l 0 k = prefix then
+                    Some (String.sub l k (String.length l - k))
+                  else None)
+                !lines
+            in
+            Mutex.unlock mu;
+            r
+          in
+          match hit with
+          | Some a -> a
+          | None ->
+            if Unix.gettimeofday () > deadline then failwith "obs-overhead: serve never bound";
+            Unix.sleepf 0.005;
+            poll ()
+        in
+        poll ()
+      in
+      let wall, ok = run_clients addr in
+      Domain.join server;
+      all_ok := !all_ok && ok;
+      if wall < !best then best := wall
+    done;
+    (!best, !all_ok)
+  in
+  let on_wall, on_ok =
+    arm ~flight_cap:Zfarm.Farm.default.Zfarm.Farm.flight_cap
+      ~profile_hz:Zfarm.Farm.default.Zfarm.Farm.profile_hz
+  in
+  let off_wall, off_ok = arm ~flight_cap:0 ~profile_hz:0 in
+  let per_s w = float_of_int clients /. w in
+  (* >1 means the instrumented arm was slower; <1 is measurement noise in
+     the on-arm's favor. *)
+  let ratio = on_wall /. off_wall in
+  Printf.printf "%-36s %10s %14s\n" "farm arm" "wall s" "sessions/s";
+  Printf.printf "%-36s %10.3f %14.2f\n" "recorder + sampler on (defaults)" on_wall (per_s on_wall);
+  Printf.printf "%-36s %10.3f %14.2f\n\n" "recorder + sampler off" off_wall (per_s off_wall);
+  Printf.printf "overhead: %.2f%% (band: <= %.0f%%; best of %d round(s) per arm)\n%!"
+    ((ratio -. 1.0) *. 100.0)
+    ((obs_overhead_band -. 1.0) *. 100.0)
+    rounds;
+  if not (on_ok && off_ok) then begin
+    Printf.eprintf "obs-overhead: a replayed session saw a reply that differs from the record\n";
+    exit 1
+  end;
+  let num n = Zobs.Json.Num (float_of_int n) and fnum x = Zobs.Json.Num x in
+  obs_section :=
+    Zobs.Json.Obj
+      [
+        ("clients", num clients);
+        ("rounds", num rounds);
+        ("on_wall_s", fnum on_wall);
+        ("off_wall_s", fnum off_wall);
+        ("on_sessions_per_s", fnum (per_s on_wall));
+        ("off_sessions_per_s", fnum (per_s off_wall));
+        ("overhead_ratio", fnum ratio);
+        ("band", fnum obs_overhead_band);
+        ("transcripts_identical", Zobs.Json.Bool (on_ok && off_ok));
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Lint: Zlint analyzer timing and finding counts over the suite       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1951,6 +2118,23 @@ let baseline_diff ~drift path cfg =
       if d > drift || d < 1.0 /. drift || Float.is_nan d then
         err "farm.speedup: %.2fx vs. baseline %.2fx drifts beyond %gx" c b drift
     | _ -> err "farm.speedup missing"));
+  (* Zscope overhead: an absolute band, not a drift band — the recorder
+     and sampler must cost at most (band-1) of the uninstrumented farm's
+     sessions/sec on every gated run. *)
+  (match (Zobs.Json.member "obs_overhead" base, !obs_section) with
+  | None, Zobs.Json.Null ->
+    err "neither run has an obs_overhead section (run the obs-overhead experiment)"
+  | None, _ -> err "%s has no obs_overhead section — refresh the baseline" path
+  | Some _, Zobs.Json.Null ->
+    err "this run has no obs_overhead section (obs-overhead experiment did not run)"
+  | Some _, cf -> (
+    match jnum cf "overhead_ratio" with
+    | Some r ->
+      if r > obs_overhead_band || Float.is_nan r then
+        err "obs_overhead: recorder+sampler cost %.1f%% of sessions/sec (band %.0f%%)"
+          ((r -. 1.0) *. 100.0)
+          ((obs_overhead_band -. 1.0) *. 100.0)
+    | None -> err "obs_overhead.overhead_ratio missing"));
   (* Model: wall-clock, so each phase's measured/predicted delta may move,
      but only within [1/drift, drift] of the committed delta. *)
   (match Zobs.Json.member "model" base with
@@ -2082,7 +2266,7 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|farm|lint|alloc|profile]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|farm|obs-overhead|lint|alloc|profile]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--qap-backend auto|ntt|lagrange]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
@@ -2094,8 +2278,8 @@ let usage () =
    measured constants). *)
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
-    "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "farm"; "lint"; "alloc";
-    "profile" ]
+    "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "farm"; "obs-overhead";
+    "lint"; "alloc"; "profile" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -2159,6 +2343,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   in
   let network = match !wire_section with Null -> [] | m -> [ ("network", m) ] in
   let farm = match !farm_section with Null -> [] | m -> [ ("farm", m) ] in
+  let obs = match !obs_section with Null -> [] | m -> [ ("obs_overhead", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
   let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
   let alloc = match !alloc_section with Null -> [] | m -> [ ("alloc", m) ] in
@@ -2170,7 +2355,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ ntt_vs_lagrange @ network @ farm @ model @ lint @ alloc @ profile @ ledger
+    @ multiexp @ ntt_vs_lagrange @ network @ farm @ obs @ model @ lint @ alloc @ profile @ ledger
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -2384,6 +2569,7 @@ let () =
       (if !check || !baseline <> None then [ "model" ] else [])
       @ (if !baseline <> None then [ "wire" ] else [])
       @ (if !baseline <> None then [ "farm" ] else [])
+      @ (if !baseline <> None then [ "obs-overhead" ] else [])
       @ (if !baseline <> None then [ "lint" ] else [])
       @ (if !check_ledger_flag || !baseline <> None then [ "profile" ] else [])
       @ if !check_ledger_flag then [ "alloc" ] else []
@@ -2415,6 +2601,7 @@ let () =
     | "multiexp" -> run_multiexp cfg
     | "wire" -> run_wire cfg
     | "farm" -> run_farm cfg
+    | "obs-overhead" -> run_obs_overhead cfg
     | "lint" -> run_lint cfg
     | "alloc" -> run_alloc cfg
     | "profile" -> run_profile cfg

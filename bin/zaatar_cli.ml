@@ -368,7 +368,20 @@ let print_audit rows =
     rows
 
 let profile_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.zl") in
+  let file =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE.zl" ~doc:"Program to prove and audit (omit with --live).")
+  in
+  let live =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "live" ] ~docv:"HOST:PORT"
+          ~doc:"Scrape a running prover's sampling profiler instead of proving locally: \
+                fetch /profile from a `zaatar serve --metrics-listen` endpoint and print \
+                the folded stacks (--folded writes them to a file instead).")
+  in
   let inputs =
     Arg.(
       value & opt_all string []
@@ -390,7 +403,34 @@ let profile_cmd =
           ~doc:"Also write folded stacks (semicolon-joined span path + exclusive \
                 microseconds per line), the input format of Brendan Gregg's flamegraph.pl.")
   in
-  let run file bits inputs batch folded config obs =
+  let run_live addr folded =
+    match Znet.Metrics_http.get addr "/profile" with
+    | exception Failure m ->
+      Printf.eprintf "profile: %s\n" m;
+      1
+    | code, _ when code <> 200 ->
+      Printf.eprintf "profile: %s answered HTTP %d\n" addr code;
+      1
+    | _, body -> (
+      match folded with
+      | None ->
+        print_string body;
+        if body = "" then print_endline "(no samples yet)";
+        0
+      | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "wrote %s (folded stacks; flamegraph.pl %s > flame.svg)\n" path path;
+        0)
+  in
+  let run file bits inputs batch folded live config obs =
+    match (live, file) with
+    | Some addr, _ -> exit (run_live addr folded)
+    | None, None ->
+      Printf.eprintf "profile: FILE.zl or --live HOST:PORT required\n";
+      exit 1
+    | None, Some file ->
     with_obs ~process:"profile" obs @@ fun () ->
     Zobs.enable ();
     let ctx = Fp.create (field_for_config bits config) in
@@ -461,9 +501,11 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Prove a batch with the op ledger on and audit per-phase op counts against the \
-             Figure-3 cost model (exit 1 if any gated row leaves its band)")
+             Figure-3 cost model (exit 1 if any gated row leaves its band), or scrape a \
+             live prover's sampling profiler with --live")
     Term.(
-      const run $ file $ field_bits_arg $ inputs $ batch $ folded $ protocol_args $ obs_args)
+      const run $ file $ field_bits_arg $ inputs $ batch $ folded $ live $ protocol_args
+      $ obs_args)
 
 let serve_cmd =
   let files =
@@ -493,9 +535,10 @@ let serve_cmd =
       value
       & opt (some dir) None
       & info [ "trace-dir" ] ~docv:"DIR"
-          ~doc:"With tracing enabled (--trace/--metrics/ZAATAR_TRACE), write one Chrome-trace \
-                sidecar per connection (prover_connN.json), mergeable with `zaatar \
-                trace-merge`.")
+          ~doc:"Write one Chrome-trace sidecar per connection (prover_connN.json), mergeable \
+                with `zaatar trace-merge`. The farm's flight recorder feeds these (plus \
+                forensic_connN.jsonl bundles on error/slow sessions); the --sequential loop \
+                needs tracing enabled (--trace/--metrics/ZAATAR_TRACE).")
   in
   let log_json =
     Arg.(
@@ -541,10 +584,44 @@ let serve_cmd =
       value & flag
       & info [ "sequential" ]
           ~doc:"Use the one-connection-at-a-time reference loop instead of the concurrent \
-                farm (implied by --trace-dir, whose per-connection sidecars need it).")
+                farm.")
+  in
+  let slow_session_ms =
+    Arg.(
+      value
+      & opt int Zfarm.Farm.default.Zfarm.Farm.slow_session_ms
+      & info [ "slow-session-ms" ] ~docv:"MS"
+          ~doc:"Farm sessions lasting at least this long dump a JSONL forensic bundle to \
+                --trace-dir (0, the default, disables the slow-session trigger; errored \
+                sessions always dump).")
+  in
+  let recent_cap =
+    Arg.(
+      value
+      & opt pos_int_conv Znet.Svcstats.default_recent_cap
+      & info [ "recent-cap" ] ~docv:"N"
+          ~doc:"Completed connections kept in the stats ring backing /json and the \
+                session-latency percentiles.")
+  in
+  let flight_cap =
+    Arg.(
+      value
+      & opt int Zfarm.Farm.default.Zfarm.Farm.flight_cap
+      & info [ "flight-cap" ] ~docv:"N"
+          ~doc:"Per-session flight-recorder ring capacity, in events (0 disables the \
+                recorder).")
+  in
+  let profile_hz =
+    Arg.(
+      value
+      & opt int Zfarm.Farm.default.Zfarm.Farm.profile_hz
+      & info [ "profile-hz" ] ~docv:"HZ"
+          ~doc:"Sampling wall-clock profiler tick rate backing /profile and `zaatar profile \
+                --live` (0 disables the sampler).")
   in
   let run files listen once metrics_listen trace_dir log_json max_sessions accept_queue
-      session_timeout_ms setup_cache_mb sequential timeout_ms bits config obs =
+      session_timeout_ms setup_cache_mb sequential slow_session_ms recent_cap flight_cap
+      profile_hz timeout_ms bits config obs =
     with_obs ~process:"prover" obs @@ fun () ->
     (match log_json with
     | Some "stderr" -> Zobs.Log.set_sink (`Channel stderr)
@@ -562,7 +639,8 @@ let serve_cmd =
         Hashtbl.replace table d comp)
       files;
     let log s = Printf.printf "%s\n%!" s in
-    if sequential || trace_dir <> None then
+    Znet.Svcstats.set_recent_cap recent_cap;
+    if sequential then
       Argsys.Remote.serve ~config ~lookup:(Hashtbl.find_opt table) ~once ~timeout_ms
         ?metrics_listen ?trace_dir ~log listen
     else begin
@@ -574,6 +652,10 @@ let serve_cmd =
           session_timeout_ms;
           setup_cache_bytes = setup_cache_mb * 1024 * 1024;
           busy_retry_ms = Zfarm.Farm.default.Zfarm.Farm.busy_retry_ms;
+          trace_dir;
+          slow_session_ms;
+          flight_cap;
+          profile_hz;
         }
       in
       Zfarm.Farm.serve ~config:fconfig ~lookup:(Hashtbl.find_opt table)
@@ -588,8 +670,16 @@ let serve_cmd =
              batches on demand (see --sequential for the reference loop)")
     Term.(
       const run $ files $ listen $ once $ metrics_listen $ trace_dir $ log_json $ max_sessions
-      $ accept_queue $ session_timeout_ms $ setup_cache_mb $ sequential $ timeout_arg
-      $ field_bits_arg $ protocol_args $ obs_args)
+      $ accept_queue $ session_timeout_ms $ setup_cache_mb $ sequential $ slow_session_ms
+      $ recent_cap $ flight_cap $ profile_hz $ timeout_arg $ field_bits_arg $ protocol_args
+      $ obs_args)
+
+(* JSON field accessors shared by `zaatar stats` and `zaatar top`. *)
+let jnum j k =
+  match Option.bind (Zobs.Json.member k j) Zobs.Json.to_num with Some v -> v | None -> 0.0
+
+let jstr j k =
+  match Option.bind (Zobs.Json.member k j) Zobs.Json.to_str with Some s -> s | None -> ""
 
 let stats_cmd =
   let addr =
@@ -600,14 +690,6 @@ let stats_cmd =
   in
   let raw =
     Arg.(value & flag & info [ "raw" ] ~doc:"Dump the raw Prometheus text exposition (/metrics).")
-  in
-  let jnum j k = match Option.bind (Zobs.Json.member k j) Zobs.Json.to_num with
-    | Some v -> v
-    | None -> 0.0
-  in
-  let jstr j k = match Option.bind (Zobs.Json.member k j) Zobs.Json.to_str with
-    | Some s -> s
-    | None -> ""
   in
   let run addr raw =
     exit
@@ -659,6 +741,100 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc:"Scrape and pretty-print a prover's live metrics endpoint")
     Term.(const run $ addr $ raw)
+
+let top_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some addr_conv) None
+      & info [] ~docv:"HOST:PORT" ~doc:"A `zaatar serve --metrics-listen` endpoint.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Render a single frame and exit (scripting/CI; no screen clear).")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt pos_int_conv 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh period between frames.")
+  in
+  (* One frame of the live view: farm gauges, latency percentiles, loop
+     health, then a per-session table (active first — the /json connection
+     list is active @ recent). *)
+  let render addr j =
+    let server = Option.value (Zobs.Json.member "server" j) ~default:(Zobs.Json.Obj []) in
+    let loop = Option.value (Zobs.Json.member "loop" j) ~default:(Zobs.Json.Obj []) in
+    let accepted = jnum server "accepted" in
+    let shed = jnum server "shed" in
+    let hits = jnum server "cache_hits" and misses = jnum server "cache_misses" in
+    let rate a b = if a +. b > 0.0 then 100.0 *. a /. (a +. b) else 0.0 in
+    Printf.printf "zaatar top — %s\n" addr;
+    Printf.printf
+      "sessions: %.0f active  %.0f queued  %.0f done  %.0f failed  %.0f timeout  %.0f shed \
+       (%.1f%%)\n"
+      (jnum server "active") (jnum server "queue_depth") (jnum server "completed")
+      (jnum server "failed") (jnum server "timeouts") shed
+      (rate shed accepted);
+    (match Zobs.Json.member "latency_ms" server with
+    | Some lat ->
+      Printf.printf "latency ms: p50 %.1f  p95 %.1f  p99 %.1f" (jnum lat "p50") (jnum lat "p95")
+        (jnum lat "p99")
+    | None -> Printf.printf "latency ms: -");
+    Printf.printf "   cache hit: %.1f%% (%.0f/%.0f)\n" (rate hits misses) hits (hits +. misses);
+    let iter_us = Option.value (Zobs.Json.member "iter_us" loop) ~default:(Zobs.Json.Obj []) in
+    Printf.printf
+      "loop: %.0f iters  util %.1f%%  ready/iter %.2f  iter_us p50 %.0f p95 %.0f p99 %.0f\n"
+      (jnum loop "iterations")
+      (100.0 *. jnum loop "utilization")
+      (jnum loop "ready_avg") (jnum iter_us "p50") (jnum iter_us "p95") (jnum iter_us "p99");
+    let conns =
+      Option.value (Option.bind (Zobs.Json.member "connections" j) Zobs.Json.to_arr) ~default:[]
+    in
+    Printf.printf "\n%4s %-16s %-8s %-7s %8s %10s %10s\n" "id" "digest" "phase" "status"
+      "age s" "sent B" "recv B";
+    List.iter
+      (fun c ->
+        Printf.printf "%4.0f %-16s %-8s %-7s %8.3f %10.0f %10.0f\n" (jnum c "id")
+          (jstr c "digest") (jstr c "phase") (jstr c "status") (jnum c "duration_s")
+          (jnum c "bytes_sent") (jnum c "bytes_recv"))
+      conns;
+    if conns = [] then Printf.printf "(no sessions yet)\n"
+  in
+  let run addr once interval_ms =
+    exit
+    @@
+    let frame () =
+      match Znet.Metrics_http.get addr "/json" with
+      | exception Failure m ->
+        Printf.eprintf "top: %s\n" m;
+        Some 1
+      | code, _ when code <> 200 ->
+        Printf.eprintf "top: %s answered HTTP %d\n" addr code;
+        Some 1
+      | _, body ->
+        render addr (Zobs.Json.parse body);
+        None
+    in
+    if once then match frame () with Some c -> c | None -> 0
+    else begin
+      let rc = ref None in
+      while !rc = None do
+        (* Home + clear-to-end leaves less flicker than a full clear. *)
+        print_string "\027[H\027[J";
+        rc := frame ();
+        flush stdout;
+        if !rc = None then Unix.sleepf (float_of_int interval_ms /. 1000.0)
+      done;
+      Option.value !rc ~default:0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live farm operations view: poll a prover's /json endpoint and render \
+             per-session state, latency percentiles, cache and shed rates, and event-loop \
+             health (--once for a single scriptable frame)")
+    Term.(const run $ addr $ once $ interval_ms)
 
 let trace_merge_cmd =
   let files =
@@ -770,6 +946,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; lint_cmd; run_cmd; profile_cmd; serve_cmd; stats_cmd; trace_merge_cmd;
-            bench_cmd; selftest_cmd; check_cmd; micro_cmd;
+            compile_cmd; lint_cmd; run_cmd; profile_cmd; serve_cmd; stats_cmd; top_cmd;
+            trace_merge_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd;
           ]))

@@ -136,12 +136,20 @@ let handle_conn ?(config = default_config) ?stats ~lookup ~(prg : Chacha.Prg.t)
 let metrics_render () = Zobs.Prometheus.render ~extra:(Znet.Svcstats.prometheus ()) ()
 let metrics_json () = Zobs.Json.to_string (Znet.Svcstats.json ())
 
-(* Routes: /metrics (Prometheus text, also served at /) and /json. *)
-let start_metrics addr =
-  Znet.Metrics_http.start addr ~render:(fun path ->
+(* Routes: /metrics (Prometheus text, also served at /), /json, /healthz
+   (built into Metrics_http; [ready] gates it — the farm flips it once its
+   accept loop is live), and /profile (folded stacks from the sampling
+   profiler when the server runs one, else the completed-span folding —
+   the latter is only meaningful on the sequential path). *)
+let start_metrics ?ready ?profile addr =
+  let profile_body () =
+    match profile with Some f -> f () | None -> Zobs.Sink.folded_stacks ()
+  in
+  Znet.Metrics_http.start ?healthz:ready addr ~render:(fun path ->
       match path with
       | "/metrics" | "/" -> Some ("text/plain; version=0.0.4", metrics_render ())
       | "/json" -> Some ("application/json", metrics_json ())
+      | "/profile" -> Some ("text/plain", profile_body ())
       | _ -> None)
 
 type log = string -> unit

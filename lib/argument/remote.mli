@@ -59,10 +59,14 @@ val metrics_render : unit -> string
 val metrics_json : unit -> string
 (** JSON snapshot of the server + per-connection Svcstats. *)
 
-val start_metrics : string -> Znet.Metrics_http.t
+val start_metrics :
+  ?ready:(unit -> bool) -> ?profile:(unit -> string) -> string -> Znet.Metrics_http.t
 (** Start the metrics HTTP server on ["HOST:PORT"] (port 0 picks an
     ephemeral port — read it back with {!Znet.Metrics_http.bound_addr}).
-    Serves [/metrics] (Prometheus text, also at [/]) and [/json]. *)
+    Serves [/metrics] (Prometheus text, also at [/]), [/json], [/healthz]
+    (readiness: 200 ["ok"] while [ready] — default always — holds, 503
+    otherwise) and [/profile] (folded stacks: the live sampling profiler's
+    when the server passes [profile], else the completed-span folding). *)
 
 type log = string -> unit
 

@@ -36,6 +36,10 @@ type config = {
   session_timeout_ms : int;
   setup_cache_bytes : int;  (* LRU bound; 0 disables the cache *)
   busy_retry_ms : int;  (* retry-after hint carried in the shed reply *)
+  trace_dir : string option;  (* per-session sidecars + forensic bundles *)
+  slow_session_ms : int;  (* forensic-dump latency threshold; 0 disables *)
+  flight_cap : int;  (* flight-recorder ring entries per session; 0 disables *)
+  profile_hz : int;  (* sampling-profiler tick rate; 0 disables *)
 }
 
 let default =
@@ -46,6 +50,10 @@ let default =
     session_timeout_ms = 30_000;
     setup_cache_bytes = 64 * 1024 * 1024;
     busy_retry_ms = 250;
+    trace_dir = None;
+    slow_session_ms = 0;
+    flight_cap = Zobs.Flight.default_cap;
+    profile_hz = Zobs.Profiler.default_hz;
   }
 
 (* Resident-size estimate for one cached QAP: the NTT backend keeps the
@@ -79,11 +87,19 @@ type session = {
   stats : Znet.Svcstats.conn;
   sid : int;
   outq : (bytes * int ref) Queue.t;  (* framed bytes, write offset *)
+  flight : Zobs.Flight.t option;  (* per-session event ring; None when disabled *)
   mutable digest : string;  (* batching key once the Hello named it *)
+  mutable trace_id : string;  (* the id this session's Hello carried *)
   mutable deadline : float;
   mutable closing : [ `No | `Ok | `Err of string ];
   mutable inbox : bytes list;  (* complete frames awaiting compute, oldest first *)
 }
+
+(* Record into a session's flight ring (a no-op with the recorder off).
+   Safe without a lock: the ring is touched either by the loop or by the
+   one Pool worker computing this session, never both at once. *)
+let frec s ?dur ?detail ?n kind =
+  match s.flight with Some fl -> Zobs.Flight.record fl ?dur ?detail ?n kind | None -> ()
 
 (* What one compute job did to its session; applied back on the loop. *)
 type job_out = {
@@ -98,7 +114,24 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
   let srv = Znet.listen ~backlog:(config.max_sessions + config.accept_queue + 16) addr in
   Znet.set_server_nonblocking srv;
   log (Printf.sprintf "listening on %s" (Znet.bound_addr srv));
-  let metrics = Option.map Remote.start_metrics metrics_listen in
+  (* Readiness for /healthz: flips once the event loop is about to run, so
+     a 200 means the accept loop really is live, not just the socket
+     bound. *)
+  let live = Atomic.make false in
+  (* The always-on sampling profiler: span stacks are maintained in the
+     cheap stacks-only mode whenever the ticker runs (Profiler.start
+     enables it), and /profile serves the folded stacks. *)
+  let profiler =
+    if config.profile_hz > 0 then Some (Zobs.Profiler.make ~hz:config.profile_hz ()) else None
+  in
+  (match profiler with Some p -> Zobs.Profiler.start p | None -> ());
+  let metrics =
+    Option.map
+      (Remote.start_metrics
+         ~ready:(fun () -> Atomic.get live)
+         ?profile:(Option.map (fun p () -> Zobs.Profiler.folded p) profiler))
+      metrics_listen
+  in
   (match metrics with
   | Some m -> log (Printf.sprintf "metrics on %s" (Znet.Metrics_http.bound_addr m))
   | None -> ());
@@ -107,7 +140,9 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
       Some (Setup_cache.create ~bound_bytes:config.setup_cache_bytes)
     else None
   in
-  let setup =
+  (* The per-digest setup hook is built per session so cache outcomes land
+     in that session's flight ring as well as the global Svcstats. *)
+  let setup_for flight =
     Option.map
       (fun cache digest (comp : Argument.computation) ->
         let qap, outcome =
@@ -121,8 +156,12 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
               (q, approx_qap_bytes q))
         in
         (match outcome with
-        | `Hit -> Znet.Svcstats.record_cache_hit ()
-        | `Miss -> Znet.Svcstats.record_cache_miss ());
+        | `Hit ->
+          Znet.Svcstats.record_cache_hit ();
+          Option.iter (fun fl -> Zobs.Flight.record fl ~detail:digest Zobs.Flight.Cache_hit) flight
+        | `Miss ->
+          Znet.Svcstats.record_cache_miss ();
+          Option.iter (fun fl -> Zobs.Flight.record fl ~detail:digest Zobs.Flight.Cache_miss) flight);
         qap)
       cache
   in
@@ -147,12 +186,17 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
     Znet.set_nonblocking conn;
     let stats = Znet.Svcstats.begin_conn ~peer:(Znet.peer conn) in
     Zobs.Counter.incr c_sessions;
+    let flight =
+      if config.flight_cap > 0 then Some (Zobs.Flight.create ~cap:config.flight_cap ())
+      else None
+    in
     let s =
       {
         conn;
         reader = Znet.Frame_reader.create ();
         ps =
-          Argument.Prover_session.create ~config:config.arg_config ?setup ~lookup
+          Argument.Prover_session.create ~config:config.arg_config ?setup:(setup_for flight)
+            ~lookup
             (* A fresh PRG per session: only adversarial strategies draw
                from it, and no session's transcript may depend on its
                predecessors'. *)
@@ -161,16 +205,59 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
         stats;
         sid = stats.Znet.Svcstats.id;
         outq = Queue.create ();
+        flight;
         digest = "";
+        trace_id = "";
         deadline = now () +. timeout_s;
         closing = `No;
         inbox = [];
       }
     in
+    frec s ~detail:(Znet.peer conn) (Zobs.Flight.Mark "accepted");
     Hashtbl.replace sessions (Znet.fd conn) s;
     Zobs.Log.info
       ~fields:[ Zobs.Log.int "conn" s.sid; Zobs.Log.str "peer" (Znet.peer conn) ]
       "connection accepted"
+  in
+  (* Dump the flight ring: always a Chrome-trace sidecar (same
+     prover_connN.json naming as the sequential path, so trace-merge picks
+     it up unchanged), plus the JSONL forensic bundle when the session
+     erred or outran --slow-session-ms. *)
+  let dump_flight s ~duration_ms =
+    match (config.trace_dir, s.flight) with
+    | Some dir, Some fl when Zobs.Flight.count fl > 0 ->
+      let sidecar = Filename.concat dir (Printf.sprintf "prover_conn%d.json" s.sid) in
+      Zobs.Flight.write_sidecar ~pid:1 ~process_name:"prover" ~trace_id:s.trace_id fl sidecar;
+      log (Printf.sprintf "trace written to %s" sidecar);
+      let errored = match s.closing with `Err _ -> true | _ -> false in
+      let slow = config.slow_session_ms > 0 && duration_ms >= float_of_int config.slow_session_ms in
+      if errored || slow then begin
+        let header =
+          let open Zobs.Json in
+          [
+            ("sid", Num (float_of_int s.sid));
+            ("peer", Str (Znet.peer s.conn));
+            ("digest", Str s.digest);
+            ("trace_id", Str s.trace_id);
+            ("outcome", Str (if errored then "error" else "slow"));
+            ("cause", Str (match s.closing with `Err m -> m | _ -> ""));
+            ("duration_ms", Num duration_ms);
+            ("slow_session_ms", Num (float_of_int config.slow_session_ms));
+          ]
+        in
+        let path = Filename.concat dir (Printf.sprintf "forensic_conn%d.jsonl" s.sid) in
+        Zobs.Flight.write_jsonl ~header fl path;
+        Zobs.Log.warn
+          ~fields:
+            [
+              Zobs.Log.int "conn" s.sid;
+              Zobs.Log.str "outcome" (if errored then "error" else "slow");
+              Zobs.Log.str "path" path;
+            ]
+          "forensic bundle written";
+        log (Printf.sprintf "forensic written to %s" path)
+      end
+    | _ -> ()
   in
   let finish s =
     Hashtbl.remove sessions (Znet.fd s.conn);
@@ -191,8 +278,12 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
       Znet.Svcstats.end_conn s.stats (`Error m);
       Zobs.Log.error ~fields:(fields [ Zobs.Log.str "cause" m ]) "session error";
       log ("session error: " ^ m));
-    Zobs.Histogram.observe h_session_ms
-      (int_of_float (Znet.Svcstats.duration_s s.stats *. 1000.0))
+    let duration_ms = Znet.Svcstats.duration_s s.stats *. 1000.0 in
+    frec s
+      ~detail:(match s.closing with `Err m -> m | _ -> "ok")
+      (Zobs.Flight.Mark "finished");
+    dump_flight s ~duration_ms;
+    Zobs.Histogram.observe h_session_ms (int_of_float duration_ms)
   in
   let fail_session s msg = if s.closing = `No then s.closing <- `Err msg in
   (* Flush a session's out-queue as far as the socket allows. *)
@@ -206,7 +297,10 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
         else begin
           off := !off + n;
           s.deadline <- now () +. timeout_s;
-          if !off = Bytes.length buf then ignore (Queue.pop s.outq)
+          if !off = Bytes.length buf then begin
+            frec s ~n:(Bytes.length buf) Zobs.Flight.Write;
+            ignore (Queue.pop s.outq)
+          end
         end
       done
     with Znet.Net_error e ->
@@ -222,6 +316,7 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
         match Znet.Frame_reader.step s.reader s.conn with
         | `Frame payload ->
           s.deadline <- now () +. timeout_s;
+          frec s ~n:(Bytes.length payload) Zobs.Flight.Read;
           s.inbox <- s.inbox @ [ payload ]
         | `Awaiting -> continue := false
         | `Eof ->
@@ -254,11 +349,17 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
           (match m with
           | Zwire.Hello h ->
             s.digest <- h.Zwire.digest;
+            (* Prover_session only sets the process-global trace id, which
+               is meaningless with many sessions in flight — keep this
+               session's own id for its sidecar. *)
+            s.trace_id <- h.Zwire.trace_id;
             Znet.Svcstats.set_digest s.stats h.Zwire.digest
           | _ -> ());
           let t0 = Unix.gettimeofday () in
           let r = Argument.Prover_session.on_msg s.ps m in
-          Znet.Svcstats.record_phase_time s.stats ~phase (Unix.gettimeofday () -. t0);
+          let dur = Unix.gettimeofday () -. t0 in
+          Znet.Svcstats.record_phase_time s.stats ~phase dur;
+          frec s ~dur ~detail:phase (Zobs.Flight.Phase phase);
           r
         with
         | `Send reply ->
@@ -281,7 +382,19 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
           enqueue (Zwire.Error_msg m);
           { j_replies = List.rev !replies; j_final = `Done_err m; j_decode_err = false })
     in
+    (* Ledger op deltas over this frame batch, recorded to the flight ring.
+       The counters are process-wide merged views, so under concurrent
+       same-phase batches a delta can include a neighbour's ops — exact
+       when one session computes at a time, indicative otherwise. Only
+       live when tracing is on (the counters are gated). *)
+    let ops0 = if Zobs.enabled () then Some (Zobs.Ledger.snapshot ()) else None in
     let out = go s.inbox in
+    (match ops0 with
+    | Some ops0 ->
+      let d = Zobs.Ledger.sub_ops (Zobs.Ledger.snapshot ()) ops0 in
+      let nz = List.filter (fun (_, v) -> v <> 0) (Zobs.Ledger.ops_to_list d) in
+      if nz <> [] then frec s (Zobs.Flight.Ledger_delta nz)
+    | None -> ());
     (s, out)
   in
   let apply_job (s, out) =
@@ -358,6 +471,7 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
     Hashtbl.fold (fun _ s acc -> if s.deadline < t then s :: acc else acc) sessions []
     |> List.iter (fun s ->
            Znet.Svcstats.record_timeout ();
+           frec s Zobs.Flight.Timeout;
            fail_session s "session timeout";
            Queue.clear s.outq;
            finish s)
@@ -376,11 +490,14 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
   in
   Fun.protect
     ~finally:(fun () ->
+      Atomic.set live false;
+      (match profiler with Some p -> Zobs.Profiler.stop p | None -> ());
       Hashtbl.iter (fun _ s -> Znet.close s.conn) sessions;
       Queue.iter (fun (c, _) -> Znet.close c) parked;
       Znet.close_server srv;
       match metrics with Some m -> Znet.Metrics_http.stop m | None -> ())
     (fun () ->
+      Atomic.set live true;
       while not (done_serving ()) do
         let t = now () in
         let reads = ref [ Znet.server_fd srv ] in
@@ -402,6 +519,7 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
           try Unix.select !reads !writes [] timeout
           with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
         in
+        let t_wake = now () in
         if List.mem (Znet.server_fd srv) rs then accept_pass ();
         List.iter
           (fun fd ->
@@ -414,5 +532,9 @@ let serve ?(config = default) ~lookup ?(seed = "zaatar prover") ?max_conns
           ws;
         reap_closed ();
         expire ();
-        promote_parked ()
+        promote_parked ();
+        (* Event-loop health: how long this iteration parked in select vs
+           worked, and how many fds the wakeup brought. *)
+        Znet.Svcstats.record_loop_iter ~busy_s:(now () -. t_wake) ~wait_s:(t_wake -. t)
+          ~ready:(List.length rs + List.length ws)
       done)

@@ -25,6 +25,19 @@ type config = {
   session_timeout_ms : int;  (** per-session inactivity deadline *)
   setup_cache_bytes : int;  (** LRU byte bound (--setup-cache-mb at the CLI); 0 disables the cache *)
   busy_retry_ms : int;  (** retry-after hint carried in the shed reply *)
+  trace_dir : string option;
+      (** write per-session Chrome-trace sidecars ([prover_connN.json],
+          mergeable by [zaatar trace-merge]) and forensic JSONL bundles
+          ([forensic_connN.jsonl]) here *)
+  slow_session_ms : int;
+      (** sessions lasting at least this long also get a forensic bundle
+          (0 disables the slow-session trigger) *)
+  flight_cap : int;
+      (** per-session flight-recorder ring capacity (events); 0 disables
+          the recorder entirely *)
+  profile_hz : int;
+      (** sampling wall-clock profiler tick rate backing [/profile] and
+          [zaatar profile --live]; 0 disables the sampler *)
 }
 
 val default : config
@@ -50,4 +63,13 @@ val serve :
     [max_conns:1]). A fresh per-session PRG derives from [seed]; session
     errors are logged and accounted, never fatal to the loop.
     [metrics_listen] starts the Prometheus/JSON endpoint
-    ({!Argsys.Remote.start_metrics}) alongside. *)
+    ({!Argsys.Remote.start_metrics}) alongside, with [/healthz] turning
+    200 once the event loop is live and [/profile] serving the sampling
+    profiler's folded stacks.
+
+    Each session carries a bounded flight recorder (phase transitions,
+    frame reads/writes, cache hits/misses, ledger deltas, shed/timeout
+    marks). With [config.trace_dir] set, every finished session dumps a
+    Chrome-trace sidecar stamped with the verifier's trace id; sessions
+    that error — or outlast [config.slow_session_ms] — additionally dump
+    a JSONL forensic bundle. *)

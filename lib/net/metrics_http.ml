@@ -91,23 +91,29 @@ let respond fd ~status ~content_type body =
     done
   with Unix.Unix_error _ -> ()
 
-let handle render fd =
+let handle ~healthz render fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with Unix.Unix_error _ -> ());
   (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0 with Unix.Unix_error _ -> ());
   (match request_path (read_head fd) with
   | None -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+  (* Readiness, answered before the render callback: load balancers and
+     ci.sh poll this instead of sleeping. 200 "ok" once the serving loop
+     is live, 503 while it is still warming up. *)
+  | Some "/healthz" ->
+    if healthz () then respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+    else respond fd ~status:"503 Service Unavailable" ~content_type:"text/plain" "starting\n"
   | Some path -> (
     match render path with
     | Some (content_type, body) -> respond fd ~status:"200 OK" ~content_type body
     | None -> respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop t render =
+let accept_loop t ~healthz render =
   let rec go () =
     match Unix.accept t.sfd with
     | fd, _ ->
       if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-      else handle render fd;
+      else handle ~healthz render fd;
       go ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error _ -> () (* listening socket closed: exit *)
@@ -115,8 +121,10 @@ let accept_loop t render =
   go ()
 
 (* [render path] returns [(content_type, body)] for the paths the caller
-   serves, [None] for anything else (a 404). *)
-let start ~render addr =
+   serves, [None] for anything else (a 404). [healthz] backs the built-in
+   /healthz route; the default — always ready — fits servers that only
+   start the endpoint once they can serve. *)
+let start ?(healthz = fun () -> true) ~render addr =
   let sa = parse_addr addr in
   let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
   (try
@@ -134,7 +142,7 @@ let start ~render addr =
       worker = None;
     }
   in
-  t.worker <- Some (Domain.spawn (fun () -> accept_loop t render));
+  t.worker <- Some (Domain.spawn (fun () -> accept_loop t ~healthz render));
   t
 
 let stop t =

@@ -47,11 +47,38 @@ let cache_misses = ref 0
 let queue_depth = ref 0
 let active : conn list ref = ref []
 let recent : conn list ref = ref [] (* finished connections, newest first *)
-let recent_cap = 64
+
+(* Completed-connection ring capacity (--recent-cap). The ring feeds the
+   latency percentiles and the per-connection series, so its depth trades
+   scrape-payload size against percentile sample count. *)
+let default_recent_cap = 64
+let recent_cap = ref default_recent_cap
+
+(* Event-loop health (Zscope, DESIGN.md §15): per-iteration accounting of
+   the farm's select loop. Always on, like everything else here — the
+   buckets reuse the Zobs power-of-two histogram layout so the renderers
+   share [Zobs.Histogram.percentile_of_snapshot]. *)
+let loop_iters = ref 0
+let loop_busy_s = ref 0.0 (* seconds spent working between select returns *)
+let loop_wait_s = ref 0.0 (* seconds parked inside select *)
+let loop_ready_total = ref 0
+let loop_iter_us_b = Array.make 63 0 (* whole-iteration duration, µs *)
+let loop_ready_b = Array.make 63 0 (* fds ready per wakeup *)
+let depth_trend : (float * int) list ref = ref [] (* (ts, queue depth), newest first *)
+let depth_trend_cap = 120
 
 let locked f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let trim_recent () =
+  if List.length !recent > !recent_cap then
+    recent := List.filteri (fun i _ -> i < !recent_cap) !recent
+
+let set_recent_cap n =
+  locked (fun () ->
+      recent_cap := max 1 n;
+      trim_recent ())
 
 let reset () =
   locked (fun () ->
@@ -66,7 +93,15 @@ let reset () =
       cache_misses := 0;
       queue_depth := 0;
       active := [];
-      recent := [])
+      recent := [];
+      recent_cap := default_recent_cap;
+      loop_iters := 0;
+      loop_busy_s := 0.0;
+      loop_wait_s := 0.0;
+      loop_ready_total := 0;
+      Array.fill loop_iter_us_b 0 (Array.length loop_iter_us_b) 0;
+      Array.fill loop_ready_b 0 (Array.length loop_ready_b) 0;
+      depth_trend := [])
 
 let begin_conn ~peer =
   locked (fun () ->
@@ -122,6 +157,42 @@ let record_phase_time c ~phase s =
 let record_decode_error () = locked (fun () -> incr decode_errors)
 let record_timeout () = locked (fun () -> incr timeouts)
 let record_shed () = locked (fun () -> incr shed)
+
+(* One event-loop iteration: [wait_s] inside select, [busy_s] doing work
+   after it, [ready] fds select reported. Also samples the current accept-
+   queue depth into the bounded trend ring. *)
+let record_loop_iter ~busy_s ~wait_s ~ready =
+  locked (fun () ->
+      incr loop_iters;
+      loop_busy_s := !loop_busy_s +. busy_s;
+      loop_wait_s := !loop_wait_s +. wait_s;
+      loop_ready_total := !loop_ready_total + ready;
+      let bump arr v =
+        let i = Zobs.Histogram.bucket_of v in
+        arr.(i) <- arr.(i) + 1
+      in
+      bump loop_iter_us_b (int_of_float ((busy_s +. wait_s) *. 1e6));
+      bump loop_ready_b ready;
+      depth_trend :=
+        (Unix.gettimeofday (), !queue_depth)
+        :: (if List.length !depth_trend >= depth_trend_cap then
+              List.filteri (fun i _ -> i < depth_trend_cap - 1) !depth_trend
+            else !depth_trend))
+
+let bucket_snapshot arr =
+  let out = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if arr.(i) > 0 then out := (Zobs.Histogram.lower_bound i, arr.(i)) :: !out
+  done;
+  !out
+
+let loop_utilization_unlocked () =
+  let total = !loop_busy_s +. !loop_wait_s in
+  if total <= 0.0 then 0.0 else !loop_busy_s /. total
+
+(* (iterations, busy_s, wait_s, ready_total) — tests and the serve
+   summary line. *)
+let loop_totals () = locked (fun () -> (!loop_iters, !loop_busy_s, !loop_wait_s, !loop_ready_total))
 let record_cache_hit () = locked (fun () -> incr cache_hits)
 let record_cache_miss () = locked (fun () -> incr cache_misses)
 let set_queue_depth n = locked (fun () -> queue_depth := n)
@@ -139,8 +210,7 @@ let end_conn c outcome =
         incr failed);
       active := List.filter (fun x -> x.id <> c.id) !active;
       recent := c :: !recent;
-      if List.length !recent > recent_cap then
-        recent := List.filteri (fun i _ -> i < recent_cap) !recent)
+      trim_recent ())
 
 let duration_s c =
   match c.finished with Some t -> t -. c.started | None -> Unix.gettimeofday () -. c.started
@@ -195,6 +265,43 @@ let prometheus () =
       int_metric b ~name:"zaatar_server_setup_cache_misses_total" !cache_misses;
       typ b "zaatar_server_queue_depth" "gauge";
       int_metric b ~name:"zaatar_server_queue_depth" !queue_depth;
+      typ b "zaatar_loop_iterations_total" "counter";
+      int_metric b ~name:"zaatar_loop_iterations_total" !loop_iters;
+      typ b "zaatar_loop_busy_seconds_total" "counter";
+      float_metric b ~name:"zaatar_loop_busy_seconds_total" !loop_busy_s;
+      typ b "zaatar_loop_wait_seconds_total" "counter";
+      float_metric b ~name:"zaatar_loop_wait_seconds_total" !loop_wait_s;
+      typ b "zaatar_loop_utilization" "gauge";
+      float_metric b ~name:"zaatar_loop_utilization" (loop_utilization_unlocked ());
+      typ b "zaatar_loop_ready_fds_total" "counter";
+      int_metric b ~name:"zaatar_loop_ready_fds_total" !loop_ready_total;
+      (* Cumulative le-bucket expositions of the two loop histograms, plus
+         approximate percentile gauges, in the Zobs renderer's shape. *)
+      let histo name arr =
+        let snap = bucket_snapshot arr in
+        if snap <> [] then begin
+          typ b name "histogram";
+          let total =
+            List.fold_left
+              (fun acc (lo, c) ->
+                let acc = acc + c in
+                let le = if lo = 0 then "0" else string_of_int ((2 * lo) - 1) in
+                int_metric b ~labels:[ ("le", le) ] ~name:(name ^ "_bucket") acc;
+                acc)
+              0 snap
+          in
+          int_metric b ~labels:[ ("le", "+Inf") ] ~name:(name ^ "_bucket") total;
+          int_metric b ~name:(name ^ "_count") total;
+          List.iter
+            (fun (suffix, p) ->
+              match Zobs.Histogram.percentile_of_snapshot snap p with
+              | Some v -> int_metric b ~name:(name ^ "_" ^ suffix) v
+              | None -> ())
+            [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0) ]
+        end
+      in
+      histo "zaatar_loop_iter_us" loop_iter_us_b;
+      histo "zaatar_loop_ready_fds" loop_ready_b;
       let p50, p95, p99 = latency_ms_unlocked () in
       typ b "zaatar_server_session_latency_ms" "gauge";
       List.iter
@@ -231,6 +338,12 @@ let prometheus () =
       end;
       Buffer.contents b)
 
+(* The phase the connection is currently in: the last entry of the
+   insertion-ordered phase list — what `zaatar top`'s per-session table
+   shows. *)
+let current_phase c =
+  match List.rev c.phases with (name, _) :: _ -> name | [] -> ""
+
 let conn_json c =
   let open Zobs.Json in
   Obj
@@ -239,6 +352,7 @@ let conn_json c =
       ("peer", Str c.peer);
       ("digest", Str c.digest);
       ("status", Str c.status);
+      ("phase", Str (current_phase c));
       ("error", Str c.error);
       ("started_s", Num c.started);
       ("duration_s", Num (duration_s c));
@@ -281,6 +395,31 @@ let json () =
                 ( "latency_ms",
                   let p50, p95, p99 = latency_ms_unlocked () in
                   Obj [ ("p50", Num p50); ("p95", Num p95); ("p99", Num p99) ] );
+              ] );
+          ( "loop",
+            let pcts arr =
+              let snap = bucket_snapshot arr in
+              let p q =
+                match Zobs.Histogram.percentile_of_snapshot snap q with
+                | Some v -> float_of_int v
+                | None -> 0.0
+              in
+              Obj [ ("p50", Num (p 50.0)); ("p95", Num (p 95.0)); ("p99", Num (p 99.0)) ]
+            in
+            Obj
+              [
+                ("iterations", Num (float_of_int !loop_iters));
+                ("busy_s", Num !loop_busy_s);
+                ("wait_s", Num !loop_wait_s);
+                ("utilization", Num (loop_utilization_unlocked ()));
+                ( "ready_avg",
+                  Num
+                    (if !loop_iters = 0 then 0.0
+                     else float_of_int !loop_ready_total /. float_of_int !loop_iters) );
+                ("iter_us", pcts loop_iter_us_b);
+                ("ready_fds", pcts loop_ready_b);
+                ( "queue_depth_trend",
+                  Arr (List.rev_map (fun (_, d) -> Num (float_of_int d)) !depth_trend) );
               ] );
           ("connections", Arr (List.map conn_json (!active @ !recent)));
         ])

@@ -11,6 +11,18 @@ let on () = Atomic.get enabled
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 
+(* A second, independent gate for the sampling profiler (Profiler): with
+   [stacks] on and full tracing off, Span.with_ keeps each domain's
+   open-span stack current — one DLS load and two list conses per span —
+   without recording events, aggregates or GC deltas. That is the
+   "always-on, low-overhead" mode the farm runs in production; enabling
+   full tracing supersedes it (the traced path maintains the same stack). *)
+let stacks = Atomic.make false
+
+let stacks_on () = Atomic.get stacks
+let enable_stacks () = Atomic.set stacks true
+let disable_stacks () = Atomic.set stacks false
+
 let mu = Mutex.create ()
 
 (* The distributed trace id: minted by the verifier, carried to the prover

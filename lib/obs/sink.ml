@@ -44,8 +44,11 @@ let pp_table fmt () =
    verifier- and prover-side traces are merged into one Perfetto view;
    otherData records the distributed trace id and the absolute start time
    [t0_s] so [merge_chrome_trace_files] can rebase the files onto a common
-   timeline (each file's event timestamps are relative to its own t0). *)
-let chrome_trace ?(pid = 0) ?(process_name = "zaatar") ?events () : Json.t =
+   timeline (each file's event timestamps are relative to its own t0).
+   [trace_id] overrides the process-global Registry id — the farm serves
+   many concurrent sessions, each with the trace id its own Hello carried,
+   so per-session sidecars cannot share one global. *)
+let chrome_trace ?(pid = 0) ?(process_name = "zaatar") ?trace_id ?events () : Json.t =
   let evs = match events with Some evs -> evs | None -> Span.events_snapshot () in
   let t0 = List.fold_left (fun acc (e : Span.event) -> Float.min acc e.Span.ts) infinity evs in
   let t0 = if evs = [] then 0.0 else t0 in
@@ -85,7 +88,8 @@ let chrome_trace ?(pid = 0) ?(process_name = "zaatar") ?events () : Json.t =
           [
             ("producer", Json.Str "zobs");
             ("process", Json.Str process_name);
-            ("trace_id", Json.Str (Registry.trace_id ()));
+            ( "trace_id",
+              Json.Str (match trace_id with Some id -> id | None -> Registry.trace_id ()) );
             ("t0_s", Json.Num t0);
           ] );
     ]
@@ -96,8 +100,8 @@ let write_string path s =
   output_char oc '\n';
   close_out oc
 
-let write_chrome_trace ?pid ?process_name ?events path =
-  write_string path (Json.to_string (chrome_trace ?pid ?process_name ?events ()))
+let write_chrome_trace ?pid ?process_name ?trace_id ?events path =
+  write_string path (Json.to_string (chrome_trace ?pid ?process_name ?trace_id ?events ()))
 
 (* Folded-stacks export, the flamegraph.pl / inferno input format: one line
    per distinct span stack, `root;child;leaf <self-time-us>`. Stacks are

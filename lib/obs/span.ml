@@ -90,7 +90,38 @@ let max_events = 1_000_000
 let aggs : (string, float * float * int) Hashtbl.t = Hashtbl.create 32
 let gc_aggs : (string, gc_stat) Hashtbl.t = Hashtbl.create 32
 
-let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+(* Live-stack registry: every domain that ever opens a span registers its
+   DLS stack ref here (once, from the DLS initializer), so the sampling
+   profiler's ticker domain can walk all open-span stacks without touching
+   the recording path. Reading another domain's ref is a benign race in
+   the OCaml 5 memory model — a single-word read observes some previously
+   stored list spine, and spines are immutable — so the sampler sees a
+   recent consistent stack with zero synchronization cost on the mutator.
+   Only the table itself is mutex-protected. *)
+let live_mu = Mutex.create ()
+let live : (int, frame list ref) Hashtbl.t = Hashtbl.create 8
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r = ref [] in
+      let tid = (Domain.self () :> int) in
+      Mutex.lock live_mu;
+      Hashtbl.replace live tid r;
+      Mutex.unlock live_mu;
+      r)
+
+(* One sample of every domain's open-span path, outermost first; domains
+   with no open span are omitted. *)
+let live_stacks () =
+  Mutex.lock live_mu;
+  let l = Hashtbl.fold (fun tid r acc -> (tid, !r) :: acc) live [] in
+  Mutex.unlock live_mu;
+  List.filter_map
+    (fun (tid, frames) ->
+      match frames with
+      | [] -> None
+      | _ -> Some (tid, List.rev_map (fun f -> f.fname) frames))
+    l
 
 let now () = Unix.gettimeofday ()
 
@@ -108,8 +139,29 @@ let record ~name ~attrs ~start ~dur ~excl ~depth ~gc =
   Hashtbl.replace gc_aggs name (gc_add g gc);
   Mutex.unlock mu
 
+(* Shared dummy for stacks-only frames: nothing reads their gc0/start, so
+   one quick_stat taken at module init serves every frame. *)
+let gc_dummy = Gc.quick_stat ()
+
+(* Stacks-only span: push/pop the frame so [live_stacks] sees the path,
+   skip timing, GC snapshots and the mutex-protected record. *)
+let with_stack_only ~name ~attrs f =
+  let stack = Domain.DLS.get stack_key in
+  let fr = { fname = name; fattrs = attrs; start = 0.0; gc0 = gc_dummy; child = 0.0 } in
+  stack := fr :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec pop = function
+        | top :: rest when top == fr -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack)
+    f
+
 let with_ ?(attrs = []) ~name f =
-  if not (Registry.on ()) then f ()
+  if not (Registry.on ()) then
+    if Registry.stacks_on () then with_stack_only ~name ~attrs f else f ()
   else begin
     let stack = Domain.DLS.get stack_key in
     let fr = { fname = name; fattrs = attrs; start = now (); gc0 = Gc.quick_stat (); child = 0.0 } in

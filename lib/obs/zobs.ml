@@ -15,6 +15,8 @@ module Histogram = Histogram
 module Span = Span
 module Ledger = Ledger
 module Sink = Sink
+module Flight = Flight
+module Profiler = Profiler
 module Log = Log
 module Prometheus = Prometheus
 

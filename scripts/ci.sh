@@ -134,14 +134,17 @@ if grep -qvE '^[^ ]+ [0-9]+$' "$tmp/matmul.folded"; then
 fi
 
 echo "== socket smoke (zaatar serve / run --connect, metrics + traces) =="
-# Start a one-shot prover on an ephemeral port with the live metrics
-# endpoint and per-connection trace sidecars, scrape the endpoint with
-# `zaatar stats`, verify a traced batch against it over TCP, and merge the
-# two Chrome traces into one two-pid view.
+# Start a one-shot sequential prover on an ephemeral port with the live
+# metrics endpoint and per-connection trace sidecars, scrape the endpoint
+# with `zaatar stats`, verify a traced batch against it over TCP, and merge
+# the two Chrome traces into one two-pid view. --sequential is explicit:
+# --trace-dir no longer implies the sequential loop (the farm has its own
+# flight-recorder sidecars, exercised by the farm smoke below).
 dune build bin/zaatar_cli.exe
 mkdir -p "$tmp/traces"
 : > "$tmp/serve.log"
 dune exec bin/zaatar_cli.exe -- serve examples/payroll.zl --listen 127.0.0.1:0 --once \
+  --sequential \
   --metrics-listen 127.0.0.1:0 --trace "$tmp/prover_proc.json" --trace-dir "$tmp/traces" \
   --log-json "$tmp/serve_log.jsonl" \
   > "$tmp/serve.log" 2>&1 &
@@ -194,9 +197,14 @@ echo "== farm smoke (concurrent prover farm) =="
 # invoke the built binary directly so they don't contend on the dune lock.
 dune build bin/zaatar_cli.exe
 zcli="_build/default/bin/zaatar_cli.exe"
+mkdir -p "$tmp/farm_traces"
 : > "$tmp/farm.log"
+# --trace-dir turns on the per-session flight recorder (Chrome-trace
+# sidecar per connection); --slow-session-ms 1 forces every session over
+# the slow threshold so forensic JSONL bundles are dumped too.
 "$zcli" serve examples/payroll.zl --listen 127.0.0.1:0 --max-sessions 4 \
-  --metrics-listen 127.0.0.1:0 > "$tmp/farm.log" 2>&1 &
+  --metrics-listen 127.0.0.1:0 --trace-dir "$tmp/farm_traces" \
+  --slow-session-ms 1 > "$tmp/farm.log" 2>&1 &
 farm_pid=$!
 faddr=""
 for _ in $(seq 1 100); do
@@ -213,6 +221,22 @@ if [ -z "$faddr" ]; then
 fi
 fmaddr="$(sed -n 's/^metrics on //p' "$tmp/farm.log")"
 [ -n "$fmaddr" ] || { echo "farm never reported its metrics address" >&2; cat "$tmp/farm.log" >&2; exit 1; }
+# Readiness: poll /healthz until the event loop reports ok (200), the way
+# an orchestrator's startup probe would, instead of trusting the log line.
+healthz_ok=""
+for _ in $(seq 1 100); do
+  if python3 -c "
+import sys, urllib.request
+try:
+    body = urllib.request.urlopen('http://$fmaddr/healthz', timeout=1).read()
+except Exception:
+    sys.exit(1)
+sys.exit(0 if body.strip() == b'ok' else 1)
+" 2>/dev/null; then healthz_ok=yes; break; fi
+  kill -0 "$farm_pid" 2>/dev/null || break
+  sleep 0.1
+done
+[ -n "$healthz_ok" ] || { echo "/healthz never reported ok" >&2; cat "$tmp/farm.log" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
 client_pids=""
 for i in $(seq 1 8); do
   "$zcli" run examples/payroll.zl -i 38,45,40,52,31 --connect "$faddr" \
@@ -239,6 +263,31 @@ hits="$(awk '/^zaatar_server_setup_cache_hits_total/ {print $2}' "$tmp/farm_stat
 [ "$hits" -ge 1 ] || { echo "farm served 8 same-digest sessions with zero cache hits" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
 completed="$(grep -c "session complete" "$tmp/farm.log" || true)"
 [ "$completed" -eq 8 ] || { echo "farm completed $completed/8 sessions" >&2; cat "$tmp/farm.log" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+# `zaatar top --once` must render one frame of the live view from /json.
+"$zcli" top --once "$fmaddr" | tee "$tmp/farm_top.out"
+grep -q "zaatar top" "$tmp/farm_top.out" || { echo "zaatar top --once did not render" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+grep -q "sessions" "$tmp/farm_top.out" || { echo "zaatar top --once missing sessions line" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+# Flight-recorder sidecar: the farm dumps one Chrome trace per session and
+# trace-merge must accept it (trace id is minted by the verifier client and
+# carried through Hello into the farm's sidecar).
+test -s "$tmp/farm_traces/prover_conn0.json" || { echo "farm flight-recorder sidecar missing" >&2; ls "$tmp/farm_traces" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+"$zcli" trace-merge "$tmp/farm_traces/prover_conn0.json" -o "$tmp/farm_merged.json" \
+  || { echo "trace-merge rejected the farm sidecar" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+grep -q '"producer":"zobs-merge"' "$tmp/farm_merged.json" || { echo "merged farm trace malformed" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+# Forensic bundle: --slow-session-ms 1 forces a dump; every line must be
+# valid JSON and the header must carry the slow outcome.
+forensic="$(ls "$tmp"/farm_traces/forensic_conn*.jsonl 2>/dev/null | head -n 1)"
+[ -n "$forensic" ] || { echo "no forensic bundle despite --slow-session-ms 1" >&2; ls "$tmp/farm_traces" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
+python3 -c "
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, 'forensic bundle is empty'
+recs = [json.loads(l) for l in lines]
+head = recs[0]
+assert head['kind'] == 'session', head
+assert head['outcome'] in ('slow', 'error'), head
+assert all(r['kind'] == 'event' for r in recs[1:]), 'non-event line in bundle'
+" "$forensic" || { echo "forensic bundle failed to parse: $forensic" >&2; kill "$farm_pid" 2>/dev/null || true; exit 1; }
 kill "$farm_pid"
 farm_rc=0
 wait "$farm_pid" 2>/dev/null || farm_rc=$?

@@ -297,6 +297,73 @@ let test_farm_overload_busy () =
   Alcotest.(check int) "no failures" 0 failed;
   Alcotest.(check int) "shed is not a decode error" 0 decode_errors
 
+(* Flight recorder end to end: a farm with --trace-dir and a 1 ms slow
+   threshold serves one traced client, then must have dumped (a) a
+   Chrome-trace sidecar carrying the verifier's trace id — which
+   trace-merge accepts alongside the verifier's own trace — and (b) a
+   JSONL forensic bundle (every session outruns 1 ms) whose lines all
+   parse and whose header carries the outcome. *)
+let test_farm_flight_sidecars () =
+  Test_serve.with_tracing @@ fun () ->
+  let dir = Test_serve.temp_dir () in
+  let fconfig =
+    { Zfarm.Farm.default with arg_config = config; trace_dir = Some dir; slow_session_ms = 1 }
+  in
+  let trace_id = Zobs.mint_trace_id () in
+  with_farm ~fconfig ~max_conns:1 (fun addr ->
+      let prg = Chacha.Prg.create ~seed:"flight-e2e" () in
+      let r =
+        Remote.run_connect ~config ~trace_id ~addr square_plus_3 ~prg
+          ~inputs:[| [| fi 5 |]; [| fi 12 |] |]
+      in
+      Alcotest.(check bool) "traced client verdicts" true (Argument.all_accepted r));
+  (* the farm loop has exited (with_farm joined it), so the dumps are on disk *)
+  let sidecar = Filename.concat dir "prover_conn0.json" in
+  Alcotest.(check bool) "sidecar written" true (Sys.file_exists sidecar);
+  let j = Zobs.Json.parse (Test_serve.read_file sidecar) in
+  (match Option.bind (Zobs.Json.member "otherData" j) (Zobs.Json.member "trace_id") with
+  | Some id ->
+    Alcotest.(check (option string)) "sidecar carries the verifier's trace id" (Some trace_id)
+      (Zobs.Json.to_str id)
+  | None -> Alcotest.fail "sidecar has no trace id");
+  (match Option.bind (Zobs.Json.member "traceEvents" j) Zobs.Json.to_arr with
+  | Some evs -> Alcotest.(check bool) "sidecar has slices" true (List.length evs > 1)
+  | None -> Alcotest.fail "sidecar has no traceEvents");
+  (* merge with the verifier's own trace — same id, so trace-merge accepts *)
+  let verifier_trace = Filename.concat dir "verifier.json" in
+  Zobs.Sink.write_chrome_trace verifier_trace;
+  let merged = Filename.concat dir "merged.json" in
+  Zobs.Sink.merge_chrome_trace_files ~out:merged [ verifier_trace; sidecar ];
+  let mj = Zobs.Json.parse (Test_serve.read_file merged) in
+  (match Option.bind (Zobs.Json.member "otherData" mj) (Zobs.Json.member "trace_id") with
+  | Some id ->
+    Alcotest.(check (option string)) "merged trace keeps the id" (Some trace_id)
+      (Zobs.Json.to_str id)
+  | None -> Alcotest.fail "merged trace lost its id");
+  (* forensic bundle: slow trigger fired, every line parses *)
+  let forensic = Filename.concat dir "forensic_conn0.jsonl" in
+  Alcotest.(check bool) "forensic written (slow trigger)" true (Sys.file_exists forensic);
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Test_serve.read_file forensic))
+  in
+  Alcotest.(check bool) "forensic has header + events" true (List.length lines > 1);
+  let parsed = List.map Zobs.Json.parse lines in
+  let jstr j k = Option.bind (Zobs.Json.member k j) Zobs.Json.to_str in
+  let header = List.hd parsed in
+  Alcotest.(check (option string)) "header kind" (Some "session") (jstr header "kind");
+  Alcotest.(check (option string)) "header outcome" (Some "slow") (jstr header "outcome");
+  Alcotest.(check (option string)) "header trace id" (Some trace_id) (jstr header "trace_id");
+  List.iter
+    (fun l -> Alcotest.(check (option string)) "event line" (Some "event") (jstr l "kind"))
+    (List.tl parsed);
+  (* the ring saw the whole lifecycle: accept, phases, frames, finish *)
+  let types = List.filter_map (fun l -> jstr l "type") (List.tl parsed) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " recorded") true (List.mem t types))
+    [ "mark.accepted"; "phase.hello"; "frame.read"; "frame.write"; "mark.finished" ]
+
 let suite =
   [
     Alcotest.test_case "setup cache: LRU within a byte bound" `Quick test_cache_lru;
@@ -308,4 +375,6 @@ let suite =
       test_farm_eviction_under_tiny_bound;
     Alcotest.test_case "farm: overload sheds busy, in-flight sessions verify" `Slow
       test_farm_overload_busy;
+    Alcotest.test_case "farm: flight sidecars merge, forensic bundle on slow" `Slow
+      test_farm_flight_sidecars;
   ]
