@@ -1787,6 +1787,103 @@ let run_lint cfg =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Exec: Zexec interpreter throughput and fuzz campaign rate           *)
+(* ------------------------------------------------------------------ *)
+
+(* The witness-solving interpreter (DESIGN.md §16) re-derives each app's
+   witness from inputs alone; its constraint-propagation throughput is
+   compared against the compiler's gadget-replay solver on the same
+   systems, and the differential fuzz campaign's program rate rides
+   along. Pinned/defaulted counts and fuzz discrepancies are
+   seed-deterministic, so --baseline compares them exactly; seconds get
+   the usual drift band. *)
+let exec_section : Zobs.Json.t ref = ref Zobs.Json.Null
+
+let run_exec cfg =
+  banner "Zexec: interpreter solve throughput vs. the compiler's solver, fuzz program rate";
+  let ctx = ctx_of cfg in
+  let apps = Apps.Registry.suite ~scale:cfg.scale () in
+  let apps = if cfg.quick then [ List.hd apps ] else apps in
+  let prg = Chacha.Prg.create ~seed:"bench exec" () in
+  Printf.printf "%-28s %8s %10s %10s %10s %7s %7s\n" "computation" "rows" "compile_s"
+    "interp_s" "rows/s" "pinned" "free";
+  let rows =
+    List.map
+      (fun (app : Apps.App_def.t) ->
+        let compiled = Apps.Glue.compile ctx app in
+        let sys = Zlang.Compile.zaatar_r1cs compiled in
+        let nc = Constr.R1cs.num_constraints sys in
+        let ints = app.Apps.App_def.gen_inputs prg in
+        let finputs = Apps.Glue.field_inputs ctx ints in
+        let w_compiler, t_compiler =
+          time_thunk (fun () -> compiled.Zlang.Compile.solve_zaatar finputs)
+        in
+        let r, t_interp = time_thunk (fun () -> Zexec.Exec.solve sys ~inputs:finputs) in
+        match r with
+        | Error e ->
+          Printf.eprintf "exec: %s: %s\n" app.Apps.App_def.name (Zexec.Exec.error_to_text e);
+          exit 1
+        | Ok (w, st) ->
+          Array.iteri
+            (fun v x ->
+              if not (Fp.equal x w.(v)) then begin
+                Printf.eprintf "exec: %s: witness differs from the compiler at w%d\n"
+                  app.Apps.App_def.name v;
+                exit 1
+              end)
+            w_compiler;
+          Printf.printf "%-28s %8d %10.4f %10.4f %10.0f %7d %7d\n" app.Apps.App_def.name nc
+            t_compiler t_interp
+            (float_of_int nc /. t_interp)
+            st.Zexec.Exec.pinned st.Zexec.Exec.defaulted;
+          (app.Apps.App_def.name, nc, t_compiler, t_interp, st))
+      apps
+  in
+  let fuzz_count = if cfg.quick then 20 else 60 in
+  let report, t_fuzz =
+    time_thunk (fun () ->
+        Zfuzz.Fuzz.campaign ~verdict_every:0 ~ctx ~seed:42 ~count:fuzz_count ())
+  in
+  let bad = List.length report.Zfuzz.Fuzz.discrepancies in
+  Printf.printf "\nfuzz campaign: %d program(s) in %.2fs (%.1f prog/s), %d discrepancy(ies)\n%!"
+    report.Zfuzz.Fuzz.programs t_fuzz
+    (float_of_int report.Zfuzz.Fuzz.programs /. t_fuzz)
+    bad;
+  let num x = Zobs.Json.Num x and int n = Zobs.Json.Num (float_of_int n) in
+  exec_section :=
+    Zobs.Json.Obj
+      [
+        ( "apps",
+          Zobs.Json.Arr
+            (List.map
+               (fun (name, nc, t_compiler, t_interp, (st : Zexec.Exec.stats)) ->
+                 Zobs.Json.Obj
+                   [
+                     ("name", Zobs.Json.Str name);
+                     ("rows", int nc);
+                     ("compiler_s", num t_compiler);
+                     ("interp_s", num t_interp);
+                     ("rows_per_s", num (float_of_int nc /. t_interp));
+                     ("pinned", int st.Zexec.Exec.pinned);
+                     ("defaulted", int st.Zexec.Exec.defaulted);
+                   ])
+               rows) );
+        ( "fuzz",
+          Zobs.Json.Obj
+            [
+              ("programs", int report.Zfuzz.Fuzz.programs);
+              ("seconds", num t_fuzz);
+              ("programs_per_s", num (float_of_int report.Zfuzz.Fuzz.programs /. t_fuzz));
+              ("discrepancies", int bad);
+            ] );
+      ];
+  (* A discrepancy in the bench seed is a real compiler/interpreter bug. *)
+  if bad > 0 then begin
+    Printf.eprintf "exec: the fuzz campaign found %d discrepancy(ies)\n" bad;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Alloc: words allocated per primitive op (Zledger GC profiling)      *)
 (* ------------------------------------------------------------------ *)
 
@@ -2223,6 +2320,57 @@ let baseline_diff ~drift path cfg =
               err "lint %s: analyzer %.4fs vs. baseline %.4fs drifts beyond %gx" name c b drift
           | _ -> err "lint %s backend_s missing" name))
       (apps_of cl));
+  (* Exec: the interpreter's pinned/defaulted counts and the fuzz
+     campaign's discrepancy count are seed-deterministic (compared
+     exactly); interpreter seconds get the drift band. *)
+  (match (Zobs.Json.member "exec" base, !exec_section) with
+  | None, Zobs.Json.Null -> err "neither run has an exec section (run the exec experiment)"
+  | None, _ -> err "%s has no exec section — refresh the baseline" path
+  | Some _, Zobs.Json.Null -> err "this run has no exec section (exec experiment did not run)"
+  | Some bx, cx ->
+    (match
+       ( Option.bind (Zobs.Json.member "fuzz" bx) (fun f -> jnum f "discrepancies"),
+         Option.bind (Zobs.Json.member "fuzz" cx) (fun f -> jnum f "discrepancies") )
+     with
+    | Some bv, Some cv when bv = cv -> ()
+    | Some bv, Some cv ->
+      err "exec fuzz: %d discrepancy(ies) here, %d in baseline" (int_of_float cv)
+        (int_of_float bv)
+    | _ -> err "exec fuzz discrepancy count missing");
+    let apps_of j =
+      match Option.bind (Zobs.Json.member "apps" j) Zobs.Json.to_arr with
+      | Some l ->
+        List.filter_map
+          (fun a ->
+            match Option.bind (Zobs.Json.member "name" a) Zobs.Json.to_str with
+            | Some n -> Some (n, a)
+            | None -> None)
+          l
+      | None -> []
+    in
+    let bapps = apps_of bx in
+    List.iter
+      (fun (name, capp) ->
+        match List.assoc_opt name bapps with
+        | None -> err "exec app %s missing from baseline" name
+        | Some bapp ->
+          List.iter
+            (fun k ->
+              match (jnum bapp k, jnum capp k) with
+              | Some bv, Some cv when bv = cv -> ()
+              | Some bv, Some cv ->
+                err "exec %s: %s = %d here, %d in baseline" name k (int_of_float cv)
+                  (int_of_float bv)
+              | _ -> err "exec %s: %s missing" name k)
+            [ "rows"; "pinned"; "defaulted" ];
+          (match (jnum bapp "interp_s", jnum capp "interp_s") with
+          | Some b, Some c ->
+            let d = c /. b in
+            if d > drift || Float.is_nan d then
+              err "exec %s: interpreter %.4fs vs. baseline %.4fs drifts beyond %gx" name c b
+                drift
+          | _ -> err "exec %s: interp_s missing" name))
+      (apps_of cx));
   (* Ledger: the audit run's per-phase op vector is seed-deterministic, so
      every op count must match the baseline exactly. Seconds and GC words
      are wall-clock/runtime-version dependent and are not compared. *)
@@ -2256,8 +2404,8 @@ let baseline_diff ~drift path cfg =
   if !failed then exit 1
   else
     Printf.printf
-      "baseline check OK against %s: network bytes and ledger ops identical, lint counts \
-       identical, model and lint timings within %gx\n%!"
+      "baseline check OK against %s: network bytes and ledger ops identical, lint and exec \
+       counts identical, model/lint/exec timings within %gx\n%!"
       path drift
 
 (* ------------------------------------------------------------------ *)
@@ -2266,7 +2414,7 @@ let baseline_diff ~drift path cfg =
 
 let usage () =
   print_endline
-    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|farm|obs-overhead|lint|alloc|profile]\n\
+    "usage: bench [all|micro|bechamel|model|baseline|fig4|fig5|fig6|fig7|fig8|fig9|soundness|ablation|ntt-vs-lagrange|multiexp|wire|farm|obs-overhead|lint|exec|alloc|profile]\n\
     \       [--scale N] [--batch N] [--pbits N] [--paper-params] [--quick] [--domains N]\n\
     \       [--qap-backend auto|ntt|lagrange]\n\
     \       [--trace OUT.json] [--metrics] [--json OUT.json]\n\
@@ -2279,7 +2427,7 @@ let usage () =
 let all_experiments =
   [ "micro"; "bechamel"; "fig9"; "model"; "fig4"; "fig5"; "fig7"; "fig8"; "fig6"; "baseline";
     "soundness"; "ablation"; "ntt-vs-lagrange"; "multiexp"; "wire"; "farm"; "obs-overhead";
-    "lint"; "alloc"; "profile" ]
+    "lint"; "exec"; "alloc"; "profile" ]
 
 (* Machine-readable run summary (BENCH_run.json): configuration,
    per-experiment wall times, and the Zobs counter/histogram/span totals
@@ -2346,6 +2494,7 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
   let obs = match !obs_section with Null -> [] | m -> [ ("obs_overhead", m) ] in
   let model = match !model_section with Null -> [] | m -> [ ("model", m) ] in
   let lint = match !lint_section with Null -> [] | m -> [ ("lint", m) ] in
+  let exec = match !exec_section with Null -> [] | m -> [ ("exec", m) ] in
   let alloc = match !alloc_section with Null -> [] | m -> [ ("alloc", m) ] in
   let profile = match !profile_section with Null -> [] | m -> [ ("profile", m) ] in
   let ledger = match !ledger_section with Null -> [] | m -> [ ("ledger", m) ] in
@@ -2355,7 +2504,8 @@ let summary_json cfg (experiments : (string * float) list) : Zobs.Json.t =
        ("config", config);
        ("experiments", experiments);
      ]
-    @ multiexp @ ntt_vs_lagrange @ network @ farm @ obs @ model @ lint @ alloc @ profile @ ledger
+    @ multiexp @ ntt_vs_lagrange @ network @ farm @ obs @ model @ lint @ exec @ alloc @ profile
+    @ ledger
     @ [ ("counters", counters); ("histograms", histograms); ("spans", spans) ])
 
 let write_summary cfg path experiments =
@@ -2571,6 +2721,7 @@ let () =
       @ (if !baseline <> None then [ "farm" ] else [])
       @ (if !baseline <> None then [ "obs-overhead" ] else [])
       @ (if !baseline <> None then [ "lint" ] else [])
+      @ (if !baseline <> None then [ "exec" ] else [])
       @ (if !check_ledger_flag || !baseline <> None then [ "profile" ] else [])
       @ if !check_ledger_flag then [ "alloc" ] else []
     in
@@ -2603,6 +2754,7 @@ let () =
     | "farm" -> run_farm cfg
     | "obs-overhead" -> run_obs_overhead cfg
     | "lint" -> run_lint cfg
+    | "exec" -> run_exec cfg
     | "alloc" -> run_alloc cfg
     | "profile" -> run_profile cfg
     | t ->

@@ -11,6 +11,8 @@
      zaatar bench NAME [--scale N]       one built-in benchmark, end to end
      zaatar selftest                     differential checks of all benchmarks
      zaatar check SYS.r1cs WITNESS       check a serialized witness
+     zaatar exec SYS.r1cs -i 1,2,3       solve a witness from inputs alone (Zexec)
+     zaatar fuzz --seed N --count M      differential-fuzz the compiler
      zaatar micro [--field-bits N]       the section-5.1 microbenchmark row
 
    Exit-code contract (README "Linting"): 0 success, 1 operational failure
@@ -927,6 +929,221 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check a serialized assignment against a serialized constraint system")
     Term.(const run $ sys_file $ wit_file)
 
+(* zaatar exec: the Zexec witness-solving interpreter (DESIGN.md §16).
+   Solves a serialized system from inputs alone — no ZL source, no
+   compiler solver — or, with --check, cross-validates interpreter vs
+   compiler vs native reference over the whole benchmark suite. *)
+let exec_cmd =
+  let sys_file = Arg.(value & pos 0 (some file) None & info [] ~docv:"SYSTEM.r1cs") in
+  let inputs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "inputs" ] ~docv:"V1,V2,.." ~doc:"Input values (signed integers).")
+  in
+  let emit_witness =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-witness" ] ~docv:"OUT" ~doc:"Write the solved assignment to a file.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Differential mode: for every benchmark app, compare the interpreter's witness \
+             against the compiler's solver and the app's native reference.")
+  in
+  let trials = Arg.(value & opt pos_int_conv 3 & info [ "trials" ] ~doc:"Random trials per app with --check.") in
+  let scale =
+    Arg.(value & opt (some pos_int_conv) None & info [ "scale" ] ~docv:"N" ~doc:"Problem size for --check (apps' default otherwise).")
+  in
+  let run_check bits trials scale =
+    let ctx = Fp.create (field_of_bits bits) in
+    let prg = Chacha.Prg.create ~seed:"exec-check" () in
+    let failed = ref false in
+    List.iter
+      (fun (app : Apps.App_def.t) ->
+        Printf.printf "%-28s (%s) ... %!" app.Apps.App_def.display app.Apps.App_def.params_desc;
+        let c = Zlang.Compile.compile ~ctx app.Apps.App_def.source in
+        let sys = Zlang.Compile.zaatar_r1cs c in
+        let ok = ref true in
+        let stats = ref None in
+        for _ = 1 to trials do
+          let ints = app.Apps.App_def.gen_inputs prg in
+          let finputs = Apps.Glue.field_inputs ctx ints in
+          let w1 = c.Zlang.Compile.solve_zaatar finputs in
+          match Zexec.Exec.solve sys ~inputs:finputs with
+          | Error e ->
+            ok := false;
+            Printf.printf "\n  %s" (Zexec.Exec.error_to_text e)
+          | Ok (w2, st) ->
+            stats := Some st;
+            Array.iteri
+              (fun v x ->
+                if not (Fp.equal x w2.(v)) then begin
+                  ok := false;
+                  Printf.printf "\n  witness differs at w%d" v
+                end)
+              w1;
+            let outs = Apps.Glue.int_outputs ctx (Zlang.Compile.outputs_zaatar c w2) in
+            if outs <> app.Apps.App_def.native ints then begin
+              ok := false;
+              Printf.printf "\n  outputs differ from the native reference"
+            end
+        done;
+        if !ok then begin
+          (match !stats with
+          | Some st ->
+            Printf.printf "ok (%d pinned, %d defaulted, %d row visits)\n" st.Zexec.Exec.pinned
+              st.Zexec.Exec.defaulted st.Zexec.Exec.row_visits
+          | None -> print_endline "ok")
+        end
+        else begin
+          failed := true;
+          print_newline ()
+        end)
+      (Apps.Registry.suite ?scale ());
+    if !failed then exit 1;
+    print_endline "interpreter, compiler and native references all agree"
+  in
+  let run bits sys_file inputs emit_witness check trials scale =
+    if check then run_check bits trials scale
+    else
+      match sys_file with
+      | None ->
+        prerr_endline "zaatar exec: SYSTEM.r1cs required (or use --check)";
+        exit 1
+      | Some f -> (
+        let sys = Constr.Serialize.system_of_string (read_file f) in
+        let ctx = sys.Constr.R1cs.field in
+        let ints = match inputs with Some s -> parse_inputs s | None -> [||] in
+        let finputs = Array.map (Fp.of_int ctx) ints in
+        match Zexec.Exec.solve sys ~inputs:finputs with
+        | Error e ->
+          prerr_endline (Zexec.Exec.error_to_text ~file:f e);
+          exit 1
+        | Ok (w, st) ->
+          Printf.printf
+            "solved %d constraints over %d variables: %d pinned, %d defaulted, %d ambiguous \
+             row(s), %d row visits\n"
+            (Constr.R1cs.num_constraints sys) sys.Constr.R1cs.num_vars st.Zexec.Exec.pinned
+            st.Zexec.Exec.defaulted st.Zexec.Exec.ambiguous_rows st.Zexec.Exec.row_visits;
+          let outs = Zexec.Exec.outputs sys ~num_inputs:(Array.length ints) w in
+          if Array.length outs > 0 then
+            Printf.printf "outputs: %s\n"
+              (String.concat ", "
+                 (Array.to_list
+                    (Array.map
+                       (fun e ->
+                         match Fp.to_signed_int ctx e with
+                         | Some n -> string_of_int n
+                         | None -> Fp.to_string e)
+                       outs)));
+          (match emit_witness with
+          | Some out ->
+            let oc = open_out_bin out in
+            output_string oc (Constr.Serialize.assignment_to_string ctx w);
+            close_out oc;
+            Printf.printf "wrote %s\n" out
+          | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Solve a constraint system's witness from inputs alone (the Zexec interpreter)")
+    Term.(const run $ field_bits_arg $ sys_file $ inputs $ emit_witness $ check $ trials $ scale)
+
+(* zaatar fuzz: the differential fuzzing campaign. Exit 0 when every
+   program agrees across the oracle, 1 when a discrepancy (or an
+   undetectable transform mutation) survives. *)
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.") in
+  let count = Arg.(value & opt pos_int_conv 100 & info [ "count" ] ~docv:"M" ~doc:"Programs to generate.") in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize each discrepancy before reporting it.")
+  in
+  let break_transform =
+    Arg.(
+      value & flag
+      & info [ "break-transform" ]
+          ~doc:
+            "Adversarial mode: delete a product-definition row from a compiled system and \
+             verify the toolchain (Zlint ZR002, Zexec) catches it; shrink to a minimal \
+             reproducer.")
+  in
+  let fixture =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixture" ] ~docv:"OUT.r1cs"
+          ~doc:"With --break-transform: write the minimal broken system to a file.")
+  in
+  let verdict_every =
+    Arg.(
+      value & opt int 16
+      & info [ "verdict-every" ] ~docv:"K"
+          ~doc:"Run every K-th program through the full argument pipeline (0 disables).")
+  in
+  let run bits seed count shrink break_transform fixture verdict_every =
+    let ctx = Fp.create (field_of_bits bits) in
+    if break_transform then begin
+      match Zfuzz.Fuzz.break_transform ~ctx ~seed ~count () with
+      | None ->
+        Printf.printf
+          "break-transform: no generated program yielded a lint-detectable mutation in %d \
+           tries\n"
+          count;
+        exit 1
+      | Some bc ->
+        Printf.printf "break-transform: campaign index %d, minimized to:\n%s" bc.Zfuzz.Fuzz.bt_index
+          bc.Zfuzz.Fuzz.bt_source;
+        List.iter
+          (fun (d : Zlint.Diagnostic.t) ->
+            if d.Zlint.Diagnostic.code = "ZR002" then
+              Printf.printf "  detected: %s %s\n" d.Zlint.Diagnostic.code d.Zlint.Diagnostic.message)
+          bc.Zfuzz.Fuzz.bt_findings;
+        (match fixture with
+        | Some out ->
+          let oc = open_out_bin out in
+          output_string oc (Constr.Serialize.system_to_string bc.Zfuzz.Fuzz.bt_system);
+          close_out oc;
+          Printf.printf "wrote %s\n" out
+        | None -> ())
+    end
+    else begin
+      Printf.printf "fuzz: seed=%d count=%d (three-way oracle%s)\n%!" seed count
+        (if verdict_every > 0 then Printf.sprintf ", argument verdict every %d" verdict_every
+         else "");
+      let r = Zfuzz.Fuzz.campaign ~verdict_every ~ctx ~seed ~count () in
+      List.iter
+        (fun (d : Zfuzz.Fuzz.discrepancy) ->
+          Printf.printf "DISCREPANCY at index %d, stage %s: %s\n  inputs: %s\n"
+            d.Zfuzz.Fuzz.index d.Zfuzz.Fuzz.stage d.Zfuzz.Fuzz.detail
+            (String.concat "," (Array.to_list (Array.map string_of_int d.Zfuzz.Fuzz.inputs)));
+          let src =
+            if shrink then begin
+              let prog, ints = Zfuzz.Fuzz.case ~seed d.Zfuzz.Fuzz.index in
+              Zlang.Printer.to_source
+                (Zfuzz.Fuzz.shrink_discrepancy ~ctx ~stage:d.Zfuzz.Fuzz.stage prog ints)
+            end
+            else d.Zfuzz.Fuzz.source
+          in
+          print_string src)
+        r.Zfuzz.Fuzz.discrepancies;
+      Printf.printf "%d program(s), %d through the argument pipeline, %d discrepancy(ies)\n"
+        r.Zfuzz.Fuzz.programs r.Zfuzz.Fuzz.verdicts
+        (List.length r.Zfuzz.Fuzz.discrepancies);
+      if r.Zfuzz.Fuzz.discrepancies <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential-fuzz the ZL compiler against the native evaluator and Zexec")
+    Term.(
+      const run $ field_bits_arg $ seed $ count $ shrink $ break_transform $ fixture
+      $ verdict_every)
+
 let micro_cmd =
   let pbits = Arg.(value & opt int 512 & info [ "pbits" ] ~doc:"ElGamal group size in bits.") in
   let iters = Arg.(value & opt int 1000 & info [ "iters" ] ~doc:"Iterations per operation.") in
@@ -947,5 +1164,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; lint_cmd; run_cmd; profile_cmd; serve_cmd; stats_cmd; top_cmd;
-            trace_merge_cmd; bench_cmd; selftest_cmd; check_cmd; micro_cmd;
+            trace_merge_cmd; bench_cmd; selftest_cmd; check_cmd; exec_cmd; fuzz_cmd; micro_cmd;
           ]))

@@ -1,0 +1,150 @@
+(* AST -> ZL source. The inverse of the parser, up to whitespace and
+   parenthesization: for every program [p], [parse (print p)] is [p] modulo
+   positions and redundant parentheses, and printing is idempotent on the
+   reparse ([print (parse (print p)) = print p]). The fuzzer (lib/fuzz)
+   leans on this to turn generated ASTs into compilable sources and
+   committed regression fixtures. *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Shr -> ">>"
+  | Shl -> "<<"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Precedence levels, loosest first, mirroring the parser's ladder:
+   || < && < comparisons < shifts < + - < * < unary < primary. *)
+let level = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Shr | Shl -> 4
+  | Add | Sub -> 5
+  | Mul -> 6
+
+let rec expr buf ctx_level (e : expr) =
+  match e.e with
+  | Int n ->
+    (* Negative literals do not exist in the grammar; they reparse as a
+       unary negation, which prints identically — still a fixpoint. *)
+    Buffer.add_string buf (string_of_int n)
+  | Var name -> Buffer.add_string buf name
+  | Index (name, idx) ->
+    Buffer.add_string buf name;
+    Buffer.add_char buf '[';
+    expr buf 0 idx;
+    Buffer.add_char buf ']'
+  | Unop (op, inner) ->
+    let wrap = ctx_level > 7 in
+    if wrap then Buffer.add_char buf '(';
+    Buffer.add_string buf (match op with Neg -> "-" | Not -> "!");
+    (* Parenthesize non-primary operands so "- -x" or "-x + y" cannot be
+       mis-nested; a bare primary needs none. *)
+    (match inner.e with
+    | Int _ | Var _ | Index _ -> expr buf 8 inner
+    | _ ->
+      Buffer.add_char buf '(';
+      expr buf 0 inner;
+      Buffer.add_char buf ')');
+    if wrap then Buffer.add_char buf ')'
+  | Binop (op, l, r) ->
+    let lv = level op in
+    let wrap = ctx_level > lv in
+    if wrap then Buffer.add_char buf '(';
+    (* Associativity mirrors the parser: && and || recurse on the right,
+       the arithmetic ladder on the left, comparisons not at all. *)
+    let ll, rl =
+      match op with
+      | Or | And -> (lv + 1, lv)
+      | Lt | Le | Gt | Ge | Eq | Ne -> (lv + 1, lv + 1)
+      | _ -> (lv, lv + 1)
+    in
+    expr buf ll l;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (binop_str op);
+    Buffer.add_char buf ' ';
+    expr buf rl r;
+    if wrap then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr buf 0 e;
+  Buffer.contents buf
+
+let typ_str (t : typ) = Printf.sprintf "int%d" t.bits
+
+let rec stmt buf indent (s : stmt) =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  match s.s with
+  | Decl (t, name, len, init) ->
+    pad ();
+    Buffer.add_string buf ("var " ^ typ_str t ^ " " ^ name);
+    (match len with Some n -> Buffer.add_string buf (Printf.sprintf "[%d]" n) | None -> ());
+    (match init with
+    | Some e ->
+      Buffer.add_string buf " = ";
+      expr buf 0 e
+    | None -> ());
+    Buffer.add_string buf ";\n"
+  | Assign (lv, e) ->
+    pad ();
+    (match lv with
+    | Lvar name -> Buffer.add_string buf name
+    | Lindex (name, idx) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '[';
+      expr buf 0 idx;
+      Buffer.add_char buf ']');
+    Buffer.add_string buf " = ";
+    expr buf 0 e;
+    Buffer.add_string buf ";\n"
+  | If (cond, then_b, else_b) ->
+    pad ();
+    Buffer.add_string buf "if (";
+    expr buf 0 cond;
+    Buffer.add_string buf ") {\n";
+    List.iter (stmt buf (indent + 2)) then_b;
+    pad ();
+    Buffer.add_string buf "}";
+    if else_b <> [] then begin
+      Buffer.add_string buf " else {\n";
+      List.iter (stmt buf (indent + 2)) else_b;
+      pad ();
+      Buffer.add_string buf "}"
+    end;
+    Buffer.add_string buf "\n"
+  | For (v, lo, hi, body) ->
+    pad ();
+    Buffer.add_string buf ("for " ^ v ^ " in ");
+    expr buf 0 lo;
+    Buffer.add_string buf " .. ";
+    expr buf 0 hi;
+    Buffer.add_string buf " {\n";
+    List.iter (stmt buf (indent + 2)) body;
+    pad ();
+    Buffer.add_string buf "}\n"
+
+let param_str (p : param) =
+  Printf.sprintf "%s %s %s%s"
+    (match p.pdir with Input -> "input" | Output -> "output")
+    (typ_str p.ptyp) p.pname
+    (match p.plen with Some n -> Printf.sprintf "[%d]" n | None -> "")
+
+let to_source (prog : program) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("computation " ^ prog.name ^ "(");
+  Buffer.add_string buf (String.concat ", " (List.map param_str prog.params));
+  Buffer.add_string buf ") {\n";
+  List.iter (stmt buf 2) prog.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,367 @@
+(* The R1CS witness-solving interpreter. See the .mli for the rule set and
+   DESIGN.md §16 for the design discussion; the propagation *structure*
+   (row supports, incidence lists, monomial map) is shared with Zlint's
+   ZR002/ZR008 analysis via Zlint.Propagate — this module adds the
+   value-level rules the static analysis can only approximate. *)
+
+open Fieldlib
+open Constr
+module Propagate = Zlint.Propagate
+
+type stats = { pinned : int; defaulted : int; ambiguous_rows : int; row_visits : int }
+
+type error =
+  | Unsat of { row : int; detail : string }
+  | Stuck of { vars : int list; rows : int list }
+
+exception Fail of error
+
+let error_to_text ?file e =
+  let prefix = match file with Some f -> f ^ ": " | None -> "" in
+  match e with
+  | Unsat { row; detail } -> Printf.sprintf "%srow %d: unsatisfiable: %s" prefix row detail
+  | Stuck { vars; rows } ->
+    let show l = String.concat "," (List.map string_of_int l) in
+    Printf.sprintf
+      "%sstuck: variables w{%s} not pinned by propagation and zero-defaulting violates row(s) %s \
+       (under-determined for value-level solving; see lint ZR008)"
+      prefix (show vars) (show rows)
+
+(* Tonelli–Shanks. The p ≡ 3 (mod 4) moduli take the a^((p+1)/4) shortcut;
+   the general case walks the 2-Sylow subgroup. *)
+let sqrt ctx a =
+  if Fp.is_zero a then Some Fp.zero
+  else begin
+    let p = Fp.modulus ctx in
+    let pm1 = Nat.sub p Nat.one in
+    let half = Nat.shift_right pm1 1 in
+    let legendre x = Fp.pow ctx x half in
+    if not (Fp.equal (legendre a) Fp.one) then None
+    else begin
+      let s = ref 0 and q = ref pm1 in
+      while Nat.is_even !q do
+        incr s;
+        q := Nat.shift_right !q 1
+      done;
+      if !s = 1 then Some (Fp.pow ctx a (Nat.shift_right (Nat.add p Nat.one) 2))
+      else begin
+        let z = ref (Fp.of_int ctx 2) in
+        while Fp.equal (legendre !z) Fp.one do
+          z := Fp.add ctx !z Fp.one
+        done;
+        let m = ref !s in
+        let c = ref (Fp.pow ctx !z !q) in
+        let t = ref (Fp.pow ctx a !q) in
+        let r = ref (Fp.pow ctx a (Nat.shift_right (Nat.add !q Nat.one) 1)) in
+        while not (Fp.equal !t Fp.one) do
+          let i = ref 0 and t2 = ref !t in
+          while not (Fp.equal !t2 Fp.one) do
+            t2 := Fp.sqr ctx !t2;
+            incr i
+          done;
+          let b = ref !c in
+          for _ = 1 to !m - !i - 1 do
+            b := Fp.sqr ctx !b
+          done;
+          m := !i;
+          c := Fp.sqr ctx !b;
+          t := Fp.mul ctx !t !c;
+          r := Fp.mul ctx !r !b
+        done;
+        Some !r
+      end
+    end
+  end
+
+let outputs (sys : R1cs.system) ~num_inputs w =
+  let nz = sys.R1cs.num_z in
+  Array.sub w (nz + 1 + num_inputs) (sys.R1cs.num_vars - nz - num_inputs)
+
+let solve ?(check = true) (sys : R1cs.system) ~inputs =
+  let ctx = sys.R1cs.field in
+  let st = Propagate.build sys in
+  let n = st.Propagate.nvars and nz = st.Propagate.nz and nc = st.Propagate.nc in
+  if Array.length inputs > n - nz then
+    invalid_arg
+      (Printf.sprintf "Exec.solve: %d inputs for a system with %d IO variables"
+         (Array.length inputs) (n - nz));
+  let bl = Propagate.booleans sys st in
+  let value = Array.make (n + 1) Fp.zero in
+  let known = Array.make (n + 1) false in
+  value.(0) <- Fp.one;
+  known.(0) <- true;
+  Array.iteri
+    (fun i x ->
+      value.(nz + 1 + i) <- x;
+      known.(nz + 1 + i) <- true)
+    inputs;
+  (* Power-of-two recognition for the bit rule, keyed on the canonical
+     string form (Fp.el is an opaque natural). Powers can wrap back onto
+     earlier ones — 2^127 = 1 mod the Mersenne prime — so the smallest
+     exponent must win: decomposition gadgets only ever use small ones. *)
+  let pow2 = Hashtbl.create 256 in
+  let x = ref Fp.one in
+  for e = 0 to Fp.bits ctx do
+    let key = Fp.to_string !x in
+    if not (Hashtbl.mem pow2 key) then Hashtbl.add pow2 key e;
+    x := Fp.add ctx !x !x
+  done;
+  let exponent_of c = Hashtbl.find_opt pow2 (Fp.to_string c) in
+  let in_queue = Array.make nc false in
+  let rowq = Queue.create () in
+  let enqueue j =
+    if not in_queue.(j) then begin
+      in_queue.(j) <- true;
+      Queue.add j rowq
+    end
+  in
+  let pinned = ref 0 and row_visits = ref 0 in
+  let ambiguous = Array.make nc false in
+  let pin ~row v x =
+    if known.(v) then begin
+      if not (Fp.equal value.(v) x) then
+        raise
+          (Fail
+             (Unsat { row; detail = Printf.sprintf "conflicting forced values for variable w%d" v }))
+    end
+    else begin
+      value.(v) <- x;
+      known.(v) <- true;
+      incr pinned;
+      List.iter enqueue st.Propagate.var_rows.(v);
+      List.iter
+        (fun m -> List.iter enqueue st.Propagate.var_rows.(m))
+        (Hashtbl.find_all st.Propagate.monomial_users v)
+    end
+  in
+  let constrs = sys.R1cs.constraints in
+  (* Partial evaluation of one linear combination: the known sum plus the
+     still-unknown terms in ascending variable order. *)
+  let part lc =
+    List.fold_left
+      (fun (ksum, unk) (v, c) ->
+        if known.(v) then (Fp.add ctx ksum (Fp.mul ctx c value.(v)), unk)
+        else (ksum, (v, c) :: unk))
+      (Fp.zero, []) (Lincomb.terms lc)
+    |> fun (ksum, unk) -> (ksum, List.rev unk)
+  in
+  let unsat row detail = raise (Fail (Unsat { row; detail })) in
+  (* The bit-decomposition rule: all unknowns boolean with distinct
+     power-of-two effective coefficients against a fully-known non-zero B;
+     they are then the bits of the known residue. *)
+  let try_bits j ka ua kb kc uc =
+    let merge tbl sign (v, c) =
+      let prev = try Hashtbl.find tbl v with Not_found -> Fp.zero in
+      Hashtbl.replace tbl v (Fp.add ctx prev (sign c))
+    in
+    let eff = Hashtbl.create 16 in
+    List.iter (merge eff (fun c -> Fp.mul ctx kb c)) ua;
+    List.iter (merge eff (fun c -> Fp.neg ctx c)) uc;
+    let us = Hashtbl.fold (fun v _ acc -> v :: acc) eff [] |> List.sort compare in
+    if us = [] || not (List.for_all (fun v -> bl.(v)) us) then false
+    else begin
+      let exps sign =
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | v :: rest -> (
+            match exponent_of (sign (Hashtbl.find eff v)) with
+            | Some e -> go ((v, e) :: acc) rest
+            | None -> None)
+        in
+        go [] us
+      in
+      let signed =
+        match exps (fun c -> c) with
+        | Some e -> Some (e, true)
+        | None -> ( match exps (Fp.neg ctx) with Some e -> Some (e, false) | None -> None)
+      in
+      match signed with
+      | Some (es, positive)
+        when List.length (List.sort_uniq compare (List.map snd es)) = List.length es ->
+        (* rest + Σ s·2^e_v·v = 0  ⇒  Σ 2^e_v·v = r *)
+        let rest = Fp.sub ctx (Fp.mul ctx kb ka) kc in
+        let r = if positive then Fp.neg ctx rest else rest in
+        let rn = Fp.to_nat r in
+        let covered =
+          List.fold_left
+            (fun acc (_, e) -> if Nat.testbit rn e then Nat.add acc (Nat.shift_left Nat.one e) else acc)
+            Nat.zero es
+        in
+        if not (Nat.equal covered rn) then
+          unsat j "bit-decomposition residue has bits outside the decomposed positions";
+        List.iter (fun (v, e) -> pin ~row:j v (if Nat.testbit rn e then Fp.one else Fp.zero)) es;
+        true
+      | _ -> false
+    end
+  in
+  (* Univariate collapse: substitute known values into each side, reducing
+     it to a sparse polynomial over the still-unknown *base* variables
+     (product variables contribute their known base values as runtime
+     coefficients). Cancellation matters: an equality gadget's
+     w26*(a - b) term vanishes outright when a = b at runtime, leaving a
+     row that is genuinely linear in a different variable — so the
+     support test runs on the substituted coefficients, not on the
+     symbolic expansion. A side with <= 1 surviving base variable is a
+     univariate polynomial; when all three sides agree on that variable,
+     solve the residual if its degree allows a unique root. Unsound on a
+     definition row (m = z_i z_j collapses to 0 = 0), so those are
+     excluded. *)
+  let try_univariate j (k : R1cs.constr) _unknowns =
+    if st.Propagate.is_def_row.(j) then ()
+    else begin
+      (* (const, deg-1 coeffs by base, deg-2 coeffs by base) — or None when
+         a bilinear term over two distinct unknown bases survives. *)
+      let side_poly lc =
+        let cst = ref Fp.zero in
+        let d1 = Hashtbl.create 8 and d2 = Hashtbl.create 4 in
+        let bump tbl v c =
+          let prev = try Hashtbl.find tbl v with Not_found -> Fp.zero in
+          Hashtbl.replace tbl v (Fp.add ctx prev c)
+        in
+        let bilinear = ref false in
+        List.iter
+          (fun (u, c) ->
+            if known.(u) then cst := Fp.add ctx !cst (Fp.mul ctx c value.(u))
+            else
+              match Hashtbl.find_opt st.Propagate.monomial_of u with
+              | None -> bump d1 u c
+              | Some (i, j') ->
+                if known.(i) && known.(j') then
+                  cst := Fp.add ctx !cst (Fp.mul ctx c (Fp.mul ctx value.(i) value.(j')))
+                else if known.(i) then bump d1 j' (Fp.mul ctx c value.(i))
+                else if known.(j') then bump d1 i (Fp.mul ctx c value.(j'))
+                else if i = j' then bump d2 i c
+                else bilinear := true)
+          (Lincomb.terms lc);
+        if !bilinear then None
+        else begin
+          let support tbl acc =
+            Hashtbl.fold (fun v c acc -> if Fp.is_zero c then acc else v :: acc) tbl acc
+          in
+          Some (!cst, d1, d2, List.sort_uniq compare (support d1 (support d2 [])))
+        end
+      in
+      match (side_poly k.R1cs.a, side_poly k.R1cs.b, side_poly k.R1cs.c) with
+      | Some (ca, d1a, d2a, sa), Some (cb, d1b, d2b, sb), Some (cc, d1c, d2c, sc) -> (
+        (* A side that substitutes to identically zero annihilates the
+           product, so the other factor's unknowns cannot influence the
+           row. *)
+        let zero_side c s = Fp.is_zero c && s = [] in
+        let prod_support =
+          if zero_side ca sa || zero_side cb sb then [] else sa @ sb
+        in
+        match List.sort_uniq compare (prod_support @ sc) with
+        | [] | [ _ ] as s -> (
+        let v = match s with [ v ] -> v | _ -> -1 in
+        let poly3 (cst, d1, d2) =
+          let get tbl = try Hashtbl.find tbl v with Not_found -> Fp.zero in
+          [| cst; get d1; get d2 |]
+        in
+        let a = poly3 (ca, d1a, d2a)
+        and b = poly3 (cb, d1b, d2b)
+        and c = poly3 (cc, d1c, d2c) in
+        let r = Array.make 5 Fp.zero in
+        for i = 0 to 2 do
+          for j' = 0 to 2 do
+            r.(i + j') <- Fp.add ctx r.(i + j') (Fp.mul ctx a.(i) b.(j'))
+          done
+        done;
+        for i = 0 to 2 do
+          r.(i) <- Fp.sub ctx r.(i) c.(i)
+        done;
+        let deg = ref (-1) in
+        Array.iteri (fun i x -> if not (Fp.is_zero x) then deg := i) r;
+        match !deg with
+        | -1 -> ()
+        | 0 -> unsat j "residual is a non-zero constant"
+        | 1 -> pin ~row:j v (Fp.neg ctx (Fp.div ctx r.(0) r.(1)))
+        | 2 -> (
+          let disc =
+            Fp.sub ctx (Fp.sqr ctx r.(1)) (Fp.mul ctx (Fp.of_int ctx 4) (Fp.mul ctx r.(2) r.(0)))
+          in
+          match sqrt ctx disc with
+          | None -> unsat j "quadratic residual has no root in the field"
+          | Some s when Fp.is_zero s ->
+            pin ~row:j v (Fp.neg ctx (Fp.div ctx r.(1) (Fp.add ctx r.(2) r.(2))))
+          | Some _ ->
+            (* Two distinct roots: refusing to guess is what keeps solved
+               witnesses canonical. Zlint's ZR008 is the static warning. *)
+            ambiguous.(j) <- true)
+        | _ -> ambiguous.(j) <- true)
+        | _ -> ())
+      | _ -> ()
+    end
+  in
+  let process j =
+    incr row_visits;
+    let k = constrs.(j) in
+    let ka, ua = part k.R1cs.a in
+    let kb, ub = part k.R1cs.b in
+    let kc, uc = part k.R1cs.c in
+    match (ua, ub, uc) with
+    | [], [], [] ->
+      if not (Fp.is_zero (Fp.sub ctx (Fp.mul ctx ka kb) kc)) then
+        unsat j "constants do not satisfy the row"
+    | [], [], [ (v, c) ] -> pin ~row:j v (Fp.div ctx (Fp.sub ctx (Fp.mul ctx ka kb) kc) c)
+    | [], _, _ when Fp.is_zero ka -> (
+      (* Zero factor: A is fully known and zero, so A*B = 0 whatever B
+         holds — C must vanish on its own. This is what executes the
+         compiler's is_zero gadget when its argument is zero. *)
+      match uc with
+      | [] -> if not (Fp.is_zero kc) then unsat j "known-zero A side against a non-zero C"
+      | [ (v, c) ] -> pin ~row:j v (Fp.neg ctx (Fp.div ctx kc c))
+      | _ -> if not (try_bits j ka ua Fp.zero kc uc) then try_univariate j k (List.map fst uc))
+    | _, [], _ when Fp.is_zero kb -> (
+      match uc with
+      | [] -> if not (Fp.is_zero kc) then unsat j "known-zero B side against a non-zero C"
+      | [ (v, c) ] -> pin ~row:j v (Fp.neg ctx (Fp.div ctx kc c))
+      | _ ->
+        let unknowns = List.sort_uniq compare (List.map fst ua @ List.map fst uc) in
+        try_univariate j k unknowns)
+    | [], [ (v, c) ], [] when not (Fp.is_zero ka) ->
+      pin ~row:j v (Fp.div ctx (Fp.sub ctx (Fp.div ctx kc ka) kb) c)
+    | [ (v, c) ], [], [] when not (Fp.is_zero kb) ->
+      pin ~row:j v (Fp.div ctx (Fp.sub ctx (Fp.div ctx kc kb) ka) c)
+    | _ ->
+      let unknowns =
+        List.sort_uniq compare (List.map fst ua @ List.map fst ub @ List.map fst uc)
+      in
+      let bits_done = ub = [] && (not (Fp.is_zero kb)) && try_bits j ka ua kb kc uc in
+      if not bits_done then try_univariate j k unknowns
+  in
+  match
+    for j = 0 to nc - 1 do
+      enqueue j
+    done;
+    while not (Queue.is_empty rowq) do
+      let j = Queue.take rowq in
+      in_queue.(j) <- false;
+      process j
+    done
+  with
+  | exception Fail e -> Error e
+  | () ->
+    let remaining = ref [] in
+    for v = n downto 1 do
+      if not known.(v) then remaining := v :: !remaining
+    done;
+    let defaulted = List.length !remaining in
+    (* Free variables default to zero — the compiler's own W_inv_or_zero
+       convention — and the final whole-system check below decides whether
+       that was legitimate. *)
+    let ambiguous_rows = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 ambiguous in
+    let stats = { pinned = !pinned; defaulted; ambiguous_rows; row_visits = !row_visits } in
+    if not check then Ok (value, stats)
+    else begin
+      let violated = ref [] in
+      R1cs.iteri
+        (fun j k -> if not (Fp.is_zero (R1cs.eval_constr ctx k value)) then violated := j :: !violated)
+        sys;
+      match List.rev !violated with
+      | [] -> Ok (value, stats)
+      | j :: _ when defaulted = 0 && ambiguous_rows = 0 ->
+        Error (Unsat { row = j; detail = "constraint violated by the fully-pinned assignment" })
+      | rows ->
+        let cap n l = List.filteri (fun i _ -> i < n) l in
+        Error (Stuck { vars = cap 16 !remaining; rows = cap 16 rows })
+    end

@@ -1,0 +1,123 @@
+(* Native reference evaluator for ZL: direct signed-integer execution of
+   the AST, with semantics matching the compiler's gadgets exactly —
+   comparisons are signed compares, == is exact equality, >> is an
+   arithmetic (floor) shift, booleans are 0/1 and &&, ||, ! are their
+   arithmetic encodings. The generator's width discipline (gen.ml)
+   guarantees every intermediate fits a native int.
+
+   This is the first leg of the differential oracle: what the compiled
+   circuit and the Zexec interpreter produce must agree with what the
+   program plainly computes. *)
+
+open Zlang.Ast
+module SMap = Map.Make (String)
+
+type value = Vint of int | Varr of int array
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let as_int = function Vint n -> n | Varr _ -> err "array used as scalar"
+let as_arr = function Varr a -> a | Vint _ -> err "scalar used as array"
+
+let lookup env name =
+  match SMap.find_opt name env with Some v -> v | None -> err "undefined variable %s" name
+
+let rec eval_expr env (e : expr) : int =
+  match e.e with
+  | Int n -> n
+  | Var x -> as_int (lookup env x)
+  | Index (a, idx) ->
+    let arr = as_arr (lookup env a) in
+    let i = eval_expr env idx in
+    if i < 0 || i >= Array.length arr then err "index %d out of bounds for %s" i a;
+    arr.(i)
+  | Unop (Neg, e1) -> -eval_expr env e1
+  | Unop (Not, e1) -> 1 - eval_expr env e1
+  | Binop (op, l, r) -> (
+    let a = eval_expr env l in
+    let b () = eval_expr env r in
+    match op with
+    | Add -> a + b ()
+    | Sub -> a - b ()
+    | Mul -> a * b ()
+    | Shr -> a asr min (b ()) 62
+    | Shl -> a lsl b ()
+    | Lt -> if a < b () then 1 else 0
+    | Le -> if a <= b () then 1 else 0
+    | Gt -> if a > b () then 1 else 0
+    | Ge -> if a >= b () then 1 else 0
+    | Eq -> if a = b () then 1 else 0
+    | Ne -> if a <> b () then 1 else 0
+    | And -> a * b ()
+    | Or ->
+      let bv = b () in
+      a + bv - (a * bv))
+
+let rec exec_stmt env (s : stmt) : value SMap.t =
+  match s.s with
+  | Decl (_, name, None, init) ->
+    SMap.add name (Vint (match init with Some e -> eval_expr env e | None -> 0)) env
+  | Decl (_, name, Some n, None) -> SMap.add name (Varr (Array.make n 0)) env
+  | Decl (_, _, Some _, Some _) -> err "array declarations cannot have initializers"
+  | Assign (Lvar name, e) ->
+    (match lookup env name with Varr _ -> err "assigning scalar to array %s" name | Vint _ -> ());
+    SMap.add name (Vint (eval_expr env e)) env
+  | Assign (Lindex (name, idx), e) ->
+    let arr = Array.copy (as_arr (lookup env name)) in
+    let i = eval_expr env idx in
+    if i < 0 || i >= Array.length arr then err "index %d out of bounds for %s" i name;
+    arr.(i) <- eval_expr env e;
+    SMap.add name (Varr arr) env
+  | If (cond, then_b, else_b) ->
+    if eval_expr env cond <> 0 then exec_block env then_b else exec_block env else_b
+  | For (v, lo, hi, body) ->
+    let lo = eval_expr env lo and hi = eval_expr env hi in
+    let env' = ref env in
+    for i = lo to hi - 1 do
+      let inner = SMap.add v (Vint i) !env' in
+      let after = List.fold_left exec_stmt inner body in
+      env' := SMap.filter (fun name _ -> SMap.mem name !env') after
+    done;
+    !env'
+
+(* Block scoping mirrors the compiler: local declarations vanish, updates
+   to outer bindings persist. *)
+and exec_block env stmts =
+  let after = List.fold_left exec_stmt env stmts in
+  SMap.filter (fun name _ -> SMap.mem name env) after
+
+(* Run a program on flat inputs (parameter declaration order, arrays
+   element-wise) and return the flat outputs in the same convention as
+   Compile.outputs_zaatar. *)
+let run (prog : program) (inputs : int array) : int array =
+  let pos = ref 0 in
+  let take () =
+    if !pos >= Array.length inputs then err "not enough inputs";
+    let v = inputs.(!pos) in
+    incr pos;
+    v
+  in
+  let env = ref SMap.empty in
+  List.iter
+    (fun (p : param) ->
+      let v =
+        match (p.pdir, p.plen) with
+        | Input, None -> Vint (take ())
+        | Input, Some n -> Varr (Array.init n (fun _ -> take ()))
+        | Output, None -> Vint 0
+        | Output, Some n -> Varr (Array.make n 0)
+      in
+      env := SMap.add p.pname v !env)
+    prog.params;
+  let final = List.fold_left exec_stmt !env prog.body in
+  List.concat_map
+    (fun (p : param) ->
+      if p.pdir <> Output then []
+      else
+        match SMap.find p.pname final with
+        | Vint n -> [ n ]
+        | Varr a -> Array.to_list a)
+    prog.params
+  |> Array.of_list

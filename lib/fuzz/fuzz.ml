@@ -1,0 +1,352 @@
+(* The differential fuzzing campaign against the ZL -> R1CS compiler
+   (DESIGN.md §16): seeded random programs (gen.ml) are run through a
+   three-way oracle — the native evaluator (eval.ml), the compiler's own
+   witness solver, and the Zexec interpreter re-solving the compiled
+   system from inputs alone — with the printer round-trip checked on the
+   way in and, on a sample of programs, the full argument pipeline's
+   verdict checked on the way out. Any disagreement is a discrepancy; the
+   shrinker minimizes the offending program while the discrepancy (same
+   oracle stage) persists.
+
+   Determinism: program i of a campaign draws from
+   Prg.create ~seed:"zfuzz-<seed>" ~nonce:i, so any discrepancy is
+   reproducible from (seed, index) alone. *)
+
+open Fieldlib
+open Zlang.Ast
+
+(* ---- the oracle ---- *)
+
+type discrepancy = {
+  index : int;  (** program index within the campaign *)
+  stage : string;  (** the oracle leg that disagreed *)
+  detail : string;
+  source : string;  (** ZL source of the offending program *)
+  inputs : int array;
+}
+
+type report = {
+  programs : int;  (** programs generated and checked *)
+  verdicts : int;  (** of which ran the full argument pipeline *)
+  discrepancies : discrepancy list;
+}
+
+let ints_str a = "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let int_outputs ctx els =
+  Array.map
+    (fun e ->
+      match Fp.to_signed_int ctx e with Some n -> n | None -> max_int)
+    els
+
+let witness_diff w1 w2 =
+  if Array.length w1 <> Array.length w2 then Some (-1)
+  else begin
+    let bad = ref None in
+    Array.iteri (fun v x -> if !bad = None && not (Fp.equal x w2.(v)) then bad := Some v) w1;
+    !bad
+  end
+
+(* Run one program through every oracle leg. [None] means all legs agree;
+   [Some (stage, detail)] names the first leg that did not. *)
+let oracle ~ctx ?(verdict = false) (prog : program) (ints : int array) : (string * string) option
+    =
+  let fail stage fmt = Printf.ksprintf (fun d -> Some (stage, d)) fmt in
+  let src = Zlang.Printer.to_source prog in
+  match Zlang.Parser.parse_program src with
+  | exception Error m -> fail "reparse" "printed source does not parse: %s" m
+  | reparsed -> (
+    if Zlang.Printer.to_source reparsed <> src then
+      fail "print-fixpoint" "print (parse (print p)) differs from print p"
+    else
+      match Zlang.Compile.compile ~ctx src with
+      | exception Error m -> fail "compile" "%s" m
+      | c -> (
+        match Eval.run prog ints with
+        | exception Eval.Eval_error m -> fail "eval" "%s" m
+        | native -> (
+          let finputs = Array.map (Fp.of_int ctx) ints in
+          match c.Zlang.Compile.solve_zaatar finputs with
+          | exception Zlang.Builder.Unsatisfiable m -> fail "solve" "compiled solver: %s" m
+          | w -> (
+            let sys = Zlang.Compile.zaatar_r1cs c in
+            match Constr.R1cs.first_violation ctx sys w with
+            | Some row -> fail "satisfy" "compiled witness violates row %d" row
+            | None -> (
+              let outs = int_outputs ctx (Zlang.Compile.outputs_zaatar c w) in
+              if outs <> native then
+                fail "outputs" "compiled %s, native %s" (ints_str outs) (ints_str native)
+              else
+                match Zexec.Exec.solve sys ~inputs:finputs with
+                | Error e -> fail "exec" "%s" (Zexec.Exec.error_to_text e)
+                | Ok (w2, _) -> (
+                  match witness_diff w w2 with
+                  | Some (-1) -> fail "exec-witness" "witness length mismatch"
+                  | Some v ->
+                    fail "exec-witness" "w%d: compiled %s, interpreter %s" v
+                      (Fp.to_string w.(v)) (Fp.to_string w2.(v))
+                  | None ->
+                    if not verdict then None
+                    else begin
+                      let comp =
+                        {
+                          Argsys.Argument.r1cs = sys;
+                          num_inputs = c.Zlang.Compile.num_inputs;
+                          num_outputs = c.Zlang.Compile.num_outputs;
+                          solve = c.Zlang.Compile.solve_zaatar;
+                        }
+                      in
+                      let prg = Chacha.Prg.create ~seed:"zfuzz-verdict" () in
+                      let br =
+                        Argsys.Argument.run_batch ~config:Argsys.Argument.test_config comp ~prg
+                          ~inputs:[| finputs |]
+                      in
+                      if not (Argsys.Argument.all_accepted br) then
+                        fail "verdict" "argument pipeline rejected an honest proof"
+                      else
+                        let claimed =
+                          int_outputs ctx br.Argsys.Argument.instances.(0).Argsys.Argument.claimed_output
+                        in
+                        if claimed <> native then
+                          fail "verdict" "claimed %s, native %s" (ints_str claimed)
+                            (ints_str native)
+                        else None
+                    end))))))
+
+(* ---- the campaign ---- *)
+
+let case_prg ~seed i = Chacha.Prg.create ~seed:(Printf.sprintf "zfuzz-%d" seed) ~nonce:i ()
+
+(* Generate program [i] of campaign [seed] together with its inputs. *)
+let case ~seed i : program * int array =
+  let prg = case_prg ~seed i in
+  let prog = Gen.program prg in
+  (prog, Gen.inputs prg prog)
+
+let campaign ?(verdict_every = 16) ?on_case ~ctx ~seed ~count () : report =
+  let discrepancies = ref [] in
+  let verdicts = ref 0 in
+  for i = 0 to count - 1 do
+    let prog, ints = case ~seed i in
+    let verdict = verdict_every > 0 && i mod verdict_every = 0 in
+    if verdict then incr verdicts;
+    (match oracle ~ctx ~verdict prog ints with
+    | None -> ()
+    | Some (stage, detail) ->
+      discrepancies :=
+        { index = i; stage; detail; source = Zlang.Printer.to_source prog; inputs = ints }
+        :: !discrepancies);
+    match on_case with Some f -> f i | None -> ()
+  done;
+  { programs = count; verdicts = !verdicts; discrepancies = List.rev !discrepancies }
+
+(* ---- the shrinker ---- *)
+
+let mk e = { e; eloc = no_pos }
+let mks s = { s; sloc = no_pos }
+
+let rec size_e (e : expr) =
+  1
+  +
+  match e.e with
+  | Int _ | Var _ -> 0
+  | Index (_, i) -> size_e i
+  | Unop (_, a) -> size_e a
+  | Binop (_, a, b) -> size_e a + size_e b
+
+let rec size_s (s : stmt) =
+  1
+  +
+  match s.s with
+  | Decl (_, _, _, Some e) -> size_e e
+  | Decl _ -> 0
+  | Assign (Lvar _, e) -> size_e e
+  | Assign (Lindex (_, i), e) -> size_e i + size_e e
+  | If (c, t, e) -> size_e c + size_ss t + size_ss e
+  | For (_, lo, hi, b) -> size_e lo + size_e hi + size_ss b
+
+and size_ss ss = List.fold_left (fun acc s -> acc + size_s s) 0 ss
+
+let size (p : program) = size_ss p.body
+
+(* Candidate replacements for an expression, smallest first. A candidate
+   may be ill-kinded or ill-scoped in context — the validity predicate
+   (recompiling through the oracle) rejects those, so the shrinker only
+   proposes, never proves. Int 0 / Int 1 are the universal donors: the
+   builder kinds them Kbool, so they fit numeric and boolean positions
+   alike. *)
+let rec shrink_expr (e : expr) : expr list =
+  let atoms =
+    match e.e with Int (0 | 1) | Var _ -> [] | _ -> [ mk (Int 0); mk (Int 1) ]
+  in
+  let children =
+    match e.e with
+    | Int _ | Var _ | Index _ -> []
+    | Unop (_, a) -> [ a ]
+    | Binop (_, a, b) -> [ a; b ]
+  in
+  let rebuilt =
+    match e.e with
+    | Int n when n > 1 -> [ mk (Int (n / 2)) ]
+    | Int _ | Var _ -> []
+    | Index (name, i) -> List.map (fun i' -> mk (Index (name, i'))) (shrink_expr i)
+    | Unop (op, a) -> List.map (fun a' -> mk (Unop (op, a'))) (shrink_expr a)
+    | Binop (op, a, b) ->
+      List.map (fun a' -> mk (Binop (op, a', b))) (shrink_expr a)
+      @ List.map (fun b' -> mk (Binop (op, a, b'))) (shrink_expr b)
+  in
+  atoms @ children @ rebuilt
+
+(* Candidates for one statement: each is the (possibly empty or plural)
+   statement list that replaces it. Removal itself lives at the list
+   level. *)
+let rec shrink_stmt (s : stmt) : stmt list list =
+  match s.s with
+  | Decl (t, n, len, Some e) ->
+    List.map (fun e' -> [ mks (Decl (t, n, len, Some e')) ]) (shrink_expr e)
+  | Decl _ -> []
+  | Assign (lv, e) ->
+    List.map (fun e' -> [ mks (Assign (lv, e')) ]) (shrink_expr e)
+    @ (match lv with
+      | Lindex (n, i) -> List.map (fun i' -> [ mks (Assign (Lindex (n, i'), e)) ]) (shrink_expr i)
+      | Lvar _ -> [])
+  | If (c, t, e) ->
+    (* splice a branch in place of the whole conditional *)
+    [ t ] @ (if e <> [] then [ e; [ mks (If (c, t, [])) ] ] else [])
+    @ List.map (fun c' -> [ mks (If (c', t, e)) ]) (shrink_expr c)
+    @ List.map (fun t' -> [ mks (If (c, t', e)) ]) (shrink_stmts t)
+    @ List.map (fun e' -> [ mks (If (c, t, e')) ]) (shrink_stmts e)
+  | For (v, lo, hi, b) ->
+    (match (lo.e, hi.e) with
+    | Int l, Int h when h > l + 1 -> [ [ mks (For (v, lo, mk (Int (l + 1)), b)) ] ]
+    | _ -> [])
+    @ List.map (fun b' -> [ mks (For (v, lo, hi, b')) ]) (shrink_stmts b)
+
+(* Candidates for a statement list: drop each element, or replace it by
+   one of its own candidates (spliced). *)
+and shrink_stmts (ss : stmt list) : stmt list list =
+  let arr = Array.of_list ss in
+  let n = Array.length arr in
+  let drop i = List.filteri (fun j _ -> j <> i) ss in
+  let replace i cand =
+    List.concat (List.mapi (fun j s -> if j = i then cand else [ s ]) ss)
+  in
+  List.concat
+    (List.init n (fun i -> drop i :: List.map (replace i) (shrink_stmt arr.(i))))
+
+(* Greedy first-improvement minimization: repeatedly take the first
+   strictly smaller body for which [valid] still holds, until no candidate
+   qualifies or the step budget runs out. Parameters are never shrunk, so
+   a program's inputs stay valid throughout. *)
+let shrink ?(max_checks = 400) (valid : program -> bool) (prog : program) : program =
+  let checks = ref 0 in
+  let rec go prog =
+    let cur = size prog in
+    let rec first = function
+      | [] -> None
+      | body :: rest ->
+        let cand = { prog with body } in
+        if size cand >= cur || !checks >= max_checks then first rest
+        else begin
+          incr checks;
+          if valid cand then Some cand else first rest
+        end
+    in
+    if !checks >= max_checks then prog
+    else match first (shrink_stmts prog.body) with Some better -> go better | None -> prog
+  in
+  go prog
+
+(* Shrink while a discrepancy at the same oracle stage persists. *)
+let shrink_discrepancy ~ctx ~stage (prog : program) (ints : int array) : program =
+  shrink
+    (fun p -> match oracle ~ctx p ints with Some (s, _) -> s = stage | None -> false)
+    prog
+
+(* ---- the intentionally broken Transform ---- *)
+
+(* Delete the last product-definition row (z_i * z_j = m) from a compiled
+   system: the §4 Transform "forgot" to constrain one product variable —
+   exactly the bug class ZR002 exists to catch. Returns [None] when the
+   system has no def rows to break. *)
+let drop_last_def_row (sys : Constr.R1cs.system) : Constr.R1cs.system option =
+  let st = Zlint.Propagate.build sys in
+  let last = ref (-1) in
+  Array.iteri (fun j d -> if d then last := j) st.Zlint.Propagate.is_def_row;
+  if !last < 0 then None
+  else
+    Some
+      {
+        sys with
+        Constr.R1cs.constraints =
+          Array.of_list
+            (List.filteri (fun j _ -> j <> !last) (Array.to_list sys.Constr.R1cs.constraints));
+      }
+
+(* Does the toolchain catch the broken system? Static detection is a ZR002
+   (or worse) from the backend linter; dynamic detection is the Zexec
+   interpreter failing to solve or disagreeing with the compiled witness. *)
+let mutation_detected (broken : Constr.R1cs.system) ~io ~inputs ~witness : bool =
+  let static_hit =
+    List.exists
+      (fun (d : Zlint.Diagnostic.t) -> d.Zlint.Diagnostic.code = "ZR002")
+      (Zlint.Backend.analyze ~io broken)
+  in
+  static_hit
+  ||
+  match Zexec.Exec.solve broken ~inputs with
+  | Error _ -> true
+  | Ok (w2, _) -> witness_diff witness w2 <> None
+
+type broken_case = {
+  bt_index : int;  (** campaign index the program came from *)
+  bt_source : string;  (** shrunk ZL source *)
+  bt_system : Constr.R1cs.system;  (** the mutated (broken) system *)
+  bt_findings : Zlint.Diagnostic.t list;  (** linter findings on it *)
+}
+
+(* Campaign mode --break-transform: find a generated program whose broken
+   compilation the linter flags with ZR002, shrink the program while the
+   detection persists, and hand back the minimal broken system (the
+   committed regression fixture test/lint_fixtures/fuzz_broken_transform.r1cs
+   comes from here). *)
+let break_transform ~ctx ~seed ~count () : broken_case option =
+  let io_of (c : Zlang.Compile.compiled) =
+    {
+      Zlint.Backend.num_inputs = c.Zlang.Compile.num_inputs;
+      num_outputs = c.Zlang.Compile.num_outputs;
+    }
+  in
+  (* Detection via ZR002 alone here: the fixture must fail *lint*. *)
+  let zr002_fires (p : program) =
+    match Zlang.Compile.compile ~ctx (Zlang.Printer.to_source p) with
+    | exception Error _ -> false
+    | c -> (
+      match drop_last_def_row (Zlang.Compile.zaatar_r1cs c) with
+      | None -> false
+      | Some broken ->
+        List.exists
+          (fun (d : Zlint.Diagnostic.t) -> d.Zlint.Diagnostic.code = "ZR002")
+          (Zlint.Backend.analyze ~io:(io_of c) broken))
+  in
+  let rec search i =
+    if i >= count then None
+    else
+      let prog, _ints = case ~seed i in
+      if not (zr002_fires prog) then search (i + 1)
+      else begin
+        let small = shrink zr002_fires prog in
+        let c = Zlang.Compile.compile ~ctx (Zlang.Printer.to_source small) in
+        match drop_last_def_row (Zlang.Compile.zaatar_r1cs c) with
+        | None -> search (i + 1)
+        | Some broken ->
+          Some
+            {
+              bt_index = i;
+              bt_source = Zlang.Printer.to_source small;
+              bt_system = broken;
+              bt_findings = Zlint.Backend.analyze ~io:(io_of c) broken;
+            }
+      end
+  in
+  search 0

@@ -1,0 +1,430 @@
+(* Seeded random ZL program generator.
+
+   The generator is type- and width-aware: it mirrors the builder's
+   magnitude accounting (lib/compiler/builder.ml) so that every emitted
+   program compiles — widths stay far under the field capacity check — and
+   every value fits a native OCaml int, which is what lets the native
+   evaluator (eval.ml) serve as the reference leg of the differential
+   oracle. Boolean positions (&&, ||, !, if conditions) only ever receive
+   expressions the builder will kind as Kbool; dynamic array indices are
+   in-bounds by construction (c + b*d with b boolean and c + d < len), so
+   the one-hot gadget's range check can never fail on any input.
+
+   Width safety is enforced in two layers: local caps while generating, and
+   a whole-program inference pass ([max_width]) replaying the builder's
+   width rules — including loop unrolling, where accumulator patterns grow
+   per iteration — with the program regenerated when the bound exceeds
+   [width_cap]. The pass over-approximates (no constant folding), so
+   passing it implies the builder's own checks pass. *)
+
+open Zlang.Ast
+
+type kind = Num | Bool
+
+type scalar = { kind : kind; width : int }
+
+type arr = { len : int; width : int }
+
+type info = Sc of scalar | Arr of arr
+
+type env = (string * info) list
+
+let width_of_int n =
+  let n = abs n in
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(* ---- the builder's width/kind rules, replayed over the AST ---- *)
+
+exception Infer_error of string
+
+let scalar_of env name =
+  match List.assoc_opt name env with
+  | Some (Sc s) -> s
+  | _ -> raise (Infer_error ("not a scalar: " ^ name))
+
+let array_of env name =
+  match List.assoc_opt name env with
+  | Some (Arr a) -> a
+  | _ -> raise (Infer_error ("not an array: " ^ name))
+
+let rec infer_expr ~maxw env (e : expr) : scalar =
+  let note (s : scalar) =
+    if s.width > !maxw then maxw := s.width;
+    s
+  in
+  match e.e with
+  | Int n -> note { kind = (if n = 0 || n = 1 then Bool else Num); width = width_of_int n }
+  | Var x -> note (scalar_of env x)
+  | Index (a, idx) ->
+    ignore (infer_expr ~maxw env idx);
+    note { kind = Num; width = (array_of env a).width }
+  | Unop (Neg, e1) -> note { kind = Num; width = (infer_expr ~maxw env e1).width }
+  | Unop (Not, e1) ->
+    ignore (infer_expr ~maxw env e1);
+    note { kind = Bool; width = 1 }
+  | Binop ((Add | Sub), l, r) ->
+    let wl = (infer_expr ~maxw env l).width and wr = (infer_expr ~maxw env r).width in
+    note { kind = Num; width = 1 + max wl wr }
+  | Binop (Mul, l, r) ->
+    let wl = (infer_expr ~maxw env l).width and wr = (infer_expr ~maxw env r).width in
+    note { kind = Num; width = wl + wr }
+  | Binop (Shr, l, r) ->
+    let wl = (infer_expr ~maxw env l).width in
+    let k = match r.e with Int k -> k | _ -> 0 in
+    (* the gadget decomposes w+2 bits *)
+    maxw := max !maxw (wl + 2);
+    note { kind = Num; width = max 1 (wl - k + 1) }
+  | Binop (Shl, l, r) ->
+    let wl = (infer_expr ~maxw env l).width in
+    let k = match r.e with Int k -> k | _ -> 0 in
+    note { kind = Num; width = wl + k }
+  | Binop ((Lt | Le | Gt | Ge), l, r) ->
+    let wl = (infer_expr ~maxw env l).width and wr = (infer_expr ~maxw env r).width in
+    maxw := max !maxw (max wl wr + 2);
+    note { kind = Bool; width = 1 }
+  | Binop ((Eq | Ne), l, r) ->
+    ignore (infer_expr ~maxw env l);
+    ignore (infer_expr ~maxw env r);
+    note { kind = Bool; width = 1 }
+  | Binop ((And | Or), l, r) ->
+    ignore (infer_expr ~maxw env l);
+    ignore (infer_expr ~maxw env r);
+    note { kind = Bool; width = 1 }
+
+(* Statement-level replay of compile.ml's symbolic execution: block-local
+   declarations vanish, branch merges take the width max (kind stays Bool
+   only when both sides are Bool, the mux rule), loops replay their body
+   once per unrolled iteration. *)
+let rec infer_stmt ~maxw env (s : stmt) : env =
+  match s.s with
+  | Decl (_, name, None, None) -> (name, Sc { kind = Bool; width = 0 }) :: env
+  | Decl (_, name, None, Some e) -> (name, Sc (infer_expr ~maxw env e)) :: env
+  | Decl (_, name, Some n, None) -> (name, Arr { len = n; width = 0 }) :: env
+  | Decl (_, _, Some _, Some _) -> raise (Infer_error "array initializer")
+  | Assign (Lvar name, e) ->
+    let s' = infer_expr ~maxw env e in
+    (name, Sc s') :: List.remove_assoc name env
+  | Assign (Lindex (name, idx), e) ->
+    ignore (infer_expr ~maxw env idx);
+    let v = infer_expr ~maxw env e in
+    let a = array_of env name in
+    (name, Arr { a with width = max a.width v.width }) :: List.remove_assoc name env
+  | If (cond, then_b, else_b) ->
+    ignore (infer_expr ~maxw env cond);
+    let env_t = infer_block ~maxw env then_b in
+    let env_e = infer_block ~maxw env else_b in
+    List.map
+      (fun (name, _) ->
+        match (List.assoc name env_t, List.assoc name env_e) with
+        | Sc a, Sc b ->
+          ( name,
+            Sc
+              {
+                kind = (if a.kind = Bool && b.kind = Bool then Bool else Num);
+                width = max a.width b.width;
+              } )
+        | Arr a, Arr b -> (name, Arr { a with width = max a.width b.width })
+        | _ -> raise (Infer_error "shape change across branches"))
+      env
+  | For (v, lo, hi, body) ->
+    let lo = match lo.e with Int n -> n | _ -> raise (Infer_error "loop bound") in
+    let hi = match hi.e with Int n -> n | _ -> raise (Infer_error "loop bound") in
+    let env' = ref env in
+    for i = lo to hi - 1 do
+      let inner = (v, Sc { kind = Num; width = width_of_int i }) :: !env' in
+      let after = infer_stmts ~maxw inner body in
+      env' := List.filter (fun (name, _) -> List.mem_assoc name !env') after
+    done;
+    !env'
+
+and infer_stmts ~maxw env stmts = List.fold_left (infer_stmt ~maxw) env stmts
+
+and infer_block ~maxw env stmts =
+  let after = infer_stmts ~maxw env stmts in
+  List.filter (fun (name, _) -> List.mem_assoc name env) after
+
+let initial_env (prog : program) : env =
+  List.fold_left
+    (fun env (p : param) ->
+      let w = p.ptyp.bits - 1 in
+      match (p.pdir, p.plen) with
+      | Input, None -> (p.pname, Sc { kind = Num; width = w }) :: env
+      | Input, Some n -> (p.pname, Arr { len = n; width = w }) :: env
+      | Output, None -> (p.pname, Sc { kind = Bool; width = 0 }) :: env
+      | Output, Some n -> (p.pname, Arr { len = n; width = 0 }) :: env)
+    [] prog.params
+
+(* The largest width the builder can see anywhere in the program. *)
+let max_width (prog : program) : int =
+  let maxw = ref 0 in
+  ignore (infer_stmts ~maxw (initial_env prog) prog.body);
+  !maxw
+
+(* Keeping every inferred width at or below this keeps the builder's
+   capacity checks (against Fp.bits - 3, 124 for the production field) far
+   out of reach and every concrete value inside OCaml's 62-bit native
+   ints. *)
+let width_cap = 56
+
+(* ---- generation ---- *)
+
+type st = { prg : Chacha.Prg.t; mutable fresh : int }
+
+let fresh_name st prefix =
+  let n = st.fresh in
+  st.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let mk e = { e; eloc = no_pos }
+let mks s = { s; sloc = no_pos }
+
+let int_lit n = if n < 0 then mk (Unop (Neg, mk (Int (-n)))) else mk (Int n)
+
+let pick st l = List.nth l (Chacha.Prg.int_below st.prg (List.length l))
+
+let width_of env e =
+  let maxw = ref 0 in
+  (infer_expr ~maxw env e).width
+
+(* Scalars usable in numeric position under the width cap; loop counters
+   (the "i" namespace) are included — they are ordinary bindings. *)
+let num_candidates env ~cap =
+  List.filter_map
+    (fun (name, i) -> match i with Sc s when s.width <= cap -> Some name | _ -> None)
+    env
+
+let bool_candidates env =
+  List.filter_map
+    (fun (name, i) -> match i with Sc { kind = Bool; _ } -> Some name | _ -> None)
+    env
+
+let arrays env = List.filter_map (fun (name, i) -> match i with Arr a -> Some (name, a) | _ -> None) env
+
+let rec gen_num st env ~depth ~cap : expr =
+  let cap = max cap 4 in
+  let leaf () =
+    let vars = num_candidates env ~cap in
+    let choice = Chacha.Prg.int_below st.prg 10 in
+    if choice < 4 && vars <> [] then mk (Var (pick st vars))
+    else if choice < 6 && arrays env <> [] then begin
+      let name, a = pick st (arrays env) in
+      if a.width <= cap then mk (Index (name, int_lit (Chacha.Prg.int_below st.prg a.len)))
+      else int_lit (Chacha.Prg.int_below st.prg 17 - 8)
+    end
+    else int_lit (Chacha.Prg.int_below st.prg 17 - 8)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Chacha.Prg.int_below st.prg 12 with
+    | 0 | 1 | 2 -> leaf ()
+    | 3 | 4 ->
+      let l = gen_num st env ~depth:(depth - 1) ~cap:(cap - 1) in
+      let r = gen_num st env ~depth:(depth - 1) ~cap:(cap - 1) in
+      mk (Binop ((if Chacha.Prg.bool st.prg then Add else Sub), l, r))
+    | 5 ->
+      let l = gen_num st env ~depth:(depth - 1) ~cap:(cap / 2) in
+      let wl = width_of env l in
+      let r = gen_num st env ~depth:(depth - 1) ~cap:(cap - wl) in
+      mk (Binop (Mul, l, r))
+    | 6 -> mk (Unop (Neg, gen_num st env ~depth:(depth - 1) ~cap))
+    | 7 ->
+      let k = 1 + Chacha.Prg.int_below st.prg 3 in
+      mk (Binop (Shr, gen_num st env ~depth:(depth - 1) ~cap, mk (Int k)))
+    | 8 when cap > 6 ->
+      let k = 1 + Chacha.Prg.int_below st.prg 2 in
+      mk (Binop (Shl, gen_num st env ~depth:(depth - 1) ~cap:(cap - k), mk (Int k)))
+    | 9 -> gen_bool st env ~depth:(depth - 1)
+    | 10 when arrays env <> [] ->
+      let name, a = pick st (arrays env) in
+      if a.width <= cap then mk (Index (name, safe_index st env ~depth:(depth - 1) ~len:a.len))
+      else leaf ()
+    | _ -> leaf ()
+
+and gen_bool st env ~depth : expr =
+  let leaf () =
+    let bools = bool_candidates env in
+    if bools <> [] && Chacha.Prg.bool st.prg then mk (Var (pick st bools))
+    else mk (Int (Chacha.Prg.int_below st.prg 2))
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Chacha.Prg.int_below st.prg 9 with
+    | 0 -> leaf ()
+    | 1 | 2 | 3 ->
+      let op = pick st [ Lt; Le; Gt; Ge ] in
+      let l = gen_num st env ~depth:(depth - 1) ~cap:16 in
+      let r = gen_num st env ~depth:(depth - 1) ~cap:16 in
+      mk (Binop (op, l, r))
+    | 4 | 5 ->
+      let op = if Chacha.Prg.bool st.prg then Eq else Ne in
+      let l = gen_num st env ~depth:(depth - 1) ~cap:16 in
+      let r = gen_num st env ~depth:(depth - 1) ~cap:16 in
+      mk (Binop (op, l, r))
+    | 6 ->
+      mk
+        (Binop
+           (And, gen_bool st env ~depth:(depth - 1), gen_bool st env ~depth:(depth - 1)))
+    | 7 ->
+      mk (Binop (Or, gen_bool st env ~depth:(depth - 1), gen_bool st env ~depth:(depth - 1)))
+    | _ -> mk (Unop (Not, gen_bool st env ~depth:(depth - 1)))
+
+(* An index expression whose value lies in [0, len) for every input:
+   c + b*d with b boolean, c in [0, len), c + d <= len - 1. *)
+and safe_index st env ~depth ~len : expr =
+  let c = Chacha.Prg.int_below st.prg len in
+  let dmax = len - 1 - c in
+  let d = if dmax = 0 then 0 else 1 + Chacha.Prg.int_below st.prg dmax in
+  if d = 0 then mk (Int c)
+  else
+    let b = gen_bool st env ~depth in
+    mk (Binop (Add, mk (Int c), mk (Binop (Mul, b, mk (Int d)))))
+
+(* Names in the "i" namespace are loop counters: reads are fine, but the
+   generator never assigns them. *)
+let assignable env =
+  List.filter_map
+    (fun (name, i) -> match i with Sc _ when name.[0] <> 'i' -> Some name | _ -> None)
+    env
+
+let dummy = ref 0
+
+let rec gen_stmts st env ~depth ~budget : stmt list * env =
+  if budget <= 0 then ([], env)
+  else begin
+    let stmt_and_env =
+      match Chacha.Prg.int_below st.prg 10 with
+      | 0 | 1 | 2 when assignable env <> [] ->
+        let name = pick st (assignable env) in
+        let e =
+          if Chacha.Prg.int_below st.prg 4 = 0 then gen_bool st env ~depth:2
+          else gen_num st env ~depth:2 ~cap:20
+        in
+        let s = mks (Assign (Lvar name, e)) in
+        Some (s, infer_stmt ~maxw:dummy env s)
+      | 3 | 4 ->
+        let name = fresh_name st "x" in
+        let e =
+          if Chacha.Prg.int_below st.prg 4 = 0 then gen_bool st env ~depth:2
+          else gen_num st env ~depth:2 ~cap:20
+        in
+        let s = mks (Decl ({ bits = 32 }, name, None, Some e)) in
+        Some (s, infer_stmt ~maxw:dummy env s)
+      | 5 when List.length (arrays env) < 3 ->
+        let name = fresh_name st "a" in
+        let len = 2 + Chacha.Prg.int_below st.prg 3 in
+        let s = mks (Decl ({ bits = 32 }, name, Some len, None)) in
+        Some (s, infer_stmt ~maxw:dummy env s)
+      | 5 | 6 when arrays env <> [] ->
+        let name, a = pick st (arrays env) in
+        let idx =
+          if Chacha.Prg.bool st.prg then int_lit (Chacha.Prg.int_below st.prg a.len)
+          else safe_index st env ~depth:1 ~len:a.len
+        in
+        let e = gen_num st env ~depth:2 ~cap:20 in
+        let s = mks (Assign (Lindex (name, idx), e)) in
+        Some (s, infer_stmt ~maxw:dummy env s)
+      | 7 | 8 when depth > 0 ->
+        let cond = gen_bool st env ~depth:2 in
+        let then_b, _ = gen_stmts st env ~depth:(depth - 1) ~budget:(1 + Chacha.Prg.int_below st.prg 3) in
+        let else_b, _ =
+          if Chacha.Prg.bool st.prg then
+            gen_stmts st env ~depth:(depth - 1) ~budget:(1 + Chacha.Prg.int_below st.prg 2)
+          else ([], env)
+        in
+        let s = mks (If (cond, then_b, else_b)) in
+        Some (s, infer_stmt ~maxw:dummy env s)
+      | 9 when depth > 0 ->
+        let v = fresh_name st "i" in
+        let lo = Chacha.Prg.int_below st.prg 2 in
+        let hi = lo + 1 + Chacha.Prg.int_below st.prg 3 in
+        let inner = (v, Sc { kind = Num; width = 3 }) :: env in
+        let body, _ = gen_stmts st inner ~depth:(depth - 1) ~budget:(1 + Chacha.Prg.int_below st.prg 3) in
+        if body = [] then None
+        else begin
+          let s = mks (For (v, mk (Int lo), mk (Int hi), body)) in
+          Some (s, infer_stmt ~maxw:dummy env s)
+        end
+      | _ -> None
+    in
+    match stmt_and_env with
+    | None -> gen_stmts st env ~depth ~budget:(budget - 1)
+    | Some (s, env') ->
+      let rest, env'' = gen_stmts st env' ~depth ~budget:(budget - 1) in
+      (s :: rest, env'')
+  end
+
+let gen_params st =
+  let params = ref [] in
+  let nscalars = 1 + Chacha.Prg.int_below st.prg 3 in
+  for _ = 1 to nscalars do
+    let bits = 5 + Chacha.Prg.int_below st.prg 5 in
+    params :=
+      { pname = fresh_name st "x"; ptyp = { bits }; plen = None; pdir = Input; ploc = no_pos }
+      :: !params
+  done;
+  if Chacha.Prg.bool st.prg then begin
+    let bits = 5 + Chacha.Prg.int_below st.prg 3 in
+    let len = 2 + Chacha.Prg.int_below st.prg 3 in
+    params :=
+      { pname = fresh_name st "a"; ptyp = { bits }; plen = Some len; pdir = Input; ploc = no_pos }
+      :: !params
+  end;
+  let nouts = 1 + Chacha.Prg.int_below st.prg 2 in
+  for _ = 1 to nouts do
+    let plen = if Chacha.Prg.int_below st.prg 4 = 0 then Some (2 + Chacha.Prg.int_below st.prg 2) else None in
+    params :=
+      { pname = fresh_name st "x"; ptyp = { bits = 32 }; plen; pdir = Output; ploc = no_pos }
+      :: !params
+  done;
+  List.rev !params
+
+(* One candidate program; may exceed the width cap (the caller retries). *)
+let attempt st : program =
+  let params = gen_params st in
+  let prog0 = { name = "fuzzed"; params; body = [] } in
+  let env = initial_env prog0 in
+  let body, env' = gen_stmts st env ~depth:2 ~budget:(4 + Chacha.Prg.int_below st.prg 5) in
+  (* Every output gets a final top-level assignment so the program's
+     observable behaviour exercises the generated dataflow. *)
+  let finals =
+    List.concat_map
+      (fun (p : param) ->
+        if p.pdir <> Output then []
+        else
+          match p.plen with
+          | None -> [ mks (Assign (Lvar p.pname, gen_num st env' ~depth:2 ~cap:24)) ]
+          | Some len ->
+            List.init len (fun i ->
+                mks (Assign (Lindex (p.pname, int_lit i), gen_num st env' ~depth:1 ~cap:24))))
+      params
+  in
+  { prog0 with body = body @ finals }
+
+(* Deterministic in [prg]: drawing more randomness from the same stream on
+   a width rejection keeps the retry loop reproducible. *)
+let program (prg : Chacha.Prg.t) : program =
+  let st = { prg; fresh = 0 } in
+  let rec go n =
+    if n = 0 then failwith "Zfuzz.Gen.program: width cap exceeded on every attempt"
+    else
+      let p = attempt st in
+      if max_width p <= width_cap then p else go (n - 1)
+  in
+  go 50
+
+(* Inputs within each parameter's declared range: |v| < 2^(bits-1). *)
+let inputs (prg : Chacha.Prg.t) (prog : program) : int array =
+  let draw bits =
+    let bound = (1 lsl (bits - 1)) - 1 in
+    Chacha.Prg.int_below prg ((2 * bound) + 1) - bound
+  in
+  List.concat_map
+    (fun (p : param) ->
+      if p.pdir <> Input then []
+      else
+        match p.plen with
+        | None -> [ draw p.ptyp.bits ]
+        | Some len -> List.init len (fun _ -> draw p.ptyp.bits))
+    prog.params
+  |> Array.of_list

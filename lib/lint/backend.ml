@@ -10,7 +10,8 @@
    - ZR001: a variable that appears in no constraint at all. A witness or
      output variable in this state is completely unconstrained (error); an
      input is merely unused (warn).
-   - ZR002: determination propagation. Starting from w0 and the inputs,
+   - ZR002: determination propagation (the Propagate engine, shared with
+     the Zexec witness solver). Starting from w0 and the inputs,
      repeatedly mark a variable determined when some constraint row
      contains exactly one undetermined variable (such a row pins it, up to
      finitely many roots). Variables never reached are under-determined.
@@ -26,22 +27,17 @@
    - ZR006: outputs unreachable from any input in the constraint
      dependency graph (vars are adjacent when they share a row).
    - ZR007: a row with no variables at all whose constants don't satisfy
-     it: the system is unsatisfiable for every input. *)
+     it: the system is unsatisfiable for every input.
+   - ZR008: a variable the analysis fixpoint pins only up to multiple
+     roots — satisfiable, but the Zexec witness solver's value-level
+     propagation cannot uniquely solve it (info; see DESIGN.md §16). *)
 
 open Fieldlib
 open Constr
 
 type io = { num_inputs : int; num_outputs : int }
 
-(* A row whose A, B and C are all single bare variables: a product
-   definition z_i * z_j = m as emitted by the transform. *)
-let product_shape (k : R1cs.constr) =
-  let single lc =
-    match Lincomb.terms lc with [ (v, c) ] when v > 0 && Fp.equal c Fp.one -> Some v | _ -> None
-  in
-  match (single k.R1cs.a, single k.R1cs.b, single k.R1cs.c) with
-  | Some i, Some j, Some m -> Some ((min i j, max i j), m)
-  | _ -> None
+let product_shape = Propagate.product_shape
 
 let row_key (k : R1cs.constr) =
   let s lc =
@@ -79,20 +75,16 @@ let analyze ?io ?transform (sys : R1cs.system) : Diagnostic.t list =
     else "input variable"
   in
 
-  (* One pass: occurrence counts, per-row supports, incidence lists. *)
-  let occ = Array.make (n + 1) 0 in
-  let row_vars = Array.make nc [] in
-  let var_rows = Array.make (n + 1) [] in
-  R1cs.iteri
-    (fun j k ->
-      let vs = R1cs.constr_vars k in
-      row_vars.(j) <- vs;
-      List.iter
-        (fun v ->
-          occ.(v) <- occ.(v) + 1;
-          var_rows.(v) <- j :: var_rows.(v))
-        vs)
-    sys;
+  (* Occurrence counts, row supports, incidence lists, monomial map. *)
+  let st = Propagate.build sys in
+  let occ = st.Propagate.occ and row_vars = st.Propagate.row_vars in
+  (* Provenance: deserialized systems have no source mapping, so point at
+     the lowest constraint row mentioning the variable. *)
+  let var_loc v =
+    match Propagate.first_row_of st v with
+    | Some j -> Diagnostic.Var_in_row (v, j)
+    | None -> Diagnostic.Variable v
+  in
 
   (* ZR001: variables in no row. *)
   for v = 1 to n do
@@ -162,96 +154,23 @@ let analyze ?io ?transform (sys : R1cs.system) : Diagnostic.t list =
         | None -> Hashtbl.add seen (i, j) row)
       (Transform.product_rows tr));
 
-  (* ZR002: determination propagation from {w0} ∪ inputs.
-
-     The base rule: a row with exactly one undetermined variable pins it
-     (up to finitely many roots). That alone is blind to the transform's
-     factored quadratics — after §4, a Ginger bit-constraint b*b = b is a
-     linear row {m, b} plus a product row b*b = m, each with two unknowns.
-     So the rule is monomial-aware: a product variable m with monomial
-     (i, j) "expands" to its undetermined base variables, and a row whose
-     undetermined variables all expand into a single base variable v is a
-     univariate polynomial in v, which pins v. A product variable whose
-     base variables are both determined is itself determined. *)
-  let monomial_of : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-  let monomial_users : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let is_def_row = Array.make nc false in
-  R1cs.iteri
-    (fun row k ->
-      match product_shape k with
-      | Some ((i, j), m) ->
-        if not (Hashtbl.mem monomial_of m) then begin
-          Hashtbl.add monomial_of m (i, j);
-          Hashtbl.add monomial_users i m;
-          if j <> i then Hashtbl.add monomial_users j m;
-          is_def_row.(row) <- true
-        end
-      | None -> ())
-    sys;
-  let determined = Array.make (n + 1) false in
-  determined.(0) <- true;
-  let unknown = Array.make nc 0 in
-  let events = Queue.create () in
-  let settle v =
-    if not determined.(v) then begin
-      determined.(v) <- true;
-      Queue.add v events
-    end
-  in
-  Array.iter settle inputs;
-  Array.iteri
-    (fun j vs -> unknown.(j) <- List.length (List.filter (fun v -> not determined.(v)) vs))
-    row_vars;
-  (* Expand an undetermined row variable to its undetermined base vars. *)
-  let expand v =
-    match Hashtbl.find_opt monomial_of v with
-    | Some (i, j) ->
-      let base = if determined.(i) then [] else [ i ] in
-      if determined.(j) || j = i then base else j :: base
-    | None -> [ v ]
-  in
-  let resolve j =
-    if unknown.(j) >= 1 && unknown.(j) <= 3 then
-      match List.filter (fun v -> not determined.(v)) row_vars.(j) with
-      | [ v ] -> settle v
-      | us when not is_def_row.(j) -> (
-        (* Expansion is justified by the *other* row defining each m; on
-           the definition row itself, substituting m = z_i z_j collapses
-           it to 0 = 0 and would pin nothing soundly. *)
-        match List.sort_uniq compare (List.concat_map expand us) with
-        | [ v ] ->
-          (* Univariate in v: pin v; its dependent product vars follow
-             through the event loop below. *)
-          settle v
-        | _ -> ())
-      | _ -> ()
-  in
-  let touch_rows v = List.iter resolve var_rows.(v) in
-  for j = 0 to nc - 1 do
-    resolve j
-  done;
-  while not (Queue.is_empty events) do
-    let v = Queue.take events in
-    List.iter
-      (fun j ->
-        unknown.(j) <- unknown.(j) - 1;
-        resolve j)
-      var_rows.(v);
-    (* Product variables riding on v: either both base vars are now
-       determined (so m is), or rows mentioning m deserve a fresh look
-       with the shrunken expansion. *)
-    List.iter
-      (fun m ->
-        if not determined.(m) then
-          match Hashtbl.find_opt monomial_of m with
-          | Some (i, j) -> if determined.(i) && determined.(j) then settle m else touch_rows m
-          | None -> ())
-      (Hashtbl.find_all monomial_users v)
-  done;
+  (* ZR002: determination propagation from {w0} ∪ inputs. *)
+  let det = Propagate.determined st ~seeds:inputs in
   for v = 1 to n do
-    if (not determined.(v)) && occ.(v) > 0 then
-      report ~code:"ZR002" ~severity:Diagnostic.Error ~location:(Diagnostic.Variable v)
+    if (not det.(v)) && occ.(v) > 0 then
+      report ~code:"ZR002" ~severity:Diagnostic.Error ~location:(var_loc v)
         "%s w%d is not pinned by constraint propagation from the inputs (under-determined)"
+        (describe_var v) v
+  done;
+
+  (* ZR008: pinned by the analysis fixpoint, but only up to multiple roots
+     — the witness solver's value-level rules cannot uniquely solve it. *)
+  let solvable = Propagate.statically_solvable sys st ~seeds:inputs in
+  for v = 1 to n do
+    if det.(v) && (not solvable.(v)) && occ.(v) > 0 then
+      report ~code:"ZR008" ~severity:Diagnostic.Info ~location:(var_loc v)
+        "%s w%d is pinned only up to multiple roots: satisfiable, but witness solving by \
+         propagation cannot determine it (zaatar exec will not solve this system)"
         (describe_var v) v
   done;
 
@@ -279,7 +198,7 @@ let analyze ?io ?transform (sys : R1cs.system) : Diagnostic.t list =
                 end)
               row_vars.(j)
           end)
-        var_rows.(v)
+        st.Propagate.var_rows.(v)
     done;
     Array.iter
       (fun v ->

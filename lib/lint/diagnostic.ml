@@ -21,6 +21,9 @@
        ZR006 warn   output unreachable from the inputs in the constraint
                     dependency graph
        ZR007 error  constant row that can never be satisfied
+       ZR008 info   variable pinned only up to multiple roots: the system
+                    is satisfiable but the Zexec witness solver's
+                    propagation cannot uniquely determine it (§16)
 
    Each reported finding bumps the Zobs counter lint.findings.<code>, so
    lint volumes flow through the existing metrics pipeline. *)
@@ -32,6 +35,9 @@ type location =
   | Source of Zlang.Ast.pos (* ZL source position *)
   | Row of int (* constraint row index *)
   | Variable of int (* constraint variable index *)
+  | Var_in_row of int * int
+    (* variable index plus the lowest constraint row mentioning it —
+       provenance for deserialized systems with no source mapping *)
 
 type t = { code : string; severity : severity; location : location; message : string }
 
@@ -44,6 +50,7 @@ let location_to_string = function
   | Source p -> Zlang.Ast.pos_to_string p
   | Row j -> Printf.sprintf "row %d" j
   | Variable v -> Printf.sprintf "var w%d" v
+  | Var_in_row (v, j) -> Printf.sprintf "var w%d (row %d)" v j
 
 (* Stable report order: severity first, then code, then location. *)
 let compare_for_report a b =
@@ -52,6 +59,7 @@ let compare_for_report a b =
     | Source p -> (1, p.Zlang.Ast.line, p.Zlang.Ast.col)
     | Row j -> (2, j, 0)
     | Variable v -> (3, v, 0)
+    | Var_in_row (v, j) -> (3, v, j)
   in
   compare
     (severity_rank a.severity, a.code, loc_key a.location, a.message)
@@ -132,6 +140,7 @@ let to_json d : Zobs.Json.t =
       [ ("line", Num (float_of_int p.Zlang.Ast.line)); ("col", Num (float_of_int p.Zlang.Ast.col)) ]
     | Row j -> [ ("row", Num (float_of_int j)) ]
     | Variable v -> [ ("var", Num (float_of_int v)) ]
+    | Var_in_row (v, j) -> [ ("var", Num (float_of_int v)); ("row", Num (float_of_int j)) ]
   in
   Obj
     ([ ("code", Str d.code); ("severity", Str (severity_to_string d.severity)) ]

@@ -13,6 +13,7 @@
 module Diagnostic = Diagnostic
 module Frontend = Frontend
 module Backend = Backend
+module Propagate = Propagate
 
 let schema = "zaatar-lint/1"
 

@@ -28,7 +28,7 @@ dune exec bin/zaatar_cli.exe -- lint examples/*.zl \
 for f in test/lint_fixtures/*; do
   case "$f" in
     # Error-severity fixtures: lint must exit 2 (not 0, not a crash).
-    */zl000_*|*/zl001_*|*/zl003_*|*/zl006_*|*/zr001_*|*/zr002_*|*/zr007_*)
+    */zl000_*|*/zl001_*|*/zl003_*|*/zl006_*|*/zr001_*|*/zr002_*|*/zr007_*|*/fuzz_broken_*)
       if dune exec bin/zaatar_cli.exe -- lint "$f" > /dev/null 2>&1; then
         echo "lint did not fail on broken fixture $f" >&2; exit 1
       fi
@@ -51,6 +51,20 @@ for f in test/lint_fixtures/*; do
       ;;
   esac
 done
+
+echo "== exec smoke (interpreter vs compiled witnesses) =="
+# The witness-solving interpreter must re-derive the compiled prover's
+# witness bit-for-bit on every benchmark app from the inputs alone, and
+# its outputs must match the native reference.
+dune exec bin/zaatar_cli.exe -- exec --check \
+  || { echo "interpreter disagreed with the compiled witness" >&2; exit 1; }
+
+echo "== fuzz smoke (seed-pinned differential campaign) =="
+# 50 random ZL programs through the differential oracle (native eval vs
+# compiled witness vs interpreter solve, verdict sampling included); the
+# campaign exits non-zero on any discrepancy.
+dune exec bin/zaatar_cli.exe -- fuzz --seed 42 --count 50 \
+  || { echo "differential fuzz campaign found discrepancies" >&2; exit 1; }
 
 echo "== bench smoke (summary JSON) =="
 tmp="$(mktemp -d)"

@@ -1,0 +1,235 @@
+(* Zexec, the witness-solving interpreter: Tonelli–Shanks square roots,
+   each propagation rule against hand-built systems, the error cases
+   (Unsat / Stuck), agreement with the compiler's solver on compiled
+   programs over several fields, and the zero-default convention. *)
+
+open Fieldlib
+open Constr
+
+let ctx = Fp.create Primes.p127_ntt
+
+let fi n = Fp.of_int ctx n
+
+(* A quadratic-form system over [n] variables (plus w0) from (a, b, c)
+   triples given as (var, int) coefficient lists; var 0 is the constant. *)
+let system ?(field = ctx) ~num_vars ~num_z rows =
+  let lc terms =
+    List.fold_left (fun acc (v, c) -> Lincomb.add_term field acc v (Fp.of_int field c)) Lincomb.zero terms
+  in
+  {
+    R1cs.field;
+    num_vars;
+    num_z;
+    constraints = Array.of_list (List.map (fun (a, b, c) -> { R1cs.a = lc a; b = lc b; c = lc c }) rows);
+  }
+
+(* ---- sqrt ---- *)
+
+let test_sqrt () =
+  List.iter
+    (fun prime ->
+      let ctx = Fp.create prime in
+      let prg = Chacha.Prg.create ~seed:"sqrt" () in
+      for _ = 1 to 50 do
+        let x = Chacha.Prg.field ctx prg in
+        let sq = Fp.mul ctx x x in
+        match Zexec.Exec.sqrt ctx sq with
+        | None -> Alcotest.fail "square has no root"
+        | Some r ->
+          Alcotest.(check bool) "root squares back" true
+            (Fp.equal (Fp.mul ctx r r) sq)
+      done;
+      (* exactly (p-1)/2 non-residues exist; hit one by scanning *)
+      let rec nonresidue n =
+        if n > 100 then Alcotest.fail "no non-residue in 2..100"
+        else
+          let x = Fp.of_int ctx n in
+          match Zexec.Exec.sqrt ctx x with
+          | None -> x
+          | Some r ->
+            Alcotest.(check bool) "claimed root is real" true
+              (Fp.equal (Fp.mul ctx r r) x);
+            nonresidue (n + 1)
+      in
+      ignore (nonresidue 2);
+      Alcotest.(check bool) "sqrt 0 = 0" true
+        (match Zexec.Exec.sqrt ctx Fp.zero with Some r -> Fp.is_zero r | None -> false))
+    [ Primes.p61; Primes.p127; Primes.p127_ntt ]
+
+(* ---- individual propagation rules ---- *)
+
+(* w1 pinned linearly from the input: 1 * (x + 1) = w1, x = 5 -> w1 = 6. *)
+let test_linear_pin () =
+  let sys = system ~num_vars:2 ~num_z:1 [ ([ (0, 1) ], [ (2, 1); (0, 1) ], [ (1, 1) ]) ] in
+  match Zexec.Exec.solve sys ~inputs:[| fi 5 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, st) ->
+    Alcotest.(check bool) "w1 = 6" true (Fp.equal w.(1) (fi 6));
+    Alcotest.(check int) "one pin" 1 st.Zexec.Exec.pinned
+
+(* Division through a known factor: w1 * x = 12 with x = 3 -> w1 = 4. *)
+let test_div_pin () =
+  let sys = system ~num_vars:2 ~num_z:1 [ ([ (1, 1) ], [ (2, 1) ], [ (0, 12) ]) ] in
+  match Zexec.Exec.solve sys ~inputs:[| fi 3 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, _) -> Alcotest.(check bool) "w1 = 4" true (Fp.equal w.(1) (fi 4))
+
+(* A known-zero factor annihilates the product: 0 * (w1 + w2) = w1 with
+   w2 free. w1 must vanish alone; w2 defaults to zero. *)
+let test_zero_factor () =
+  let sys =
+    system ~num_vars:3 ~num_z:2
+      [ ([ (3, 1) ], [ (1, 1); (2, 1) ], [ (1, 1) ]) ]
+  in
+  match Zexec.Exec.solve sys ~inputs:[| fi 0 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, st) ->
+    Alcotest.(check bool) "w1 = 0" true (Fp.is_zero w.(1));
+    Alcotest.(check int) "w2 defaulted" 1 st.Zexec.Exec.defaulted
+
+(* The bit rule: x + 4 = 4*b2 + 2*b1 + 1*b0 with booleanity rows. For
+   x = 1: 5 = 101b. *)
+let test_bits () =
+  let bool_row v = ([ (v, 1) ], [ (v, 1) ], [ (v, 1) ]) in
+  let sys =
+    system ~num_vars:4 ~num_z:3
+      [
+        bool_row 1;
+        bool_row 2;
+        bool_row 3;
+        ([ (0, 1) ], [ (4, 1); (0, 4) ], [ (1, 1); (2, 2); (3, 4) ]);
+      ]
+  in
+  match Zexec.Exec.solve sys ~inputs:[| fi 1 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, _) ->
+    Alcotest.(check bool) "b0 = 1" true (Fp.equal w.(1) Fp.one);
+    Alcotest.(check bool) "b1 = 0" true (Fp.is_zero w.(2));
+    Alcotest.(check bool) "b2 = 1" true (Fp.equal w.(3) Fp.one)
+
+(* Degree-2 with a double root pins: (w1 - x)^2 = 0 -> w1 = x. *)
+let test_quadratic_double_root () =
+  let row = ([ (1, 1); (2, -1) ], [ (1, 1); (2, -1) ], []) in
+  let sys = system ~num_vars:2 ~num_z:1 [ row ] in
+  match Zexec.Exec.solve sys ~inputs:[| fi 7 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, _) -> Alcotest.(check bool) "w1 = 7" true (Fp.equal w.(1) (fi 7))
+
+(* Two distinct roots must not be guessed: w1 * w1 = 4 alone is
+   under-determined (w1 could be 2 or -2) -> Stuck, with the row counted
+   ambiguous. *)
+let test_quadratic_ambiguous () =
+  let sys = system ~num_vars:1 ~num_z:1 [ ([ (1, 1) ], [ (1, 1) ], [ (0, 4) ]) ] in
+  match Zexec.Exec.solve sys ~inputs:[||] with
+  | Ok _ -> Alcotest.fail "two-root quadratic must not solve"
+  | Error (Zexec.Exec.Unsat _) -> Alcotest.fail "ambiguity is not unsatisfiability"
+  | Error (Zexec.Exec.Stuck { vars; _ }) ->
+    Alcotest.(check (list int)) "w1 is the stuck variable" [ 1 ] vars
+
+(* An inconsistent row is Unsat with the row index. *)
+let test_unsat () =
+  let sys = system ~num_vars:1 ~num_z:0 [ ([ (0, 1) ], [ (1, 1) ], [ (1, 1); (0, 3) ]) ] in
+  (* x * 1 = x + 3 *)
+  match Zexec.Exec.solve sys ~inputs:[| fi 2 |] with
+  | Error (Zexec.Exec.Unsat { row; _ }) -> Alcotest.(check int) "row 0" 0 row
+  | Error (Zexec.Exec.Stuck _) -> Alcotest.fail "expected Unsat, got Stuck"
+  | Ok _ -> Alcotest.fail "contradiction accepted"
+
+(* A free variable that zero-defaults into a *satisfied* system is fine:
+   w1 * x = 0 with x = 0 leaves w1 free, and 0 works. *)
+let test_zero_default_ok () =
+  let sys = system ~num_vars:2 ~num_z:1 [ ([ (1, 1) ], [ (2, 1) ], []) ] in
+  match Zexec.Exec.solve sys ~inputs:[| fi 0 |] with
+  | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+  | Ok (w, st) ->
+    Alcotest.(check bool) "w1 = 0" true (Fp.is_zero w.(1));
+    Alcotest.(check int) "defaulted" 1 st.Zexec.Exec.defaulted
+
+(* ...but zero-defaulting through a violated row is Stuck, not a wrong
+   answer: w1 * w1 = 4 again, via the ZR008 fixture this time. *)
+let test_zr008_fixture_stuck () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let sys = Serialize.system_of_string (read_file "lint_fixtures/zr008_multiroot.r1cs") in
+  (* the fixture's second row demands w2 = 5, so seed it consistently *)
+  match Zexec.Exec.solve sys ~inputs:[| Fp.of_int sys.R1cs.field 5 |] with
+  | Ok _ -> Alcotest.fail "multi-root fixture must not solve"
+  | Error (Zexec.Exec.Unsat _) -> Alcotest.fail "fixture is under-determined, not unsatisfiable"
+  | Error (Zexec.Exec.Stuck _) -> ()
+
+let test_too_many_inputs () =
+  let sys = system ~num_vars:2 ~num_z:1 [ ([ (0, 1) ], [ (2, 1) ], [ (1, 1) ]) ] in
+  Alcotest.check_raises "inputs beyond the IO block rejected"
+    (Invalid_argument "Exec.solve: 3 inputs for a system with 1 IO variables") (fun () ->
+      ignore (Zexec.Exec.solve sys ~inputs:[| fi 1; fi 2; fi 3 |]))
+
+let test_error_text () =
+  let u = Zexec.Exec.Unsat { row = 12; detail = "boom" } in
+  Alcotest.(check string) "unsat text" "row 12: unsatisfiable: boom" (Zexec.Exec.error_to_text u);
+  Alcotest.(check string) "unsat text with file" "f.r1cs: row 12: unsatisfiable: boom"
+    (Zexec.Exec.error_to_text ~file:"f.r1cs" u)
+
+(* ---- agreement with the compiler's solver ---- *)
+
+(* Shared with `zaatar exec --check`: on every benchmark app the
+   interpreter must reproduce the compiled witness bit for bit. Run a
+   reduced version here (one app, several trials, two fields — including
+   the Mersenne prime, whose wrapping powers of two 2^127 = 1 once broke
+   the bit rule's exponent table). *)
+let test_differential () =
+  List.iter
+    (fun prime ->
+      let ctx = Fp.create prime in
+      let prg = Chacha.Prg.create ~seed:"test-exec" () in
+      let app = Apps.Registry.by_name "lcs" ~scale:1 in
+      let c = Zlang.Compile.compile ~ctx app.Apps.App_def.source in
+      let sys = Zlang.Compile.zaatar_r1cs c in
+      for _ = 1 to 3 do
+        let ints = app.Apps.App_def.gen_inputs prg in
+        let finputs = Apps.Glue.field_inputs ctx ints in
+        let w1 = c.Zlang.Compile.solve_zaatar finputs in
+        match Zexec.Exec.solve sys ~inputs:finputs with
+        | Error e -> Alcotest.fail (Zexec.Exec.error_to_text e)
+        | Ok (w2, _) ->
+          Alcotest.(check int) "witness length" (Array.length w1) (Array.length w2);
+          Array.iteri
+            (fun v x ->
+              if not (Fp.equal x w2.(v)) then
+                Alcotest.fail (Printf.sprintf "witness differs at w%d" v))
+            w1;
+          let outs = Apps.Glue.int_outputs ctx (Zlang.Compile.outputs_zaatar c w2) in
+          Alcotest.(check (array int)) "native outputs" (app.Apps.App_def.native ints) outs
+      done)
+    [ Primes.p127; Primes.p127_ntt ]
+
+let test_outputs_slice () =
+  (* outputs = the IO slots after the inputs *)
+  let sys = system ~num_vars:4 ~num_z:1 [ ([ (0, 1) ], [ (2, 1) ], [ (1, 1) ]) ] in
+  let w = [| Fp.one; fi 9; fi 2; fi 3; fi 4 |] in
+  let outs = Zexec.Exec.outputs sys ~num_inputs:1 w in
+  Alcotest.(check int) "two outputs" 2 (Array.length outs);
+  Alcotest.(check bool) "first output" true (Fp.equal outs.(0) (fi 3));
+  Alcotest.(check bool) "second output" true (Fp.equal outs.(1) (fi 4))
+
+let suite =
+  [
+    Alcotest.test_case "sqrt: Tonelli-Shanks over three primes" `Quick test_sqrt;
+    Alcotest.test_case "rule: linear pin" `Quick test_linear_pin;
+    Alcotest.test_case "rule: division through a known factor" `Quick test_div_pin;
+    Alcotest.test_case "rule: zero factor annihilates" `Quick test_zero_factor;
+    Alcotest.test_case "rule: bit decomposition" `Quick test_bits;
+    Alcotest.test_case "rule: quadratic double root pins" `Quick test_quadratic_double_root;
+    Alcotest.test_case "quadratic with two roots is Stuck" `Quick test_quadratic_ambiguous;
+    Alcotest.test_case "contradiction is Unsat with row provenance" `Quick test_unsat;
+    Alcotest.test_case "free variables zero-default" `Quick test_zero_default_ok;
+    Alcotest.test_case "ZR008 fixture is Stuck" `Quick test_zr008_fixture_stuck;
+    Alcotest.test_case "input arity is validated" `Quick test_too_many_inputs;
+    Alcotest.test_case "error rendering" `Quick test_error_text;
+    Alcotest.test_case "agrees with the compiled witness (two fields)" `Quick test_differential;
+    Alcotest.test_case "outputs slice the IO block" `Quick test_outputs_slice;
+  ]

@@ -1,0 +1,197 @@
+(* Zfuzz, the differential fuzzing campaign: generator invariants (QCheck
+   over the seed space), the printer round-trip, the seed-pinned campaign
+   itself — generate, compile, solve three ways, compare — and the
+   break-transform mode backing the committed
+   lint_fixtures/fuzz_broken_transform.r1cs. *)
+
+open Fieldlib
+
+let ctx = Fp.create Primes.p127_ntt
+
+(* ---- generator invariants ---- *)
+
+(* Any seed yields a program that parses back from its own printout and
+   stays under the width cap (so compilation cannot hit the builder's
+   capacity check). *)
+let test_gen_invariants () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:60 ~name:"generated programs print, reparse and stay narrow"
+       QCheck.small_nat (fun n ->
+         let prg = Chacha.Prg.create ~seed:(Printf.sprintf "gen-inv-%d" n) () in
+         let prog = Zfuzz.Gen.program prg in
+         let src = Zlang.Printer.to_source prog in
+         let reparsed = Zlang.Parser.parse_program src in
+         Zlang.Printer.to_source reparsed = src
+         && Zfuzz.Gen.max_width prog <= Zfuzz.Gen.width_cap))
+
+(* The printer is exact on the shipped examples too: parse -> print ->
+   parse must reach a printing fixpoint. *)
+let test_printer_roundtrip_examples () =
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let p1 = Zlang.Parser.parse_program src in
+      let printed = Zlang.Printer.to_source p1 in
+      let p2 = Zlang.Parser.parse_program printed in
+      Alcotest.(check string)
+        (path ^ " printing fixpoint") printed (Zlang.Printer.to_source p2))
+    [ "../examples/ema.zl"; "../examples/matmul.zl"; "../examples/payroll.zl" ]
+
+(* Printed parentheses preserve evaluation: a printed-then-reparsed
+   program computes the same outputs natively. *)
+let test_printer_preserves_semantics () =
+  for n = 0 to 19 do
+    let prg = Chacha.Prg.create ~seed:(Printf.sprintf "print-sem-%d" n) () in
+    let prog = Zfuzz.Gen.program prg in
+    let ints = Zfuzz.Gen.inputs prg prog in
+    let reparsed = Zlang.Parser.parse_program (Zlang.Printer.to_source prog) in
+    Alcotest.(check (array int))
+      "outputs survive the round trip" (Zfuzz.Eval.run prog ints)
+      (Zfuzz.Eval.run reparsed ints)
+  done
+
+(* ---- the evaluator ---- *)
+
+let test_eval_semantics () =
+  let run src ints =
+    Zfuzz.Eval.run (Zlang.Parser.parse_program src) ints
+  in
+  (* >> is a floor shift (matches the decomposition gadget) *)
+  Alcotest.(check (array int)) "floor shift on negatives" [| -2 |]
+    (run "computation t(input int8 x, output int32 y) { y = x >> 2; }" [| -7 |]);
+  (* booleans are arithmetic: && = *, || = +-*, ! = 1-x *)
+  Alcotest.(check (array int)) "logic encodings" [| 1; 1; 0 |]
+    (run
+       "computation t(input int8 x, output int32 a, output int32 b, output int32 c) { a = (x > \
+        0) || (x < 0); b = !(x == 0); c = (x > 0) && (x < 0); }"
+       [| 5 |]);
+  (* both-branch flattening and native single-branch execution agree on
+     the merged bindings *)
+  Alcotest.(check (array int)) "if/else" [| 11 |]
+    (run
+       "computation t(input int8 x, output int32 y) { if (x > 3) { y = 11; } else { y = 22; } }"
+       [| 4 |]);
+  (* loops unroll lo .. hi-1; arrays are element stores *)
+  Alcotest.(check (array int)) "loop accumulation" [| 6 |]
+    (run
+       "computation t(input int8 x, output int32 y) { var int32 s = 0; for i in 0 .. 3 { s = s \
+        + x; } y = s; }"
+       [| 2 |])
+
+(* ---- the campaign (the CI acceptance gate rides on the same entry) ---- *)
+
+let test_campaign () =
+  let r = Zfuzz.Fuzz.campaign ~verdict_every:25 ~ctx ~seed:7 ~count:100 () in
+  Alcotest.(check int) "100 programs" 100 r.Zfuzz.Fuzz.programs;
+  Alcotest.(check bool) "some ran the argument pipeline" true (r.Zfuzz.Fuzz.verdicts >= 4);
+  (match r.Zfuzz.Fuzz.discrepancies with
+  | [] -> ()
+  | d :: _ ->
+    Alcotest.fail
+      (Printf.sprintf "discrepancy at index %d stage %s: %s\n%s" d.Zfuzz.Fuzz.index
+         d.Zfuzz.Fuzz.stage d.Zfuzz.Fuzz.detail d.Zfuzz.Fuzz.source))
+
+(* Campaigns are deterministic in (seed, index): regenerating any case
+   gives the same program and inputs. *)
+let test_campaign_deterministic () =
+  for i = 0 to 4 do
+    let p1, in1 = Zfuzz.Fuzz.case ~seed:99 i in
+    let p2, in2 = Zfuzz.Fuzz.case ~seed:99 i in
+    Alcotest.(check string) "same source" (Zlang.Printer.to_source p1) (Zlang.Printer.to_source p2);
+    Alcotest.(check (array int)) "same inputs" in1 in2
+  done
+
+(* A handwritten clean program passes every oracle leg, and the legs do
+   real work: the evaluator leg distinguishes programs the printer leg
+   cannot (same shape, different constant). The end-to-end "oracle flags
+   a broken toolchain" direction is covered by the break-transform tests
+   below. *)
+let test_oracle_detects () =
+  let src_of s = Zlang.Parser.parse_program s in
+  let good = src_of "computation t(input int8 x, output int32 y) { y = x + 1; }" in
+  (match Zfuzz.Fuzz.oracle ~ctx ~verdict:true good [| 5 |] with
+  | None -> ()
+  | Some (stage, d) -> Alcotest.fail (Printf.sprintf "clean program flagged: %s %s" stage d));
+  let skewed = src_of "computation t(input int8 x, output int32 y) { y = x + 2; }" in
+  Alcotest.(check bool) "evaluator distinguishes near-identical programs" true
+    (Zfuzz.Eval.run good [| 5 |] <> Zfuzz.Eval.run skewed [| 5 |])
+
+(* ---- the shrinker ---- *)
+
+let test_shrinker () =
+  (* Predicate: program reads a3[0]. The minimum body satisfying it is a
+     single statement; the shrinker must strictly reduce without ever
+     breaking the predicate. *)
+  let src =
+    "computation t(input int8 x, input int8 a3[2], output int32 y) { var int32 u = x * x; var \
+     int32 v = a3[0] + u; if (x > 0) { v = v + 1; } y = v + u; }"
+  in
+  let prog = Zlang.Parser.parse_program src in
+  let reads_arr p =
+    let rec in_e (e : Zlang.Ast.expr) =
+      match e.Zlang.Ast.e with
+      | Zlang.Ast.Index ("a3", _) -> true
+      | Zlang.Ast.Index _ | Zlang.Ast.Int _ | Zlang.Ast.Var _ -> false
+      | Zlang.Ast.Unop (_, a) -> in_e a
+      | Zlang.Ast.Binop (_, a, b) -> in_e a || in_e b
+    in
+    let rec in_s (s : Zlang.Ast.stmt) =
+      match s.Zlang.Ast.s with
+      | Zlang.Ast.Decl (_, _, _, Some e) -> in_e e
+      | Zlang.Ast.Decl _ -> false
+      | Zlang.Ast.Assign (Zlang.Ast.Lvar _, e) -> in_e e
+      | Zlang.Ast.Assign (Zlang.Ast.Lindex (_, i), e) -> in_e i || in_e e
+      | Zlang.Ast.If (c, t, el) -> in_e c || List.exists in_s t || List.exists in_s el
+      | Zlang.Ast.For (_, lo, hi, b) -> in_e lo || in_e hi || List.exists in_s b
+    in
+    List.exists in_s p.Zlang.Ast.body
+  in
+  let small = Zfuzz.Fuzz.shrink reads_arr prog in
+  Alcotest.(check bool) "shrunk program still reads a3" true (reads_arr small);
+  Alcotest.(check bool) "strictly smaller" true (Zfuzz.Fuzz.size small < Zfuzz.Fuzz.size prog);
+  Alcotest.(check int) "down to a single statement" 1 (List.length small.Zlang.Ast.body)
+
+(* ---- break-transform: the committed fixture and its provenance ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_broken_transform_fixture () =
+  (* The committed fixture — a compiled system with one product-definition
+     row deleted, minimized by the shrinker — must fail lint with ZR002. *)
+  let sys = Constr.Serialize.system_of_string (read_file "lint_fixtures/fuzz_broken_transform.r1cs") in
+  let findings = Zlint.lint_system sys in
+  Alcotest.(check bool) "ZR002 fires" true
+    (List.exists (fun (d : Zlint.Diagnostic.t) -> d.Zlint.Diagnostic.code = "ZR002") findings);
+  Alcotest.(check bool) "error severity" true (Zlint.Diagnostic.has_errors findings)
+
+let test_break_transform_detected () =
+  (* Regenerate the mutation live: dropping the last def row from a fresh
+     compiled system must be detected (statically or by the solver). *)
+  match Zfuzz.Fuzz.break_transform ~ctx ~seed:42 ~count:20 () with
+  | None -> Alcotest.fail "no detectable mutation in 20 programs"
+  | Some bc ->
+    Alcotest.(check bool) "ZR002 in findings" true
+      (List.exists
+         (fun (d : Zlint.Diagnostic.t) -> d.Zlint.Diagnostic.code = "ZR002")
+         bc.Zfuzz.Fuzz.bt_findings)
+
+let suite =
+  [
+    Alcotest.test_case "generator invariants (QCheck)" `Quick test_gen_invariants;
+    Alcotest.test_case "printer round-trips the examples" `Quick test_printer_roundtrip_examples;
+    Alcotest.test_case "printer preserves semantics" `Quick test_printer_preserves_semantics;
+    Alcotest.test_case "evaluator gadget semantics" `Quick test_eval_semantics;
+    Alcotest.test_case "100-program campaign, zero discrepancies" `Quick test_campaign;
+    Alcotest.test_case "campaigns are (seed, index)-deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "oracle legs are not vacuous" `Quick test_oracle_detects;
+    Alcotest.test_case "shrinker minimizes under a predicate" `Quick test_shrinker;
+    Alcotest.test_case "broken-transform fixture fails lint" `Quick test_broken_transform_fixture;
+    Alcotest.test_case "transform mutations are detected" `Quick test_break_transform_detected;
+  ]

@@ -71,7 +71,12 @@ let test_zr_fixtures () =
   check_fires "zr003_duplicate.r1cs" "ZR003" (lint_r1cs "zr003_duplicate.r1cs");
   check_fires "zr004_trivial.r1cs" "ZR004" (lint_r1cs "zr004_trivial.r1cs");
   check_fires "zr005_k2dup.r1cs" "ZR005" (lint_r1cs "zr005_k2dup.r1cs");
-  check_fires "zr007_unsat.r1cs" "ZR007" (lint_r1cs "zr007_unsat.r1cs")
+  check_fires "zr007_unsat.r1cs" "ZR007" (lint_r1cs "zr007_unsat.r1cs");
+  (* ZR008 is info-severity: it must fire without flipping the exit code. *)
+  let zr008 = lint_r1cs "zr008_multiroot.r1cs" in
+  check_fires "zr008_multiroot.r1cs" "ZR008" zr008;
+  Alcotest.(check int) "ZR008 alone keeps exit 0" 0
+    (Zlint.exit_code [ { Zlint.file = "zr008_multiroot.r1cs"; findings = zr008 } ])
 
 let test_zr006_unreachable_output () =
   (* w3 (the output) is bound only to witness w1, which no input touches:
